@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures: one scaled-down Live-Local setup reused
+across figure benches (session scope keeps total runtime tractable)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.setup import EvalSetup
+
+
+@pytest.fixture(scope="session")
+def small_setup() -> EvalSetup:
+    """Bench-friendly workload: ~10 k sensors, 250 queries."""
+    return EvalSetup(n_sensors=10_000, n_queries=250)
+
+
+@pytest.fixture(scope="session")
+def dense_setup() -> EvalSetup:
+    """Denser population for probe-ratio benches (Figure 4's shape needs
+    result sets well above the sample target)."""
+    return EvalSetup(n_sensors=25_000, n_queries=250)
+
+
+@pytest.fixture
+def verify(benchmark):
+    """Run a shape-assertion callable under the benchmark fixture so the
+    claim checks execute (and are timed) in ``--benchmark-only`` runs."""
+
+    def runner(check):
+        benchmark.pedantic(check, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,88 @@
+"""Ablation benches: each design choice must earn its keep."""
+
+import pytest
+
+from repro.bench.ablations import (
+    run_aggregate_cache_ablation,
+    run_build_method_ablation,
+    run_live_slot_size_ablation,
+    run_oversampling_ablation,
+    run_redistribution_ablation,
+    run_reversible_aggregates_ablation,
+    run_terminal_level_ablation,
+)
+
+
+def test_oversampling_recovers_target(benchmark):
+    result = benchmark.pedantic(run_oversampling_ablation, rounds=1, iterations=1)
+    on = result.value("oversampling", "on", "achieved_fraction")
+    off = result.value("oversampling", "off", "achieved_fraction")
+    assert on > off
+    # And the mechanism is the extra probes it issues.
+    assert result.value("oversampling", "on", "mean_probes") > result.value(
+        "oversampling", "off", "mean_probes"
+    )
+
+
+def test_redistribution_recovers_shortfalls(benchmark):
+    result = benchmark.pedantic(run_redistribution_ablation, rounds=1, iterations=1)
+    assert result.value("redistribution", "on", "achieved_size") >= result.value(
+        "redistribution", "off", "achieved_size"
+    )
+
+
+def test_aggregate_caching_reduces_probes(benchmark):
+    result = benchmark.pedantic(run_aggregate_cache_ablation, rounds=1, iterations=1)
+    assert result.value("aggregate_cache", "tree", "mean_probes") < result.value(
+        "aggregate_cache", "leaf_only", "mean_probes"
+    )
+
+
+def test_build_methods_comparable(benchmark):
+    """Both bulk loaders must produce usable trees; neither should be
+    pathologically worse."""
+    result = benchmark.pedantic(run_build_method_ablation, rounds=1, iterations=1)
+    km = result.value("build_method", "kmeans", "mean_nodes_traversed")
+    st = result.value("build_method", "str", "mean_nodes_traversed")
+    hb = result.value("build_method", "hilbert", "mean_nodes_traversed")
+    assert km < 3 * st and st < 3 * km
+    assert hb < 3 * km and km < 3 * hb
+
+
+def test_reversible_aggregates_cut_cache_bias(benchmark):
+    """The future-work extension must reduce |pde| without increasing
+    probes (it only changes how cache hits are consumed)."""
+    result = benchmark.pedantic(
+        run_reversible_aggregates_ablation, rounds=1, iterations=1
+    )
+    assert result.value("reversible_aggregates", "on", "mean_abs_pde") < result.value(
+        "reversible_aggregates", "off", "mean_abs_pde"
+    )
+    assert result.value(
+        "reversible_aggregates", "on", "mean_result_weight"
+    ) < result.value("reversible_aggregates", "off", "mean_result_weight")
+
+
+def test_terminal_level_trades_traversal_for_granularity(benchmark):
+    """The zoom knob: a shallower threshold T must not traverse more
+    nodes than a deeper one (paths terminate earlier)."""
+    result = benchmark.pedantic(
+        run_terminal_level_ablation, kwargs={"levels": [0, 3]}, rounds=1, iterations=1
+    )
+    assert result.value("terminal_level", "T=0", "mean_nodes_traversed") <= result.value(
+        "terminal_level", "T=3", "mean_nodes_traversed"
+    ) * 1.1
+
+
+def test_degenerate_single_slot_hurts(benchmark):
+    """Δ = t_max (one slot) discards everything at each slide; any
+    proper slotting must probe no more than it."""
+    result = benchmark.pedantic(
+        run_live_slot_size_ablation,
+        kwargs={"slot_seconds": [120.0, 600.0]},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.value("slot_size", "120s", "mean_probes") <= result.value(
+        "slot_size", "600s", "mean_probes"
+    )

@@ -1,0 +1,31 @@
+"""Figure 2 bench: the slot-size model sweep and its optima."""
+
+from repro.bench.fig2 import PAPER_OPTIMA, run_fig2
+
+
+def test_fig2_optima_match_paper(benchmark):
+    result = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
+    for workload, expected in PAPER_OPTIMA.items():
+        assert abs(result.optima[workload] - expected) < 1e-9, (
+            workload,
+            result.optima,
+        )
+
+
+def test_fig2_curves_peak_at_optimum(verify):
+    def check():
+        result = run_fig2()
+        for name, curve in result.curves.items():
+            best_delta = result.deltas[curve.index(max(curve))]
+            assert best_delta == result.optima[name]
+
+    verify(check)
+
+
+def test_fig2_table_prints(verify):
+    def check():
+        text = run_fig2().format_table()
+        assert "utility/cost" in text
+        assert "weather" in text
+
+    verify(check)

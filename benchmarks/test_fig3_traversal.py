@@ -1,0 +1,61 @@
+"""Figure 3 bench: traversal vs result size, cache-work nested plot."""
+
+import pytest
+
+from repro.bench.fig3 import run_fig3
+
+
+@pytest.fixture(scope="module")
+def fig3_result(small_setup):
+    return run_fig3(small_setup)
+
+
+def test_fig3_runs_under_benchmark(benchmark, small_setup):
+    result = benchmark.pedantic(run_fig3, args=(small_setup,), rounds=1, iterations=1)
+    assert result.mean_traversed["rtree"] > 0
+
+
+def test_rtree_traversal_grows_with_result_size(verify, fig3_result):
+    def check():
+        bins = [b for b in fig3_result.traversal_bins["rtree"] if b.low > 0]
+        assert len(bins) >= 3
+        assert bins[-1].mean_value > 2.5 * bins[0].mean_value
+
+    verify(check)
+
+
+def test_colr_tree_traverses_fewer_nodes_than_rtree(verify, fig3_result):
+    def check():
+        assert (
+            fig3_result.mean_traversed["colr_tree"] < fig3_result.mean_traversed["rtree"]
+        )
+
+    verify(check)
+
+
+def test_hier_cache_traverses_fewer_than_rtree(verify, fig3_result):
+    def check():
+        assert (
+            fig3_result.mean_traversed["hier_cache"] <= fig3_result.mean_traversed["rtree"]
+        )
+
+    verify(check)
+
+
+def test_colr_tree_does_less_cache_work_than_hier(verify, fig3_result):
+    def check():
+        """The nested plot: COLR-Tree touches substantially fewer cached
+        nodes (lookup + maintenance) than the hierarchical cache."""
+        assert (
+            fig3_result.mean_cached["hier_cache"]
+            > 1.5 * fig3_result.mean_cached["colr_tree"]
+        )
+
+    verify(check)
+
+
+def test_rtree_does_no_cache_work(verify, fig3_result):
+    def check():
+        assert fig3_result.mean_cached["rtree"] == 0.0
+
+    verify(check)

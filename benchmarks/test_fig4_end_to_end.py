@@ -1,0 +1,76 @@
+"""Figure 4 bench: probe counts and latency over freshness windows,
+plus the paper's Section I summary claims (scaled thresholds — the
+paper's 30-100x assumes the 370 k-sensor Live Local density; ratios
+grow with density, see EXPERIMENTS.md)."""
+
+import pytest
+
+from repro.bench.fig4 import run_fig4
+
+WINDOWS = [60.0, 240.0, 600.0]
+
+
+@pytest.fixture(scope="module")
+def fig4_result(dense_setup):
+    return run_fig4(dense_setup, freshness_windows=WINDOWS)
+
+
+def test_fig4_runs_under_benchmark(benchmark, small_setup):
+    result = benchmark.pedantic(
+        run_fig4,
+        args=(small_setup,),
+        kwargs={"freshness_windows": [240.0]},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.rows
+
+
+def test_colr_tree_probes_far_fewer_sensors(verify, fig4_result):
+    def check():
+        """Panel i: both collection-agnostic configurations probe a large
+        multiple of COLR-Tree's sensors at every freshness window."""
+        for row in fig4_result.rows:
+            assert row.probe_ratio("flat_cache") > 3.0, row
+            assert row.probe_ratio("hier_cache") > 3.0, row
+
+    verify(check)
+
+
+def test_latency_ordering_matches_paper(verify, fig4_result):
+    def check():
+        """Panel ii/iv: flat > hierarchical > COLR-Tree processing latency."""
+        for row in fig4_result.rows:
+            assert row.latency["flat_cache"] > row.latency["hier_cache"], row
+            assert row.latency["hier_cache"] > row.latency["colr_tree"], row
+
+    verify(check)
+
+
+def test_hier_latency_ratio_in_paper_band(verify, fig4_result):
+    def check():
+        """The paper reports a 3-5x latency reduction vs the hierarchical
+        cache; at bench scale we require at least 1.5x on average."""
+        summary = fig4_result.summary()
+        assert summary["mean_latency_ratio_hier_over_colr"] > 1.5
+
+    verify(check)
+
+
+def test_weaker_freshness_means_fewer_probes(verify, fig4_result):
+    def check():
+        """Panel iii's heel: relaxing the freshness bound lets the cache
+        absorb more of each query."""
+        probes = [row.probes["colr_tree"] for row in fig4_result.rows]
+        assert probes[0] > probes[-1]
+
+    verify(check)
+
+
+def test_colr_processing_latency_is_low(verify, fig4_result):
+    def check():
+        """Panel iv: COLR-Tree stays in the tens of milliseconds."""
+        summary = fig4_result.summary()
+        assert summary["mean_colr_processing_ms"] < 100.0
+
+    verify(check)

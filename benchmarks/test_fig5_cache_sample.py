@@ -1,0 +1,71 @@
+"""Figure 5 bench: cache limit x sample size effects."""
+
+import pytest
+
+from repro.bench.fig5 import run_fig5
+
+FRACTIONS = [0.16, 0.32]
+TARGETS = [30, 1000]
+
+
+@pytest.fixture(scope="module")
+def fig5_result(small_setup):
+    return run_fig5(small_setup, cache_fractions=FRACTIONS, sample_sizes=TARGETS)
+
+
+def test_fig5_runs_under_benchmark(benchmark, small_setup):
+    result = benchmark.pedantic(
+        run_fig5,
+        args=(small_setup,),
+        kwargs={"cache_fractions": [0.16], "sample_sizes": [30]},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.cells
+
+
+def test_bigger_cache_helps_large_samples(verify, fig5_result):
+    def check():
+        small_cache = fig5_result.cell(0.16, 1000)
+        big_cache = fig5_result.cell(0.32, 1000)
+        assert big_cache.mean_probes < small_cache.mean_probes
+        assert big_cache.mean_latency_seconds <= small_cache.mean_latency_seconds
+
+    verify(check)
+
+
+def test_cache_limit_immaterial_for_small_samples(verify, fig5_result):
+    def check():
+        """At small targets the cache limit barely matters."""
+        small_cache = fig5_result.cell(0.16, 30)
+        big_cache = fig5_result.cell(0.32, 30)
+        assert small_cache.mean_probes == pytest.approx(
+            big_cache.mean_probes, rel=0.15, abs=2.0
+        )
+
+    verify(check)
+
+
+def test_sample_size_effect_diminishes_with_cache(verify, fig5_result):
+    def check():
+        """The paper's key trend: the probe gap between sample sizes is
+        narrower at the 32% cache limit than at 16%."""
+        gap_small_cache = (
+            fig5_result.cell(0.16, 1000).mean_probes - fig5_result.cell(0.16, 30).mean_probes
+        )
+        gap_big_cache = (
+            fig5_result.cell(0.32, 1000).mean_probes - fig5_result.cell(0.32, 30).mean_probes
+        )
+        assert gap_big_cache < gap_small_cache
+
+    verify(check)
+
+
+def test_larger_samples_traverse_more_nodes(verify, fig5_result):
+    def check():
+        assert (
+            fig5_result.cell(0.16, 1000).mean_nodes_traversed
+            > fig5_result.cell(0.16, 30).mean_nodes_traversed
+        )
+
+    verify(check)

@@ -1,0 +1,63 @@
+"""Figure 6 bench: target accuracy and probe discretization error."""
+
+import pytest
+
+from repro.bench.fig6 import run_fig6
+
+FRACTIONS = [0.16, 0.32]
+TARGETS = [30, 1000]
+
+
+@pytest.fixture(scope="module")
+def fig6_result(small_setup):
+    return run_fig6(small_setup, cache_fractions=FRACTIONS, sample_sizes=TARGETS)
+
+
+def test_fig6_runs_under_benchmark(benchmark, small_setup):
+    result = benchmark.pedantic(
+        run_fig6,
+        args=(small_setup,),
+        kwargs={"cache_fractions": [0.16], "sample_sizes": [30]},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.cells
+
+
+def test_target_accuracy_in_paper_band(verify, fig6_result):
+    def check():
+        """The paper reports 93-99% accuracy across the sweep."""
+        for cell in fig6_result.cells:
+            assert cell.target_accuracy >= 0.90, cell
+
+    verify(check)
+
+
+def test_small_target_pde_negative_from_cache_bias(verify, fig6_result):
+    def check():
+        """Cached aggregates over-deliver at small targets (negative pde)."""
+        assert fig6_result.cell(0.16, 30).mean_pde < 0
+        assert fig6_result.cell(0.32, 30).mean_pde < 0
+
+    verify(check)
+
+
+def test_small_target_bias_grows_with_cache(verify, fig6_result):
+    def check():
+        """The paper: at target 100 the probe error *increases* with cache
+        size, because cached aggregates carry more sensors than requested."""
+        assert (
+            fig6_result.cell(0.32, 30).mean_abs_pde
+            >= fig6_result.cell(0.16, 30).mean_abs_pde * 0.95
+        )
+
+    verify(check)
+
+
+def test_large_target_pde_positive(verify, fig6_result):
+    def check():
+        """At targets above typical region populations, terminals
+        under-deliver (positive pde)."""
+        assert fig6_result.cell(0.16, 1000).mean_pde > 0
+
+    verify(check)

@@ -1,0 +1,42 @@
+"""Figure 7 bench: approximation error vs sample size (USGS WA)."""
+
+import pytest
+
+from repro.bench.fig7 import run_fig7
+
+SIZES = [5, 15, 50, 200]
+
+
+@pytest.fixture(scope="module")
+def fig7_result():
+    return run_fig7(sample_sizes=SIZES, n_trials=20)
+
+
+def test_fig7_runs_under_benchmark(benchmark):
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"sample_sizes": [15], "n_trials": 5}, rounds=1, iterations=1
+    )
+    assert result.points
+
+
+def test_error_within_ten_percent_at_fifteen_sensors(verify, fig7_result):
+    def check():
+        """The paper's headline: ~10% error with as few as 15 of 200."""
+        assert fig7_result.error_at(15) <= 0.12
+
+    verify(check)
+
+
+def test_error_decreases_with_sample_size(verify, fig7_result):
+    def check():
+        errors = [p.mean_relative_error for p in fig7_result.points]
+        assert errors[0] > errors[2] > errors[3]
+
+    verify(check)
+
+
+def test_full_sample_is_nearly_exact(verify, fig7_result):
+    def check():
+        assert fig7_result.error_at(200) < 0.01
+
+    verify(check)

@@ -1,0 +1,114 @@
+"""Dinner planner — the paper's combined-data scenario from Section I.
+
+"A user can combine different types of live data, such as traffic
+conditions of roads leading to the restaurants, on the same map, to get
+an estimate of the total time required for driving to a restaurant and
+waiting there before dinner is served."
+
+Two sensor fleets share one portal: restaurants publishing wait times
+(city blobs) and highway traffic sensors publishing congestion (linear
+corridors).  For each candidate restaurant near Seattle we estimate
+total time = drive time under current congestion + current wait time,
+and rank the candidates — all with bounded probing through the index.
+
+Run:  python examples/dinner_planner.py
+"""
+
+import numpy as np
+
+from repro import COLRTreeConfig, GeoPoint, Rect
+from repro.geometry.point import haversine_miles
+from repro.portal import SensorMapPortal, SensorQuery
+from repro.workloads import HighwayWorkload, LiveLocalWorkload
+
+
+def main() -> None:
+    # Fleet 1: restaurants around US metros.
+    restaurants = LiveLocalWorkload(
+        n_sensors=6_000, n_queries=0, expiry_seconds=420.0, seed=13
+    ).sensors()
+    # Fleet 2: traffic sensors along highway corridors (enough corridors
+    # to reach the west-coast metros).
+    from repro.workloads import default_corridors
+
+    traffic = HighwayWorkload(
+        corridors=default_corridors(n=30), seed=13
+    ).sensors(start_id=len(restaurants))
+    print(f"{len(restaurants)} restaurants + {len(traffic)} traffic sensors")
+
+    def live_value(sensor, now):
+        if sensor.sensor_type == "traffic":
+            base = 1.0 + (sensor.sensor_id % 11) * 0.6
+            rush = 8.0 * max(0.0, np.sin(now / 3_600.0 * np.pi)) ** 2
+            return float(base + rush)  # delay minutes per 10 miles
+        wait = 10.0 + (sensor.sensor_id % 7) * 5.0
+        return float(wait)  # minutes until a table
+
+    portal = SensorMapPortal(
+        COLRTreeConfig(max_expiry_seconds=600.0, slot_seconds=120.0),
+        value_fn=live_value,
+        max_sensors_per_query=150,
+    )
+    portal.register_all(restaurants + traffic)
+    portal.rebuild_index()
+    portal.clock.advance(1_800.0)  # half past five: rush hour ramping up
+
+    home = GeoPoint(-122.33, 47.61)  # downtown Seattle
+    viewport = Rect(home.x - 0.35, home.y - 0.25, home.x + 0.35, home.y + 0.25)
+
+    # Live wait times from a sample of nearby restaurants.
+    wait_result = portal.execute(
+        SensorQuery(
+            region=viewport,
+            staleness_seconds=300.0,
+            sample_size=25,
+            sensor_type="restaurant",
+            aggregate="avg",
+        )
+    )
+    candidates = [
+        r
+        for answer in wait_result.answers
+        for r in list(answer.probed_readings) + list(answer.cached_readings)
+    ]
+    # Live congestion along roads in the same viewport.
+    traffic_result = portal.execute(
+        SensorQuery(
+            region=viewport.expanded(0.3),
+            staleness_seconds=180.0,
+            sample_size=20,
+            sensor_type="traffic",
+            aggregate="avg",
+        )
+    )
+    try:
+        delay_per_10mi = traffic_result.aggregate()
+    except ValueError:
+        delay_per_10mi = 2.0  # no traffic sensors in view: assume light
+    print(
+        f"current congestion: {delay_per_10mi:.1f} min delay per 10 miles "
+        f"({sum(a.stats.sensors_probed for a in traffic_result.answers)} probes)"
+    )
+
+    tree = portal.tree("restaurant")
+    print("\nbest dinner options (drive at 30 mph + live congestion + wait):")
+    ranked = []
+    for reading in candidates:
+        location = tree.sensor(reading.sensor_id).location
+        miles = haversine_miles(home.lat, home.lon, location.lat, location.lon)
+        drive = miles / 30.0 * 60.0 + miles / 10.0 * delay_per_10mi
+        ranked.append((drive + reading.value, drive, reading.value, reading.sensor_id))
+    ranked.sort()
+    for total, drive, wait, sensor_id in ranked[:5]:
+        print(
+            f"  restaurant #{sensor_id}: total {total:5.1f} min "
+            f"(drive {drive:4.1f} + wait {wait:4.1f})"
+        )
+    probes = sum(
+        a.stats.sensors_probed for a in wait_result.answers + traffic_result.answers
+    )
+    print(f"\nanswered with {probes} sensor probes across both fleets")
+
+
+if __name__ == "__main__":
+    main()

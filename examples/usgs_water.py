@@ -1,0 +1,60 @@
+"""Approximate aggregation over USGS-style water gauges (Figure 7).
+
+Queries the average water discharge across 200 Washington-state gauges
+with increasing SAMPLESIZE budgets and compares each approximate answer
+against the noise-free regional mean — reproducing the paper's
+observation that ~15 sampled gauges land within 10%.
+
+Run:  python examples/usgs_water.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import COLRTree, COLRTreeConfig, SensorNetwork
+from repro.workloads import UsgsWaWorkload
+from repro.workloads.usgs import WA_BBOX
+
+
+def main() -> None:
+    workload = UsgsWaWorkload(seed=2)
+    sensors = workload.sensors()
+    truth = workload.true_regional_mean(0.0)
+    print(f"{len(sensors)} gauges in WA, true mean discharge {truth:.1f} cfs\n")
+
+    config = COLRTreeConfig(
+        fanout=4,
+        leaf_capacity=8,
+        max_expiry_seconds=workload.expiry_seconds,
+        slot_seconds=workload.expiry_seconds / 5.0,
+        terminal_level=1,
+        oversample_level=2,
+    )
+    n_trials = 8
+    print(f"{'sample':>8} {'probed':>8} {'estimate':>10} {'rel.err':>8}   (mean of {n_trials} trials)")
+    for sample_size in (5, 10, 15, 25, 50, 100, 200):
+        probed, estimates, errors = [], [], []
+        for trial in range(n_trials):
+            # Fresh tree per trial so each answer is a genuine cold sample.
+            network = SensorNetwork(sensors, value_fn=workload.value_fn(), seed=3 + trial)
+            tree = COLRTree(sensors, replace(config, seed=trial), network=network)
+            answer = tree.query(
+                WA_BBOX,
+                now=0.0,
+                max_staleness=workload.expiry_seconds,
+                sample_size=sample_size,
+            )
+            estimate = answer.estimate("avg")
+            probed.append(answer.stats.sensors_probed)
+            estimates.append(estimate)
+            errors.append(abs(estimate - truth) / truth)
+        print(
+            f"{sample_size:>8} {np.mean(probed):>8.0f} "
+            f"{np.mean(estimates):>10.1f} {np.mean(errors):>7.1%}"
+        )
+    print("\n(the paper reports <=10% error from ~15 of 200 sensors)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the sandbox has no `wheel` package, so editable
+installs go through the setuptools develop path (``--no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""The evaluation's comparison systems (Section VII).
+
+* ``plain_rtree`` — a standard R-tree range lookup that probes every
+  matching sensor (no caching, no sampling): COLR-Tree with both
+  features disabled.
+* ``hierarchical_cache`` — slot caches at every node plus a standard
+  range query (caching without sampling).
+* ``FlatCache`` — the unindexed strawman: a single pool of raw readings
+  scanned in full for every query, probing relevant sensors whose
+  cached reading is missing or stale.
+
+The first two share all of COLR-Tree's code (they are configurations of
+the same index, exactly as in the paper's experiments); the flat cache
+is its own small implementation because it has no tree to share.
+"""
+
+from repro.baselines.flat_cache import FlatCache
+from repro.baselines.factory import (
+    full_colr_tree,
+    hierarchical_cache,
+    plain_rtree,
+)
+
+__all__ = ["FlatCache", "full_colr_tree", "hierarchical_cache", "plain_rtree"]

@@ -1,0 +1,63 @@
+"""Factories for the three indexed configurations under evaluation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import COLRTreeConfig
+from repro.core.stats import ProcessingCostModel
+from repro.core.tree import COLRTree
+from repro.sensors.availability import AvailabilityModel
+from repro.sensors.network import SensorNetwork
+from repro.sensors.sensor import Sensor
+
+
+def plain_rtree(
+    sensors: Sequence[Sensor],
+    config: COLRTreeConfig,
+    network: SensorNetwork,
+    availability_model: AvailabilityModel | None = None,
+    cost_model: ProcessingCostModel | None = None,
+) -> COLRTree:
+    """The "regular R-Tree" configuration: no caching, no sampling."""
+    return COLRTree(
+        sensors,
+        config.as_plain_rtree(),
+        network=network,
+        availability_model=availability_model,
+        cost_model=cost_model,
+    )
+
+
+def hierarchical_cache(
+    sensors: Sequence[Sensor],
+    config: COLRTreeConfig,
+    network: SensorNetwork,
+    availability_model: AvailabilityModel | None = None,
+    cost_model: ProcessingCostModel | None = None,
+) -> COLRTree:
+    """Slot caches + standard range query (no sampling)."""
+    return COLRTree(
+        sensors,
+        config.as_hierarchical_cache(),
+        network=network,
+        availability_model=availability_model,
+        cost_model=cost_model,
+    )
+
+
+def full_colr_tree(
+    sensors: Sequence[Sensor],
+    config: COLRTreeConfig,
+    network: SensorNetwork,
+    availability_model: AvailabilityModel | None = None,
+    cost_model: ProcessingCostModel | None = None,
+) -> COLRTree:
+    """The full-fledged index: caching and sampling enabled."""
+    return COLRTree(
+        sensors,
+        config,
+        network=network,
+        availability_model=availability_model,
+        cost_model=cost_model,
+    )

@@ -1,0 +1,21 @@
+"""The experiment harness: one driver per paper figure.
+
+Each ``figN`` module exposes a ``run_figN(...)`` function that executes
+the experiment at a configurable scale and returns a structured result
+whose ``rows()`` / ``format_table()`` output mirrors the series the
+paper plots.  ``benchmarks/`` wraps these drivers in pytest-benchmark
+targets; EXPERIMENTS.md records measured-vs-paper shape.
+"""
+
+from repro.bench.harness import QueryRecord, RunResult, run_query_stream
+from repro.bench.binning import bin_by_result_size, ideal_result_sizes
+from repro.bench.report import format_table
+
+__all__ = [
+    "QueryRecord",
+    "RunResult",
+    "run_query_stream",
+    "bin_by_result_size",
+    "ideal_result_sizes",
+    "format_table",
+]

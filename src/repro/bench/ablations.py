@@ -1,0 +1,289 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation toggles one mechanism of the full index and reports the
+metric that mechanism is supposed to move:
+
+* **oversampling** (1/a availability scale-up) → achieved sample size
+  under an unreliable fleet;
+* **redistribution** (Algorithm 2) → achieved sample size under a
+  spatially skewed deployment;
+* **aggregate caching** (slot caches at internal nodes vs leaf-only
+  caching) → probes and processing latency;
+* **build method** (k-means clustering vs STR packing) → traversal;
+* **live slot size** (Δ on the running system, complementing the
+  Figure 2 model) → probes and latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.bench.harness import run_query_stream
+from repro.bench.report import format_table
+from repro.bench.setup import EvalSetup
+from repro.core.tree import COLRTree
+from repro.sensors.availability import AvailabilityModel
+from repro.sensors.network import SensorNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class AblationRow:
+    ablation: str
+    variant: str
+    metric: str
+    value: float
+
+
+@dataclass
+class AblationResult:
+    rows: list[AblationRow]
+
+    def value(self, ablation: str, variant: str, metric: str) -> float:
+        for row in self.rows:
+            if (row.ablation, row.variant, row.metric) == (ablation, variant, metric):
+                return row.value
+        raise KeyError((ablation, variant, metric))
+
+    def format_table(self) -> str:
+        return format_table(
+            ["ablation", "variant", "metric", "value"],
+            [[r.ablation, r.variant, r.metric, r.value] for r in self.rows],
+            title="Design-choice ablations",
+        )
+
+
+def run_oversampling_ablation(setup: EvalSetup | None = None) -> AblationResult:
+    """Unreliable fleet: does the 1/a scale-up recover the target R?"""
+    setup = setup if setup is not None else EvalSetup(
+        n_sensors=10_000, n_queries=200, availability=0.5
+    )
+    rows: list[AblationRow] = []
+    for variant, enabled in (("on", True), ("off", False)):
+        config = replace(setup.config, oversampling_enabled=enabled)
+        system = setup.make_colr_tree(config)
+        # Warm the availability history first so estimates are honest.
+        run_query_stream(system, setup.queries[:50])
+        run = run_query_stream(system, setup.queries[50:])
+        achieved = np.mean(
+            [min(r.result_weight, r.target_size) / max(1, r.target_size) for r in run.records]
+        )
+        rows.append(AblationRow("oversampling", variant, "achieved_fraction", float(achieved)))
+        rows.append(
+            AblationRow("oversampling", variant, "mean_probes", run.mean("sensors_probed"))
+        )
+    return AblationResult(rows)
+
+
+def run_redistribution_ablation(seed: int = 0) -> AblationResult:
+    """Skewed deployment with spatial holes: does Algorithm 2 recover
+    genuine shortfalls?
+
+    The query covers only the *sparse* part of a heavily skewed
+    population, with a target close to the in-region population:
+    overlap-weighted shares routinely exceed thin subtrees' real pools
+    (the bounding-box uniformity assumption fails at the dense/sparse
+    boundary), so without redistribution the sample under-delivers.
+    """
+    from repro.geometry import GeoPoint, Rect
+    from repro.sensors.registry import SensorRegistry
+    from repro.workloads.livelocal import QuerySpec
+
+    rng = np.random.default_rng(seed)
+    registry = SensorRegistry()
+    for _ in range(1800):  # dense corner
+        registry.register(
+            GeoPoint(float(rng.uniform(0, 15)), float(rng.uniform(0, 15))),
+            expiry_seconds=300.0,
+        )
+    for _ in range(200):  # sparse elsewhere
+        registry.register(
+            GeoPoint(float(rng.uniform(15, 100)), float(rng.uniform(15, 100))),
+            expiry_seconds=300.0,
+        )
+    queries = [
+        QuerySpec(
+            region=Rect(15, 15, 100, 100),
+            at_time=float(i) * 1000.0,  # cold cache each time
+            staleness_seconds=60.0,
+            sample_size=150,
+        )
+        for i in range(30)
+    ]
+    from repro.core.config import COLRTreeConfig
+
+    rows: list[AblationRow] = []
+    for variant, enabled in (("on", True), ("off", False)):
+        config = COLRTreeConfig(
+            caching_enabled=False, redistribution_enabled=enabled, seed=seed
+        )
+        network = SensorNetwork(registry.all(), seed=seed)
+        tree = COLRTree(registry.all(), config, network=network)
+        run = run_query_stream(tree, queries)
+        achieved = np.mean([r.result_weight for r in run.records])
+        rows.append(AblationRow("redistribution", variant, "achieved_size", float(achieved)))
+    return AblationResult(rows)
+
+
+def run_aggregate_cache_ablation(setup: EvalSetup | None = None) -> AblationResult:
+    """Leaf-only caching vs the full slot-cache tree."""
+    setup = setup if setup is not None else EvalSetup(n_sensors=10_000, n_queries=300)
+    rows: list[AblationRow] = []
+    for variant, enabled in (("tree", True), ("leaf_only", False)):
+        config = replace(setup.config, aggregate_caching_enabled=enabled)
+        system = setup.make_colr_tree(config)
+        run = run_query_stream(system, setup.queries)
+        rows.append(
+            AblationRow("aggregate_cache", variant, "mean_probes", run.mean("sensors_probed"))
+        )
+        rows.append(
+            AblationRow(
+                "aggregate_cache",
+                variant,
+                "mean_latency_ms",
+                run.mean("processing_seconds") * 1e3,
+            )
+        )
+    return AblationResult(rows)
+
+
+def run_build_method_ablation(setup: EvalSetup | None = None) -> AblationResult:
+    """k-means clustering (the paper's builder) vs STR and Hilbert
+    packing."""
+    setup = setup if setup is not None else EvalSetup(n_sensors=10_000, n_queries=300)
+    rows: list[AblationRow] = []
+    for method in ("kmeans", "str", "hilbert"):
+        model = AvailabilityModel()
+        network = SensorNetwork(setup.sensors, availability_model=model, seed=setup.seed + 1)
+        tree = COLRTree(
+            setup.sensors,
+            setup.config,
+            network=network,
+            availability_model=model,
+            cost_model=setup.cost_model,
+            build_method=method,
+        )
+        run = run_query_stream(tree, setup.queries)
+        rows.append(
+            AblationRow("build_method", method, "mean_nodes_traversed", run.mean("nodes_traversed"))
+        )
+        rows.append(
+            AblationRow("build_method", method, "mean_probes", run.mean("sensors_probed"))
+        )
+    return AblationResult(rows)
+
+
+def run_live_slot_size_ablation(
+    setup: EvalSetup | None = None,
+    slot_seconds: list[float] | None = None,
+) -> AblationResult:
+    """Sweep Δ on the running index (Figure 2 validated the model; this
+    validates the live system's sensitivity)."""
+    setup = setup if setup is not None else EvalSetup(n_sensors=10_000, n_queries=300)
+    deltas = slot_seconds if slot_seconds is not None else [30.0, 120.0, 300.0, 600.0]
+    rows: list[AblationRow] = []
+    for delta in deltas:
+        config = setup.config.with_slot_seconds(delta)
+        system = setup.make_colr_tree(config)
+        run = run_query_stream(system, setup.queries)
+        rows.append(
+            AblationRow("slot_size", f"{delta:.0f}s", "mean_probes", run.mean("sensors_probed"))
+        )
+        rows.append(
+            AblationRow(
+                "slot_size",
+                f"{delta:.0f}s",
+                "mean_latency_ms",
+                run.mean("processing_seconds") * 1e3,
+            )
+        )
+    return AblationResult(rows)
+
+
+def run_terminal_level_ablation(
+    setup: EvalSetup | None = None,
+    levels: list[int] | None = None,
+) -> AblationResult:
+    """Sweep the terminal threshold ``T`` (the zoom knob): shallower
+    thresholds terminate paths higher, trading traversal for coarser
+    per-terminal allocation."""
+    setup = setup if setup is not None else EvalSetup(n_sensors=10_000, n_queries=300)
+    sweep = levels if levels is not None else [0, 1, 2, 3]
+    rows: list[AblationRow] = []
+    for level in sweep:
+        system = setup.make_colr_tree(
+            replace(
+                setup.config,
+                terminal_level=level,
+                oversample_level=max(level, setup.config.oversample_level),
+            )
+        )
+        run = run_query_stream(system, setup.queries)
+        rows.append(
+            AblationRow("terminal_level", f"T={level}", "mean_nodes_traversed", run.mean("nodes_traversed"))
+        )
+        rows.append(
+            AblationRow("terminal_level", f"T={level}", "mean_terminals", run.mean("terminal_count"))
+        )
+        rows.append(
+            AblationRow("terminal_level", f"T={level}", "mean_probes", run.mean("sensors_probed"))
+        )
+    return AblationResult(rows)
+
+
+def run_reversible_aggregates_ablation(setup: EvalSetup | None = None) -> AblationResult:
+    """The future-work extension: decomposable cached aggregates should
+    cut the cache-induced probe discretization error at small targets
+    without extra probes."""
+    setup = setup if setup is not None else EvalSetup(n_sensors=10_000, n_queries=300)
+    rows: list[AblationRow] = []
+    for variant, enabled in (("on", True), ("off", False)):
+        config = replace(setup.config, reversible_aggregates=enabled)
+        system = setup.make_colr_tree(config)
+        run = run_query_stream(system, setup.queries, sample_size=30)
+        rows.append(
+            AblationRow(
+                "reversible_aggregates",
+                variant,
+                "mean_abs_pde",
+                float(np.mean([abs(r.terminal_pde) for r in run.records])),
+            )
+        )
+        rows.append(
+            AblationRow(
+                "reversible_aggregates",
+                variant,
+                "mean_probes",
+                run.mean("sensors_probed"),
+            )
+        )
+        rows.append(
+            AblationRow(
+                "reversible_aggregates",
+                variant,
+                "mean_result_weight",
+                run.mean("result_weight"),
+            )
+        )
+    return AblationResult(rows)
+
+
+def run_all_ablations() -> AblationResult:
+    """Every ablation at its default (bench-friendly) scale."""
+    rows: list[AblationRow] = []
+    for result in (
+        run_oversampling_ablation(),
+        run_redistribution_ablation(),
+        run_aggregate_cache_ablation(),
+        run_build_method_ablation(),
+        run_live_slot_size_ablation(),
+        run_terminal_level_ablation(),
+        run_reversible_aggregates_ablation(),
+    ):
+        rows.extend(result.rows)
+    return AblationResult(rows)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_all_ablations().format_table())

@@ -1,0 +1,71 @@
+"""Figure 2 — utility/cost ratio vs slot size per expiry workload.
+
+Reproduces the sweep of Section IV-C under the calibrated reference
+workload: three expiry profiles (Uniform / USGS-like / Weather-like),
+ratio curves over a Δ grid, and the per-workload optimum.  The paper
+reports optima of 0.5 (Uniform), 0.8 (USGS) and 0.2 (Weather).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.report import format_table
+from repro.core.slot_sizing import (
+    FIG2_WORKLOAD,
+    SlotSizeModel,
+    default_delta_grid,
+    optimal_slot_size,
+)
+from repro.workloads.expiry import (
+    uniform_expiry,
+    usgs_like_expiry,
+    weather_like_expiry,
+)
+
+PAPER_OPTIMA = {"uniform": 0.5, "usgs": 0.8, "weather": 0.2}
+
+
+@dataclass
+class Fig2Result:
+    deltas: list[float]
+    curves: dict[str, list[float]]
+    optima: dict[str, float]
+
+    def rows(self) -> list[list[object]]:
+        out: list[list[object]] = []
+        for i, d in enumerate(self.deltas):
+            out.append([d] + [self.curves[name][i] for name in sorted(self.curves)])
+        return out
+
+    def format_table(self) -> str:
+        headers = ["delta"] + sorted(self.curves)
+        table = format_table(headers, self.rows(), title="Figure 2: utility/cost vs slot size")
+        optima = ", ".join(
+            f"{name}: Δ*={self.optima[name]:.2f} (paper {PAPER_OPTIMA[name]:.1f})"
+            for name in sorted(self.optima)
+        )
+        return f"{table}\noptima — {optima}"
+
+
+def run_fig2(n_samples: int = 4000, seed: int = 3) -> Fig2Result:
+    """Sweep the Δ grid for all three expiry workloads."""
+    profiles = {
+        "uniform": uniform_expiry(n_samples, seed=seed),
+        "usgs": usgs_like_expiry(n_samples, seed=seed),
+        "weather": weather_like_expiry(n_samples, seed=seed),
+    }
+    deltas = default_delta_grid()
+    curves: dict[str, list[float]] = {}
+    optima: dict[str, float] = {}
+    for name, samples in profiles.items():
+        model = SlotSizeModel(
+            expiry_samples=tuple(float(x) for x in samples), **FIG2_WORKLOAD
+        )
+        curves[name] = [model.ratio(d) for d in deltas]
+        optima[name] = optimal_slot_size(model, deltas)
+    return Fig2Result(deltas=deltas, curves=curves, optima=optima)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig2().format_table())

@@ -1,0 +1,88 @@
+"""Figure 5 — cache size constraint x sample size sweeps.
+
+Varies the global cache limit (16-32% of the sensor population) and the
+query sample target (100 / 1,000 / 10,000) and reports per-cell mean
+sensor probes, processing latency and internal nodes traversed.
+
+Paper shape: at large sample sizes, growing the cache helps every
+metric; at small sample sizes the cache limit barely matters; and as
+the cache limit grows, the sample size's effect diminishes (the gap
+between sample-size rows narrows from the 16% column to the 32%
+column) — sampling matters most when caches must stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import run_query_stream
+from repro.bench.report import format_table
+from repro.bench.setup import EvalSetup
+
+
+@dataclass(frozen=True, slots=True)
+class Fig5Cell:
+    cache_fraction: float
+    sample_size: int
+    mean_probes: float
+    mean_latency_seconds: float
+    mean_nodes_traversed: float
+
+
+@dataclass
+class Fig5Result:
+    cells: list[Fig5Cell]
+
+    def cell(self, cache_fraction: float, sample_size: int) -> Fig5Cell:
+        for c in self.cells:
+            if c.cache_fraction == cache_fraction and c.sample_size == sample_size:
+                return c
+        raise KeyError((cache_fraction, sample_size))
+
+    def format_table(self) -> str:
+        rows = [
+            [
+                f"{c.cache_fraction:.0%}",
+                c.sample_size,
+                c.mean_probes,
+                c.mean_latency_seconds * 1e3,
+                c.mean_nodes_traversed,
+            ]
+            for c in self.cells
+        ]
+        return format_table(
+            ["cache_limit", "sample_size", "probes", "latency_ms", "nodes_traversed"],
+            rows,
+            title="Figure 5: cache limit x sample size",
+        )
+
+
+def run_fig5(
+    setup: EvalSetup | None = None,
+    cache_fractions: list[float] | None = None,
+    sample_sizes: list[int] | None = None,
+) -> Fig5Result:
+    """Run the full sweep; fresh system per cell."""
+    setup = setup if setup is not None else EvalSetup()
+    fractions = cache_fractions if cache_fractions is not None else [0.16, 0.24, 0.32]
+    targets = sample_sizes if sample_sizes is not None else [100, 1000, 10000]
+    cells: list[Fig5Cell] = []
+    for fraction in fractions:
+        capacity = setup.cache_capacity_for_fraction(fraction)
+        for target in targets:
+            system = setup.make_colr_tree(setup.config.with_cache_capacity(capacity))
+            run = run_query_stream(system, setup.queries, sample_size=target)
+            cells.append(
+                Fig5Cell(
+                    cache_fraction=fraction,
+                    sample_size=target,
+                    mean_probes=run.mean("sensors_probed"),
+                    mean_latency_seconds=run.mean("processing_seconds"),
+                    mean_nodes_traversed=run.mean("nodes_traversed"),
+                )
+            )
+    return Fig5Result(cells=cells)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_fig5().format_table())

@@ -1,0 +1,123 @@
+"""Shared experiment setup: workload construction and fresh systems.
+
+Each evaluated configuration gets its own network instance (so probe
+meters don't mix) built over the *same* sensor population with the same
+seed, keeping ground-truth availability draws comparable across
+systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import FlatCache, full_colr_tree, hierarchical_cache, plain_rtree
+from repro.core.config import COLRTreeConfig
+from repro.core.stats import ProcessingCostModel
+from repro.core.tree import COLRTree
+from repro.sensors.availability import AvailabilityModel
+from repro.sensors.network import SensorNetwork
+from repro.sensors.sensor import Sensor
+from repro.workloads.livelocal import LiveLocalWorkload, QuerySpec
+
+
+@dataclass
+class EvalSetup:
+    """One workload instance with factories for the evaluated systems.
+
+    Default scale is bench-friendly; pass larger ``n_sensors`` /
+    ``n_queries`` for paper-scale runs (370 k / 106 k).
+    """
+
+    n_sensors: int = 40_000
+    n_queries: int = 500
+    expiry_seconds: object = 300.0
+    availability: object = 0.9
+    staleness_seconds: float = 240.0
+    sample_size: int = 30
+    mean_interarrival_seconds: float = 0.5
+    seed: int = 0
+    config: COLRTreeConfig = field(
+        default_factory=lambda: COLRTreeConfig(
+            fanout=8,
+            leaf_capacity=32,
+            max_expiry_seconds=600.0,
+            slot_seconds=120.0,
+            terminal_level=2,
+            oversample_level=4,
+        )
+    )
+    cost_model: ProcessingCostModel = field(default_factory=ProcessingCostModel)
+
+    def __post_init__(self) -> None:
+        self._workload = LiveLocalWorkload(
+            n_sensors=self.n_sensors,
+            n_queries=self.n_queries,
+            expiry_seconds=self.expiry_seconds,
+            availability=self.availability,
+            staleness_seconds=self.staleness_seconds,
+            sample_size=self.sample_size,
+            mean_interarrival_seconds=self.mean_interarrival_seconds,
+            seed=self.seed,
+        )
+        self._sensors: list[Sensor] | None = None
+        self._queries: list[QuerySpec] | None = None
+
+    @property
+    def sensors(self) -> list[Sensor]:
+        if self._sensors is None:
+            self._sensors = self._workload.sensors()
+        return self._sensors
+
+    @property
+    def queries(self) -> list[QuerySpec]:
+        if self._queries is None:
+            self._queries = self._workload.queries()
+        return self._queries
+
+    # ------------------------------------------------------------------
+    # System factories (fresh caches/meters each call)
+    # ------------------------------------------------------------------
+    def _network(self, model: AvailabilityModel | None = None) -> SensorNetwork:
+        return SensorNetwork(
+            self.sensors, availability_model=model, seed=self.seed + 1
+        )
+
+    def make_flat_cache(self, cache_capacity: int | None = None) -> FlatCache:
+        return FlatCache(
+            self.sensors,
+            self._network(),
+            cost_model=self.cost_model,
+            cache_capacity=cache_capacity,
+        )
+
+    def make_plain_rtree(self) -> COLRTree:
+        return plain_rtree(
+            self.sensors, self.config, self._network(), cost_model=self.cost_model
+        )
+
+    def make_hierarchical_cache(self, config: COLRTreeConfig | None = None) -> COLRTree:
+        model = AvailabilityModel()
+        return hierarchical_cache(
+            self.sensors,
+            config if config is not None else self.config,
+            self._network(model),
+            availability_model=model,
+            cost_model=self.cost_model,
+        )
+
+    def make_colr_tree(self, config: COLRTreeConfig | None = None) -> COLRTree:
+        model = AvailabilityModel()
+        return full_colr_tree(
+            self.sensors,
+            config if config is not None else self.config,
+            self._network(model),
+            availability_model=model,
+            cost_model=self.cost_model,
+        )
+
+    def cache_capacity_for_fraction(self, fraction: float) -> int:
+        """Cache limit as a fraction of the sensor population (the
+        Figure 5/6 sweep parameter)."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        return max(1, int(round(fraction * self.n_sensors)))

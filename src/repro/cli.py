@@ -1,0 +1,164 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands regenerate the paper's figures and ablations at a chosen
+scale, or run a small interactive demo.  Output is the plain-text
+tables of :mod:`repro.bench.report`, suitable for redirecting into a
+results file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "COLR-Tree reproduction (ICDE 2008): regenerate the paper's "
+            "figures, run ablations, or demo the index."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--sensors", type=int, default=40_000, help="sensor population size"
+        )
+        p.add_argument("--queries", type=int, default=500, help="query stream length")
+        p.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+
+    sub.add_parser("fig2", help="slot-size utility/cost sweep (Figure 2)")
+    for name, desc in (
+        ("fig3", "node traversal vs result size (Figure 3)"),
+        ("fig4", "probes & latency vs freshness (Figure 4)"),
+        ("fig5", "cache limit x sample size (Figure 5)"),
+        ("fig6", "sampling accuracy & pde (Figure 6)"),
+    ):
+        add_scale(sub.add_parser(name, help=desc))
+    fig7 = sub.add_parser("fig7", help="approximation error vs sample size (Figure 7)")
+    fig7.add_argument("--trials", type=int, default=25, help="trials per sample size")
+    sub.add_parser("ablations", help="design-choice ablations")
+    all_cmd = sub.add_parser("all", help="every figure + ablations")
+    add_scale(all_cmd)
+    demo = sub.add_parser("demo", help="tiny end-to-end portal demo")
+    demo.add_argument("--sensors", type=int, default=2_000)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command == "fig2":
+        from repro.bench.fig2 import run_fig2
+
+        print(run_fig2().format_table())
+        return 0
+    if command in ("fig3", "fig4", "fig5", "fig6", "all"):
+        from repro.bench.setup import EvalSetup
+
+        setup = EvalSetup(
+            n_sensors=args.sensors, n_queries=args.queries, seed=args.seed
+        )
+    if command == "fig3":
+        from repro.bench.fig3 import run_fig3
+
+        print(run_fig3(setup).format_table())
+        return 0
+    if command == "fig4":
+        from repro.bench.fig4 import run_fig4
+
+        result = run_fig4(setup)
+        print(result.format_table())
+        print()
+        for key, value in result.summary().items():
+            print(f"{key}: {value:.2f}")
+        return 0
+    if command == "fig5":
+        from repro.bench.fig5 import run_fig5
+
+        print(run_fig5(setup).format_table())
+        return 0
+    if command == "fig6":
+        from repro.bench.fig6 import run_fig6
+
+        print(run_fig6(setup).format_table())
+        return 0
+    if command == "fig7":
+        from repro.bench.fig7 import run_fig7
+
+        print(run_fig7(n_trials=args.trials).format_table())
+        return 0
+    if command == "ablations":
+        from repro.bench.ablations import run_all_ablations
+
+        print(run_all_ablations().format_table())
+        return 0
+    if command == "all":
+        from repro.bench.ablations import run_all_ablations
+        from repro.bench.fig2 import run_fig2
+        from repro.bench.fig3 import run_fig3
+        from repro.bench.fig4 import run_fig4
+        from repro.bench.fig5 import run_fig5
+        from repro.bench.fig6 import run_fig6
+        from repro.bench.fig7 import run_fig7
+
+        print(run_fig2().format_table(), end="\n\n")
+        print(run_fig3(setup).format_table(), end="\n\n")
+        print(run_fig4(setup).format_table(), end="\n\n")
+        print(run_fig5(setup).format_table(), end="\n\n")
+        print(run_fig6(setup).format_table(), end="\n\n")
+        print(run_fig7().format_table(), end="\n\n")
+        print(run_all_ablations().format_table())
+        return 0
+    if command == "demo":
+        return _demo(args.sensors)
+    raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
+
+
+def _demo(n_sensors: int) -> int:
+    """A tiny scripted tour of the index (see examples/ for more)."""
+    import numpy as np
+
+    from repro import (
+        AvailabilityModel,
+        COLRTree,
+        COLRTreeConfig,
+        GeoPoint,
+        Rect,
+        SensorNetwork,
+        SensorRegistry,
+    )
+
+    rng = np.random.default_rng(0)
+    registry = SensorRegistry()
+    for _ in range(n_sensors):
+        registry.register(
+            GeoPoint(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            expiry_seconds=float(rng.uniform(120, 600)),
+            availability=0.9,
+        )
+    model = AvailabilityModel()
+    network = SensorNetwork(registry.all(), availability_model=model, seed=1)
+    tree = COLRTree(
+        registry.all(),
+        COLRTreeConfig(max_expiry_seconds=600.0, slot_seconds=120.0),
+        network=network,
+        availability_model=model,
+    )
+    print(f"indexed {len(tree)} sensors (height {tree.height()})")
+    region = Rect(20, 20, 70, 70)
+    for label, t in (("cold", 0.0), ("warm", 5.0), ("expired", 10_000.0)):
+        answer = tree.query(region, now=t, max_staleness=300.0, sample_size=30)
+        print(
+            f"{label:>8}: probed {answer.stats.sensors_probed:>4} sensors, "
+            f"answer weight {answer.result_weight:>4}, "
+            f"count estimate {answer.estimate('count') if answer.result_weight else 0:.0f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Per-slot partial aggregates.
+
+A slot in an internal node's cache holds an aggregate over the readings
+(from descendant sensors) whose expiry falls in the slot's range.  The
+paper's Section IV-B distinguishes aggregates that support *decrement*
+(sum, count — an updated reading's old value can be subtracted) from
+those that do not (min, max — removal may require recomputation).
+
+``AggregateSketch`` maintains count / sum / min / max together so a
+single cached object answers any of the standard aggregate functions.
+Removal decrements count and sum exactly; when the removed value touches
+the min or max, the sketch marks those *dirty* and the tree recomputes
+them from the children's same-slot sketches — exactly the recomputation
+path the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+_SUPPORTED = ("count", "sum", "avg", "min", "max")
+
+
+@dataclass
+class AggregateSketch:
+    """Mergeable, partially decrementable multi-aggregate.
+
+    ``oldest_timestamp`` tracks the minimum reading timestamp folded
+    into the sketch; lookups use it to decide whether the cached
+    aggregate provably satisfies a query's freshness bound.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+    oldest_timestamp: float = math.inf
+    minmax_dirty: bool = field(default=False)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, value: float, timestamp: float) -> None:
+        """Fold one reading into the sketch (always incremental)."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if timestamp < self.oldest_timestamp:
+            self.oldest_timestamp = timestamp
+
+    def remove(self, value: float) -> None:
+        """Subtract one previously added value.
+
+        count/sum decrement exactly; min/max become *dirty* when the
+        removed value may have defined them (the non-decrementable case
+        of Section IV-B).  ``oldest_timestamp`` is left conservative
+        (never increased), which only makes freshness checks stricter.
+        """
+        if self.count <= 0:
+            raise ValueError("cannot remove from an empty sketch")
+        self.count -= 1
+        self.total -= value
+        if self.count == 0:
+            self.reset()
+            return
+        if value <= self.minimum or value >= self.maximum:
+            self.minmax_dirty = True
+
+    def merge(self, other: "AggregateSketch") -> None:
+        """Fold another sketch into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.count > 0:
+            if other.minimum < self.minimum:
+                self.minimum = other.minimum
+            if other.maximum > self.maximum:
+                self.maximum = other.maximum
+            if other.oldest_timestamp < self.oldest_timestamp:
+                self.oldest_timestamp = other.oldest_timestamp
+            if other.minmax_dirty:
+                self.minmax_dirty = True
+
+    def reset(self) -> None:
+        """Return to the empty state."""
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.oldest_timestamp = math.inf
+        self.minmax_dirty = False
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    @property
+    def average(self) -> float:
+        if self.count == 0:
+            raise ValueError("average of an empty sketch is undefined")
+        return self.total / self.count
+
+    def result(self, function: str) -> float:
+        """The value of one named aggregate function.
+
+        Raises if ``min``/``max`` are requested while dirty — callers
+        must recompute (``COLRTree`` does this transparently).
+        """
+        if function not in _SUPPORTED:
+            raise ValueError(f"unsupported aggregate {function!r}; use one of {_SUPPORTED}")
+        if self.count == 0:
+            raise ValueError(f"{function} of an empty sketch is undefined")
+        if function == "count":
+            return float(self.count)
+        if function == "sum":
+            return self.total
+        if function == "avg":
+            return self.average
+        if self.minmax_dirty:
+            raise ValueError(f"{function} is dirty after a removal; recompute the sketch")
+        return self.minimum if function == "min" else self.maximum
+
+    def copy(self) -> "AggregateSketch":
+        return AggregateSketch(
+            count=self.count,
+            total=self.total,
+            minimum=self.minimum,
+            maximum=self.maximum,
+            oldest_timestamp=self.oldest_timestamp,
+            minmax_dirty=self.minmax_dirty,
+        )
+
+    @classmethod
+    def of(cls, values_and_timestamps: Iterable[tuple[float, float]]) -> "AggregateSketch":
+        """Build a sketch from ``(value, timestamp)`` pairs."""
+        sketch = cls()
+        for value, timestamp in values_and_timestamps:
+            sketch.add(value, timestamp)
+        return sketch
+
+
+def combine(sketches: Iterable[AggregateSketch]) -> AggregateSketch:
+    """Merge any number of sketches into a fresh one."""
+    out = AggregateSketch()
+    for sketch in sketches:
+        out.merge(sketch)
+    return out

@@ -1,0 +1,250 @@
+"""EXPLAIN for COLR-Tree queries: the plan, without the probes.
+
+``explain_query`` walks the index read-only and reports what executing
+the query *would* do: which access path runs, how much of the answer
+the current cache state covers, the expected number of sensor probes,
+and the per-terminal target allocation.  Expectations are computed
+deterministically (no randomized rounding, no network), so EXPLAIN is
+side-effect-free and repeatable — the operational tool a portal
+operator uses to understand a slow or probe-heavy query before running
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.lookup import Region, region_overlap_fraction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import COLRNode
+    from repro.core.tree import COLRTree
+
+
+@dataclass(frozen=True, slots=True)
+class PlanTerminal:
+    """One point of index access the plan would terminate at."""
+
+    node_id: int
+    level: int
+    is_leaf: bool
+    target: float
+    cached_weight: int
+    expected_probes: float
+
+
+@dataclass
+class QueryPlan:
+    """The result of EXPLAIN."""
+
+    access_path: str  # "layered_sampling" | "range_lookup"
+    target_size: int
+    relevant_sensors: int
+    cached_weight: int
+    expected_probes: float
+    terminals: list[PlanTerminal] = field(default_factory=list)
+
+    @property
+    def cache_coverage(self) -> float:
+        """Fraction of the needed answer servable from cache."""
+        denominator = (
+            min(self.target_size, self.relevant_sensors)
+            if self.access_path == "layered_sampling"
+            else self.relevant_sensors
+        )
+        if denominator <= 0:
+            return 1.0
+        return min(1.0, self.cached_weight / denominator)
+
+    def format(self) -> str:
+        lines = [
+            f"access path:      {self.access_path}",
+            f"relevant sensors: {self.relevant_sensors}",
+            f"target size:      {self.target_size if self.access_path == 'layered_sampling' else 'exact'}",
+            f"cache coverage:   {self.cache_coverage:.0%} ({self.cached_weight} readings)",
+            f"expected probes:  {self.expected_probes:.1f}",
+            f"terminals:        {len(self.terminals)}",
+        ]
+        for t in sorted(self.terminals, key=lambda t: -t.expected_probes)[:10]:
+            kind = "leaf" if t.is_leaf else f"level-{t.level}"
+            lines.append(
+                f"  node {t.node_id} ({kind}): target {t.target:.2f}, "
+                f"cached {t.cached_weight}, probes ~{t.expected_probes:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def explain_query(
+    tree: "COLRTree",
+    region: Region,
+    now: float,
+    max_staleness: float,
+    sample_size: int | None = None,
+    terminal_level: int | None = None,
+) -> QueryPlan:
+    """Produce the plan the given query would execute."""
+    if max_staleness < 0:
+        raise ValueError("max_staleness must be non-negative")
+    if sample_size is None:
+        sample_size = tree.config.default_sample_size
+    relevant = _relevant_sensor_count(tree, tree.root, region)
+    sampled = tree.config.sampling_enabled and sample_size > 0
+    if not sampled:
+        return _explain_exact(tree, region, now, max_staleness, relevant)
+    t_level = (
+        terminal_level if terminal_level is not None else tree.config.terminal_level
+    )
+    plan = QueryPlan(
+        access_path="layered_sampling",
+        target_size=sample_size,
+        relevant_sensors=relevant,
+        cached_weight=0,
+        expected_probes=0.0,
+    )
+    _walk_sampled(tree, tree.root, region, now, max_staleness, float(sample_size), t_level, plan)
+    plan.cached_weight = sum(t.cached_weight for t in plan.terminals)
+    plan.expected_probes = sum(t.expected_probes for t in plan.terminals)
+    return plan
+
+
+def _relevant_sensor_count(tree: "COLRTree", node: "COLRNode", region: Region) -> int:
+    if not region.intersects_rect(node.bbox):
+        return 0
+    if region.contains_rect(node.bbox):
+        return node.weight
+    if node.is_leaf:
+        return sum(1 for s in node.sensors if region.contains_point(s.location))
+    return sum(_relevant_sensor_count(tree, c, region) for c in node.children)
+
+
+def _explain_exact(
+    tree: "COLRTree", region: Region, now: float, max_staleness: float, relevant: int
+) -> QueryPlan:
+    plan = QueryPlan(
+        access_path="range_lookup",
+        target_size=0,
+        relevant_sensors=relevant,
+        cached_weight=0,
+        expected_probes=0.0,
+    )
+    _walk_exact(tree, tree.root, region, now, max_staleness, plan)
+    plan.cached_weight = sum(t.cached_weight for t in plan.terminals)
+    plan.expected_probes = sum(t.expected_probes for t in plan.terminals)
+    return plan
+
+
+def _walk_exact(tree, node, region, now, max_staleness, plan) -> None:
+    if not region.intersects_rect(node.bbox):
+        return
+    fully_inside = region.contains_rect(node.bbox)
+    caching = tree.config.caching_enabled
+    if (
+        caching
+        and tree.config.aggregate_caching_enabled
+        and fully_inside
+        and not node.is_leaf
+        and node.agg_cache is not None
+    ):
+        covered = node.agg_cache.usable_weight(now, max_staleness)
+        if covered >= node.weight:
+            plan.terminals.append(
+                PlanTerminal(
+                    node_id=node.node_id,
+                    level=node.level,
+                    is_leaf=False,
+                    target=float(node.weight),
+                    cached_weight=covered,
+                    expected_probes=0.0,
+                )
+            )
+            return
+    if node.is_leaf:
+        matching = (
+            node.sensors
+            if fully_inside
+            else [s for s in node.sensors if region.contains_point(s.location)]
+        )
+        if not matching:
+            return
+        cached_ids = (
+            node.leaf_cache.fresh_sensor_ids(now, max_staleness)
+            if caching and node.leaf_cache is not None
+            else set()
+        )
+        served = sum(1 for s in matching if s.sensor_id in cached_ids)
+        plan.terminals.append(
+            PlanTerminal(
+                node_id=node.node_id,
+                level=node.level,
+                is_leaf=True,
+                target=float(len(matching)),
+                cached_weight=served,
+                expected_probes=float(len(matching) - served),
+            )
+        )
+        return
+    for child in node.children:
+        _walk_exact(tree, child, region, now, max_staleness, plan)
+
+
+def _walk_sampled(tree, node, region, now, max_staleness, r, t_level, plan) -> None:
+    """Deterministic mirror of Algorithm 1: expectations only."""
+    config = tree.config
+    if r <= 0:
+        return
+    if node.is_leaf:
+        _plan_terminal(tree, node, region, now, max_staleness, r, plan)
+        return
+    weighted = []
+    total = 0.0
+    for child in node.children:
+        overlap = region_overlap_fraction(child.bbox, region)
+        if overlap <= 0.0 and not region.intersects_rect(child.bbox):
+            continue
+        w = child.weight * max(overlap, 1e-12)
+        weighted.append((child, w))
+        total += w
+    if total <= 0:
+        return
+    for child, w in weighted:
+        r_i = r * w / total
+        inside = region.contains_rect(child.bbox)
+        if inside and node.level > t_level:
+            _plan_terminal(tree, child, region, now, max_staleness, r_i, plan)
+        else:
+            if inside and config.caching_enabled:
+                cached = child.cached_weight(now, max_staleness)
+                if cached >= r_i:
+                    plan.terminals.append(
+                        PlanTerminal(
+                            node_id=child.node_id,
+                            level=child.level,
+                            is_leaf=child.is_leaf,
+                            target=r_i,
+                            cached_weight=cached,
+                            expected_probes=0.0,
+                        )
+                    )
+                    continue
+            _walk_sampled(tree, child, region, now, max_staleness, r_i, t_level, plan)
+
+
+def _plan_terminal(tree, node, region, now, max_staleness, r_i, plan) -> None:
+    config = tree.config
+    cached = node.cached_weight(now, max_staleness) if config.caching_enabled else 0
+    need = max(0.0, r_i - cached)
+    if need > 0 and config.oversampling_enabled:
+        need = need / tree.node_availability(node, now)
+    pool = node.n_descendants - (cached if node.is_leaf else 0)
+    expected = min(need, float(max(0, pool)))
+    plan.terminals.append(
+        PlanTerminal(
+            node_id=node.node_id,
+            level=node.level,
+            is_leaf=node.is_leaf,
+            target=r_i,
+            cached_weight=min(cached, node.weight),
+            expected_probes=expected,
+        )
+    )

@@ -1,0 +1,245 @@
+"""Query answers and the non-sampled range lookup.
+
+This module implements the classic top-down range lookup of Section
+III-C plus the cache-read extensions of Section IV-B: traversal prunes
+non-overlapping nodes, terminates early at internal nodes whose slot
+cache fully covers the subtree for the query's freshness bound, and at
+leaves serves fresh cached readings before probing the remainder.
+
+Layered sampling — the other access path — lives in
+:mod:`repro.core.sampling`; both paths return the same
+:class:`QueryAnswer` type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.aggregates import AggregateSketch, combine
+from repro.core.stats import QueryStats
+from repro.geometry import GeoPoint, Rect
+from repro.sensors.sensor import Reading, Sensor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import COLRNode
+    from repro.core.tree import COLRTree
+
+
+@runtime_checkable
+class Region(Protocol):
+    """The spatial-region protocol: satisfied by both :class:`Rect` and
+    :class:`~repro.geometry.Polygon`."""
+
+    def intersects_rect(self, rect: Rect) -> bool: ...
+
+    def contains_rect(self, rect: Rect) -> bool: ...
+
+    def contains_point(self, p: GeoPoint) -> bool: ...
+
+
+def region_bbox(region: Region) -> Rect:
+    """Bounding box of a region (identity for rectangles)."""
+    if isinstance(region, Rect):
+        return region
+    bbox = getattr(region, "bounding_box", None)
+    if bbox is None:
+        raise TypeError(f"region {region!r} exposes no bounding box")
+    return bbox
+
+
+def region_overlap_fraction(bbox: Rect, region: Region) -> float:
+    """``Overlap(BB(i), A)`` — exact for rectangular regions; polygonal
+    regions are approximated by their bounding box, which only skews
+    sample-share weights (never correctness of membership tests)."""
+    return bbox.overlap_fraction(region_bbox(region))
+
+
+@dataclass(frozen=True, slots=True)
+class TerminalRecord:
+    """Per-terminal accounting used by Figure 6's probe discretization
+    error: the pre-oversampling target assigned to a terminal point of
+    index access, and the results it produced."""
+
+    node_id: int
+    level: int
+    target: float
+    results: int
+    used_cache: bool
+
+
+@dataclass
+class QueryAnswer:
+    """Everything a query produced.
+
+    ``probed_readings`` came from live sensors this query; the cached
+    components were served from slot caches.  Aggregate results combine
+    all three sources.
+    """
+
+    probed_readings: list[Reading] = field(default_factory=list)
+    cached_readings: list[Reading] = field(default_factory=list)
+    cached_sketches: list[AggregateSketch] = field(default_factory=list)
+    # Node id each cached sketch came from (parallel to cached_sketches);
+    # the portal uses it to place aggregate groups on the map.
+    cached_sketch_nodes: list[int] = field(default_factory=list)
+    terminals: list[TerminalRecord] = field(default_factory=list)
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def probed_count(self) -> int:
+        return len(self.probed_readings)
+
+    @property
+    def result_weight(self) -> int:
+        """Number of sensor readings represented in the answer,
+        including those inside cached aggregates."""
+        return (
+            len(self.probed_readings)
+            + len(self.cached_readings)
+            + sum(s.count for s in self.cached_sketches)
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def combined_sketch(self) -> AggregateSketch:
+        """One sketch over every reading and cached aggregate."""
+        out = combine(self.cached_sketches)
+        for reading in self.probed_readings:
+            out.add(reading.value, reading.timestamp)
+        for reading in self.cached_readings:
+            out.add(reading.value, reading.timestamp)
+        return out
+
+    def estimate(self, function: str) -> float:
+        """Aggregate result (``count`` / ``sum`` / ``avg`` / ``min`` /
+        ``max``) over the answer."""
+        return self.combined_sketch().result(function)
+
+
+def range_lookup(
+    tree: "COLRTree",
+    region: Region,
+    now: float,
+    max_staleness: float,
+) -> QueryAnswer:
+    """Exact (non-sampled) range query.
+
+    With caching disabled this is a standard R-tree range lookup that
+    probes every matching sensor — the evaluation's "regular R-Tree"
+    configuration.  With caching enabled it is the "hierarchical cache":
+    traversal stops at internal nodes whose usable cached aggregates
+    cover the whole subtree, and leaves serve fresh readings from cache
+    before probing the remainder.
+    """
+    answer = QueryAnswer()
+    to_probe: list[int] = []
+    _descend(tree, tree.root, region, now, max_staleness, answer, to_probe)
+    if to_probe:
+        readings = tree.probe_and_cache(to_probe, now, answer.stats)
+        answer.probed_readings.extend(readings)
+    return answer
+
+
+def _descend(
+    tree: "COLRTree",
+    node: "COLRNode",
+    region: Region,
+    now: float,
+    max_staleness: float,
+    answer: QueryAnswer,
+    to_probe: list[int],
+) -> None:
+    answer.stats.nodes_traversed += 1
+    if not region.intersects_rect(node.bbox):
+        return
+    fully_inside = region.contains_rect(node.bbox)
+
+    if node.is_leaf:
+        _leaf_lookup(tree, node, region, now, max_staleness, fully_inside, answer, to_probe)
+        return
+
+    if (
+        tree.config.caching_enabled
+        and tree.config.aggregate_caching_enabled
+        and fully_inside
+    ):
+        cache = node.agg_cache
+        if cache is not None:
+            # The consultation itself is the metered cache access: the
+            # hierarchical cache pays it at every fully-covered node it
+            # meets, which is the extra cache-lookup work Figure 3's
+            # nested plot charges it with.
+            answer.stats.cached_nodes_accessed += 1
+            sketches = cache.usable_sketches(now, max_staleness)
+            covered = sum(s.count for s in sketches)
+            if covered >= node.weight:
+                # Early termination: the whole subtree is answerable
+                # from this node's cached aggregates.
+                answer.cached_sketches.extend(s.copy() for s in sketches)
+                answer.cached_sketch_nodes.extend(node.node_id for _ in sketches)
+                answer.stats.slots_combined += len(sketches)
+                answer.terminals.append(
+                    TerminalRecord(
+                        node_id=node.node_id,
+                        level=node.level,
+                        target=float(node.weight),
+                        results=covered,
+                        used_cache=True,
+                    )
+                )
+                return
+    for child in node.children:
+        _descend(tree, child, region, now, max_staleness, answer, to_probe)
+
+
+def _leaf_lookup(
+    tree: "COLRTree",
+    leaf: "COLRNode",
+    region: Region,
+    now: float,
+    max_staleness: float,
+    fully_inside: bool,
+    answer: QueryAnswer,
+    to_probe: list[int],
+) -> None:
+    """Serve a leaf: cached fresh readings for matching sensors, probes
+    for the rest."""
+    matching: list[Sensor] = (
+        leaf.sensors
+        if fully_inside
+        else [s for s in leaf.sensors if region.contains_point(s.location)]
+    )
+    if not matching:
+        return
+    served = 0
+    cached_ids: set[int] = set()
+    if tree.config.caching_enabled and leaf.leaf_cache is not None:
+        answer.stats.cached_nodes_accessed += 1
+        answer.stats.readings_scanned += len(leaf.leaf_cache)
+        fresh = {
+            r.sensor_id: r for r in leaf.leaf_cache.fresh_readings(now, max_staleness)
+        }
+        for sensor in matching:
+            reading = fresh.get(sensor.sensor_id)
+            if reading is not None:
+                answer.cached_readings.append(reading)
+                cached_ids.add(sensor.sensor_id)
+                served += 1
+        if cached_ids:
+            tree.touch_cached(leaf, cached_ids, now)
+    probe_ids = [s.sensor_id for s in matching if s.sensor_id not in cached_ids]
+    to_probe.extend(probe_ids)
+    answer.terminals.append(
+        TerminalRecord(
+            node_id=leaf.node_id,
+            level=leaf.level,
+            target=float(len(matching)),
+            results=served + len(probe_ids),
+            used_cache=bool(cached_ids),
+        )
+    )

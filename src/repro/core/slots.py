@@ -1,0 +1,272 @@
+"""Sliding slot caches (Section IV-A / IV-B).
+
+A slot cache partitions cached data by **expiry instant**: slot ``s``
+holds the readings (or their partial aggregate) whose expiry falls in
+``[s*Δ, (s+1)*Δ)``.  Slot ids are *absolute* integers computed from a
+shared epoch, which gives the paper's "globally aligned slotting scheme"
+for free: every cache in the tree agrees on which slot a reading belongs
+to, so per-slot aggregation across levels is well defined and the set of
+usable slots for a query can be computed once, before traversal.
+
+Sliding is implicit in the absolute-id scheme: as simulated time passes
+the window of live slot ids moves forward, and ids behind the window
+(all of whose entries have expired) are pruned lazily.
+
+Freshness note
+--------------
+The paper's queries bound reading *timestamps* (``S.time BETWEEN
+now()-w AND now()``) while slots partition by *expiry*.  With
+heterogeneous per-sensor lifetimes an expiry slot does not pin down
+timestamps, so every slot additionally tracks its oldest constituent
+timestamp; a cached aggregate is used only when that oldest timestamp
+provably satisfies the query's freshness bound.  For a fleet of sensors
+with similar lifetimes this reduces to the paper's "slots strictly
+younger than the query slot" rule, and it is never less correct.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.aggregates import AggregateSketch
+from repro.sensors.sensor import Reading
+
+
+def slot_of(instant: float, slot_seconds: float) -> int:
+    """Absolute slot id of an instant: slot ``s`` covers
+    ``[s*Δ, (s+1)*Δ)``."""
+    return int(math.floor(instant / slot_seconds))
+
+
+def usable_slot_range(now: float, slot_seconds: float) -> tuple[int, int]:
+    """Inclusive range of slot ids usable *without* entry inspection.
+
+    Slots strictly after the one containing ``now`` hold only unexpired
+    entries.  The boundary slot (``slot_of(now)``) mixes expired and
+    live entries and therefore needs per-entry checks (leaf level) or is
+    skipped (aggregate level).  The upper end is unbounded in principle;
+    we return ``slot_of(now) + 2**31`` as a practical infinity.
+    """
+    low = slot_of(now, slot_seconds) + 1
+    return (low, low + (1 << 31))
+
+
+@dataclass(frozen=True, slots=True)
+class CachedReading:
+    """A raw reading held in a leaf slot cache, with LRF bookkeeping."""
+
+    reading: Reading
+    fetched_at: float
+
+
+class LeafSlotCache:
+    """Raw-reading cache of a leaf node.
+
+    Holds at most one (the newest) reading per sensor, bucketed into
+    expiry slots.  Exposes the operations the tree needs: insert with
+    replacement (returning the displaced reading so ancestors can
+    decrement), per-query fresh-reading lookup, pruning of expired
+    slots, and least-recently-fetched eviction within the oldest slot.
+    """
+
+    def __init__(self, slot_seconds: float) -> None:
+        if slot_seconds <= 0:
+            raise ValueError("slot_seconds must be positive")
+        self.slot_seconds = float(slot_seconds)
+        self._by_sensor: dict[int, CachedReading] = {}
+        self._slots: dict[int, set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_sensor)
+
+    def __contains__(self, sensor_id: int) -> bool:
+        return sensor_id in self._by_sensor
+
+    def slot_ids(self) -> list[int]:
+        """Occupied slot ids in ascending order."""
+        return sorted(self._slots)
+
+    def get(self, sensor_id: int) -> CachedReading | None:
+        return self._by_sensor.get(sensor_id)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, reading: Reading, fetched_at: float) -> Reading | None:
+        """Cache a reading; returns the displaced older reading, if any.
+
+        A sensor keeps only its newest reading: an *update* displaces
+        the previous value, which the caller must decrement out of the
+        ancestor aggregates (Section IV-B).
+        """
+        displaced = self.remove(reading.sensor_id)
+        slot = slot_of(reading.expires_at, self.slot_seconds)
+        self._by_sensor[reading.sensor_id] = CachedReading(reading, fetched_at)
+        self._slots.setdefault(slot, set()).add(reading.sensor_id)
+        return displaced
+
+    def remove(self, sensor_id: int) -> Reading | None:
+        """Drop one sensor's cached reading; returns it if present."""
+        cached = self._by_sensor.pop(sensor_id, None)
+        if cached is None:
+            return None
+        slot = slot_of(cached.reading.expires_at, self.slot_seconds)
+        members = self._slots.get(slot)
+        if members is not None:
+            members.discard(sensor_id)
+            if not members:
+                del self._slots[slot]
+        return cached.reading
+
+    def prune_expired(self, now: float) -> list[Reading]:
+        """Drop all readings in slots entirely behind ``now``; returns
+        the dropped readings (ancestors must forget their aggregates —
+        in practice the ancestors' same-numbered slots are pruned too,
+        so no decrement is needed, but the list supports accounting)."""
+        boundary = slot_of(now, self.slot_seconds)
+        dropped: list[Reading] = []
+        for slot in [s for s in self._slots if s < boundary]:
+            for sensor_id in list(self._slots[slot]):
+                cached = self._by_sensor.pop(sensor_id, None)
+                if cached is not None:
+                    dropped.append(cached.reading)
+            del self._slots[slot]
+        return dropped
+
+    def eviction_candidates(self) -> list[tuple[float, int]]:
+        """``(fetched_at, sensor_id)`` pairs in the oldest occupied slot,
+        least recently fetched first — the paper's replacement order."""
+        if not self._slots:
+            return []
+        oldest = min(self._slots)
+        pairs = [
+            (self._by_sensor[sid].fetched_at, sid)
+            for sid in self._slots[oldest]
+        ]
+        pairs.sort()
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def fresh_readings(self, now: float, max_staleness: float) -> list[Reading]:
+        """All cached readings that are unexpired and within the
+        staleness bound at ``now``.
+
+        Entries in slots strictly ahead of ``now`` are unexpired by
+        construction; entries in the boundary slot are inspected
+        individually, per the paper's lookup rule.
+        """
+        boundary = slot_of(now, self.slot_seconds)
+        out: list[Reading] = []
+        for slot, sensor_ids in self._slots.items():
+            if slot < boundary:
+                continue
+            inspect = slot == boundary
+            for sensor_id in sensor_ids:
+                reading = self._by_sensor[sensor_id].reading
+                if inspect and not reading.is_valid_at(now):
+                    continue
+                if now - reading.timestamp <= max_staleness:
+                    out.append(reading)
+        return out
+
+    def fresh_sensor_ids(self, now: float, max_staleness: float) -> set[int]:
+        """Ids of sensors with a usable cached reading at ``now``."""
+        return {r.sensor_id for r in self.fresh_readings(now, max_staleness)}
+
+    def all_readings(self) -> Iterator[Reading]:
+        for cached in self._by_sensor.values():
+            yield cached.reading
+
+
+class SlotCache:
+    """Aggregate slot cache of an internal node.
+
+    One :class:`AggregateSketch` per occupied absolute slot id.  The
+    sketches are maintained incrementally by the tree on insert /
+    update / evict, and recomputed from the children's same-numbered
+    slots when a removal dirties min/max.
+    """
+
+    def __init__(self, slot_seconds: float) -> None:
+        if slot_seconds <= 0:
+            raise ValueError("slot_seconds must be positive")
+        self.slot_seconds = float(slot_seconds)
+        self._slots: dict[int, AggregateSketch] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def slot_ids(self) -> list[int]:
+        return sorted(self._slots)
+
+    def sketch(self, slot: int) -> AggregateSketch | None:
+        return self._slots.get(slot)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, slot: int, value: float, timestamp: float) -> None:
+        self._slots.setdefault(slot, AggregateSketch()).add(value, timestamp)
+
+    def remove(self, slot: int, value: float) -> bool:
+        """Decrement a value out of a slot.  Returns True when the slot's
+        min/max became dirty and needs recomputation from children."""
+        sketch = self._slots.get(slot)
+        if sketch is None:
+            raise KeyError(f"slot {slot} has no cached aggregate")
+        sketch.remove(value)
+        if sketch.is_empty:
+            del self._slots[slot]
+            return False
+        return sketch.minmax_dirty
+
+    def replace(self, slot: int, sketch: AggregateSketch) -> None:
+        """Overwrite a slot's sketch (recomputation path)."""
+        if sketch.is_empty:
+            self._slots.pop(slot, None)
+        else:
+            self._slots[slot] = sketch
+
+    def prune_expired(self, now: float) -> int:
+        """Drop aggregates for slots entirely behind ``now``; returns
+        the number of slots dropped."""
+        boundary = slot_of(now, self.slot_seconds)
+        stale = [s for s in self._slots if s < boundary]
+        for slot in stale:
+            del self._slots[slot]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._slots.clear()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def usable_sketches(self, now: float, max_staleness: float) -> list[AggregateSketch]:
+        """Sketches provably valid and fresh for a query at ``now``.
+
+        A sketch qualifies when its slot lies strictly ahead of the slot
+        containing ``now`` (all entries unexpired) and its oldest
+        constituent timestamp meets the staleness bound.
+        """
+        boundary = slot_of(now, self.slot_seconds)
+        freshness_floor = now - max_staleness
+        return [
+            sketch
+            for slot, sketch in self._slots.items()
+            if slot > boundary and sketch.oldest_timestamp >= freshness_floor
+        ]
+
+    def usable_weight(self, now: float, max_staleness: float) -> int:
+        """Total constituent-reading count across usable sketches — the
+        ``|c_i|`` term of Algorithm 1 and the cache-sufficiency weight of
+        the sensor-selection access method (Section VI-A)."""
+        return sum(s.count for s in self.usable_sketches(now, max_staleness))
+
+    def total_weight(self) -> int:
+        """Constituent count over all slots, fresh or not."""
+        return sum(s.count for s in self._slots.values())

@@ -1,0 +1,391 @@
+"""The COLR-Tree facade.
+
+``COLRTree`` ties everything together: the k-means-built hierarchy, the
+per-node slot caches, on-demand probing through a
+:class:`~repro.sensors.network.SensorNetwork`, bottom-up aggregate
+maintenance (the in-memory analogue of Section VI-B's four triggers),
+the global cache-size constraint with least-recently-fetched eviction,
+and the two query paths (exact range lookup / layered sampling).
+
+Cache maintenance invariants
+----------------------------
+* Every reading cached at a leaf is folded into the same-numbered slot
+  of *every* ancestor's aggregate cache (globally aligned slotting).
+* Replacing a sensor's reading decrements the displaced value out of
+  each ancestor slot; if that dirties a min/max, the slot is recomputed
+  from the children (bottom-up order makes this sound).
+* Expiry needs no propagation: a slot id expires everywhere at once, so
+  each cache prunes its own stale slot ids lazily.
+* Capacity eviction removes the least recently *fetched* readings lying
+  in the oldest occupied slot (the paper's replacement policy), with
+  decrement propagation since the evicted readings are still valid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.aggregates import AggregateSketch
+from repro.core.build import build_colr_tree
+from repro.core.config import COLRTreeConfig
+from repro.core.lookup import QueryAnswer, Region, range_lookup
+from repro.core.node import COLRNode
+from repro.core.sampling import layered_sample
+from repro.core.slots import slot_of
+from repro.core.stats import ProcessingCostModel, QueryStats, TreeStats
+from repro.sensors.availability import AvailabilityModel
+from repro.sensors.network import SensorNetwork
+from repro.sensors.sensor import Reading, Sensor
+
+
+class COLRTree:
+    """A built COLR-Tree over a sensor population.
+
+    Parameters
+    ----------
+    sensors:
+        The registered sensor population (static metadata).
+    config:
+        Index tunables; see :class:`COLRTreeConfig`.
+    network:
+        The probe endpoint.  May be ``None`` for structure-only tests,
+        in which case querying raises on the first probe attempt.
+    availability_model:
+        Source of historical availability estimates for oversampling.
+        Defaults to an empty model (prior estimate 0.5 per sensor).
+    cost_model:
+        Deterministic processing-latency model for the benchmarks.
+    """
+
+    def __init__(
+        self,
+        sensors: Sequence[Sensor],
+        config: COLRTreeConfig | None = None,
+        network: SensorNetwork | None = None,
+        availability_model: AvailabilityModel | None = None,
+        cost_model: ProcessingCostModel | None = None,
+        build_method: str = "kmeans",
+    ) -> None:
+        self.config = config if config is not None else COLRTreeConfig()
+        self.network = network
+        self.availability_model = (
+            availability_model
+            if availability_model is not None
+            else AvailabilityModel()
+        )
+        self.cost_model = cost_model if cost_model is not None else ProcessingCostModel()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.root = build_colr_tree(
+            sensors,
+            fanout=self.config.fanout,
+            leaf_capacity=self.config.leaf_capacity,
+            seed=self.config.seed,
+            method=build_method,
+        )
+        self._sensors: dict[int, Sensor] = {s.sensor_id: s for s in sensors}
+        self._nodes: dict[int, COLRNode] = {}
+        self._leaf_of: dict[int, COLRNode] = {}
+        for node in self.root.iter_subtree():
+            self._nodes[node.node_id] = node
+            if self.config.caching_enabled:
+                node.attach_caches(self.config.slot_seconds)
+            if node.is_leaf:
+                for sensor in node.sensors:
+                    self._leaf_of[sensor.sensor_id] = node
+        # Global cache accounting: slot id -> sensor id -> fetched_at.
+        self._cache_registry: dict[int, dict[int, float]] = {}
+        self._cached_count = 0
+        self.stats = TreeStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sensors)
+
+    def sensor(self, sensor_id: int) -> Sensor:
+        return self._sensors[sensor_id]
+
+    def node(self, node_id: int) -> COLRNode:
+        return self._nodes[node_id]
+
+    def nodes(self) -> list[COLRNode]:
+        """All nodes, root first by id order of creation."""
+        return [self._nodes[nid] for nid in sorted(self._nodes)]
+
+    def leaf_for(self, sensor_id: int) -> COLRNode:
+        return self._leaf_of[sensor_id]
+
+    def height(self) -> int:
+        return self.root.height()
+
+    @property
+    def cached_reading_count(self) -> int:
+        """Raw readings currently cached across all leaves."""
+        return self._cached_count
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        region: Region,
+        now: float,
+        max_staleness: float,
+        sample_size: int | None = None,
+        terminal_level: int | None = None,
+    ) -> QueryAnswer:
+        """Answer a spatio-temporal query.
+
+        With ``sampling_enabled`` (and a positive target) this runs
+        layered sampling; otherwise the exact cache-aware range lookup.
+        ``sample_size=None`` uses the config default; pass ``0`` to
+        force an exact lookup on a sampling-enabled tree.
+        ``terminal_level`` adjusts the sampling threshold ``T`` per
+        query (the map-zoom knob).
+        """
+        if max_staleness < 0:
+            raise ValueError("max_staleness must be non-negative")
+        self._prune_expired(now)
+        if sample_size is None:
+            sample_size = self.config.default_sample_size
+        if self.config.sampling_enabled and sample_size > 0:
+            answer = layered_sample(
+                self, region, now, max_staleness, sample_size,
+                terminal_level=terminal_level,
+            )
+        else:
+            answer = range_lookup(self, region, now, max_staleness)
+        self.stats.record(answer.stats)
+        return answer
+
+    def processing_seconds(self, stats: QueryStats) -> float:
+        """Simulated processing latency of one query's stats."""
+        return self.cost_model.processing_seconds(stats)
+
+    def explain(
+        self,
+        region: Region,
+        now: float,
+        max_staleness: float,
+        sample_size: int | None = None,
+        terminal_level: int | None = None,
+    ):
+        """EXPLAIN: the plan a query would execute, without probing.
+
+        Returns a :class:`repro.core.explain.QueryPlan` with the access
+        path, cache coverage, expected probe count and per-terminal
+        allocation.  Read-only and deterministic.
+        """
+        from repro.core.explain import explain_query
+
+        return explain_query(
+            self, region, now, max_staleness, sample_size, terminal_level
+        )
+
+    def node_availability(self, node: COLRNode, now: float) -> float:
+        """Mean historical availability of the node's descendants
+        (``a_i``), refreshed at most every
+        ``availability_refresh_seconds``."""
+        if (
+            now - node.availability_refreshed_at
+            >= self.config.availability_refresh_seconds
+        ):
+            ids = node.descendant_ids
+            if ids.size > 256:
+                # Even subsample: the estimate is a mean, and terminal
+                # nodes are small; this keeps refreshes O(1)-ish.
+                step = ids.size // 256
+                ids = ids[::step]
+            node.availability = self.availability_model.mean_estimate(ids.tolist())
+            node.availability_refreshed_at = now
+        return max(1e-3, node.availability)
+
+    # ------------------------------------------------------------------
+    # Probing + cache population
+    # ------------------------------------------------------------------
+    def probe_and_cache(
+        self, sensor_ids: Iterable[int], now: float, stats: QueryStats
+    ) -> list[Reading]:
+        """Probe live sensors, record work, and cache the successes."""
+        ids = list(sensor_ids)
+        if not ids:
+            return []
+        if self.network is None:
+            raise RuntimeError("this tree has no sensor network attached")
+        result = self.network.probe(ids, now)
+        stats.sensors_probed += len(ids)
+        stats.probe_successes += len(result.readings)
+        stats.probe_batches += 1
+        stats.collection_latency_seconds += result.latency_seconds
+        readings = list(result.readings.values())
+        if self.config.caching_enabled:
+            for reading in readings:
+                stats.maintenance_ops += self.insert_reading(reading, fetched_at=now)
+            stats.maintenance_ops += self._enforce_capacity()
+        return readings
+
+    def insert_reading(self, reading: Reading, fetched_at: float) -> int:
+        """Cache one reading and propagate aggregates to the root.
+
+        Returns the number of cache-maintenance operations performed
+        (the trigger-work analogue used by the latency model).
+        """
+        if not self.config.caching_enabled:
+            return 0
+        leaf = self._leaf_of.get(reading.sensor_id)
+        if leaf is None:
+            raise KeyError(f"sensor {reading.sensor_id} is not indexed by this tree")
+        assert leaf.leaf_cache is not None
+        ops = 1
+        # Remove-then-decrement *before* inserting the new reading:
+        # a min/max recomputation triggered by the decrement reads the
+        # leaf's current contents, which must not yet include the new
+        # value (it is added to every ancestor afterwards).
+        displaced = leaf.leaf_cache.remove(reading.sensor_id)
+        if displaced is not None:
+            old_slot = slot_of(displaced.expires_at, self.config.slot_seconds)
+            ops += self._decrement_path(leaf, old_slot, displaced.value)
+            self._registry_remove(old_slot, displaced.sensor_id)
+        leaf.leaf_cache.insert(reading, fetched_at)
+        new_slot = slot_of(reading.expires_at, self.config.slot_seconds)
+        self._cache_registry.setdefault(new_slot, {})[reading.sensor_id] = fetched_at
+        self._cached_count += 1
+        # Roll-forward + per-slot increment up the tree (the slot-insert
+        # and slot-update triggers of Section VI-B).
+        if not self.config.aggregate_caching_enabled:
+            return ops
+        node = leaf.parent
+        while node is not None:
+            assert node.agg_cache is not None
+            node.agg_cache.add(new_slot, reading.value, reading.timestamp)
+            ops += 1
+            node = node.parent
+        return ops
+
+    def touch_cached(self, leaf: COLRNode, sensor_ids: set[int], now: float) -> None:
+        """Hook invoked when cached readings answer a query.
+
+        The paper's replacement policy is least recently *fetched*, so a
+        read does not refresh eviction priority; the hook exists for
+        subclasses / instrumentation."""
+        del leaf, sensor_ids, now
+
+    # ------------------------------------------------------------------
+    # Maintenance internals
+    # ------------------------------------------------------------------
+    def _decrement_path(self, leaf: COLRNode, slot: int, value: float) -> int:
+        """Subtract a removed reading's value from every ancestor's slot
+        aggregate, recomputing slots whose min/max went dirty.  Works
+        bottom-up so recomputation always sees corrected children."""
+        ops = 0
+        node = leaf.parent
+        while node is not None:
+            assert node.agg_cache is not None
+            if node.agg_cache.sketch(slot) is None:
+                # The ancestor pruned this slot already (it expired from
+                # its perspective); nothing to decrement above either.
+                break
+            dirty = node.agg_cache.remove(slot, value)
+            ops += 1
+            if dirty:
+                node.agg_cache.replace(slot, self._recompute_slot(node, slot))
+                ops += len(node.children)
+            node = node.parent
+        return ops
+
+    def _recompute_slot(self, node: COLRNode, slot: int) -> AggregateSketch:
+        """Rebuild an internal node's slot sketch from its children's
+        same-numbered slots (the non-decrementable-aggregate path)."""
+        sketch = AggregateSketch()
+        for child in node.children:
+            if child.is_leaf:
+                assert child.leaf_cache is not None
+                for reading in child.leaf_cache.all_readings():
+                    if slot_of(reading.expires_at, self.config.slot_seconds) == slot:
+                        sketch.add(reading.value, reading.timestamp)
+            else:
+                assert child.agg_cache is not None
+                child_sketch = child.agg_cache.sketch(slot)
+                if child_sketch is not None:
+                    sketch.merge(child_sketch)
+        return sketch
+
+    def _registry_remove(self, slot: int, sensor_id: int) -> None:
+        members = self._cache_registry.get(slot)
+        if members is not None and sensor_id in members:
+            del members[sensor_id]
+            self._cached_count -= 1
+            if not members:
+                del self._cache_registry[slot]
+
+    def _prune_expired(self, now: float) -> None:
+        """Drop globally expired slots (the roll trigger).
+
+        Thanks to globally aligned slot ids an expired slot vanishes
+        from every cache without any decrement propagation: the leaf
+        readings and every ancestor aggregate for that slot expire
+        together.
+        """
+        if not self.config.caching_enabled:
+            return
+        boundary = slot_of(now, self.config.slot_seconds)
+        stale_slots = [s for s in self._cache_registry if s < boundary]
+        if not stale_slots:
+            return
+        touched_leaves: set[int] = set()
+        for slot in stale_slots:
+            for sensor_id in list(self._cache_registry[slot]):
+                leaf = self._leaf_of[sensor_id]
+                assert leaf.leaf_cache is not None
+                if leaf.leaf_cache.remove(sensor_id) is not None:
+                    self._cached_count -= 1
+                touched_leaves.add(leaf.node_id)
+            del self._cache_registry[slot]
+        # Ancestor aggregate caches prune the same slot ids wholesale.
+        pruned_nodes: set[int] = set()
+        for leaf_id in touched_leaves:
+            node = self._nodes[leaf_id].parent
+            while node is not None and node.node_id not in pruned_nodes:
+                assert node.agg_cache is not None
+                node.agg_cache.prune_expired(now)
+                pruned_nodes.add(node.node_id)
+                node = node.parent
+
+    def _enforce_capacity(self) -> int:
+        """Evict least-recently-fetched readings from the oldest slot
+        until the global cache constraint holds (Section IV-A's policy).
+        Returns maintenance op count."""
+        capacity = self.config.cache_capacity
+        if capacity is None:
+            return 0
+        ops = 0
+        while self._cached_count > capacity and self._cache_registry:
+            oldest = min(self._cache_registry)
+            members = self._cache_registry[oldest]
+            overflow = self._cached_count - capacity
+            victims = sorted(members.items(), key=lambda kv: kv[1])[:overflow]
+            for sensor_id, _ in victims:
+                leaf = self._leaf_of[sensor_id]
+                assert leaf.leaf_cache is not None
+                removed = leaf.leaf_cache.remove(sensor_id)
+                if removed is not None:
+                    ops += 1 + self._decrement_path(leaf, oldest, removed.value)
+                del members[sensor_id]
+                self._cached_count -= 1
+            if not members:
+                del self._cache_registry[oldest]
+        return ops
+
+    # ------------------------------------------------------------------
+    # Bulk cache priming (used by experiments to warm caches)
+    # ------------------------------------------------------------------
+    def prime_cache(self, readings: Iterable[Reading], fetched_at: float) -> int:
+        """Insert a batch of readings directly (no probe accounting)."""
+        ops = 0
+        for reading in readings:
+            ops += self.insert_reading(reading, fetched_at)
+        ops += self._enforce_capacity()
+        return ops

@@ -1,0 +1,178 @@
+"""Simple polygons for ``WITHIN Polygon(<lat,long>)`` query regions.
+
+SensorMap users may draw arbitrary polygonal regions of interest; the
+portal's query dialect carries them as a vertex list.  Internally the
+index prunes with the polygon's bounding box (rectangle math is cheap)
+and only falls back to exact point-in-polygon / rectangle-relation tests
+where the bounding box is ambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.geometry.point import GeoPoint
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple (non self-intersecting) polygon given by its vertices.
+
+    The vertex ring may be given in either winding order and need not be
+    explicitly closed.  At least three vertices are required.
+    """
+
+    vertices: tuple[GeoPoint, ...]
+    _bbox: Rect = field(init=False, repr=False, compare=False)
+
+    def __init__(self, vertices: Iterable[GeoPoint]) -> None:
+        verts = tuple(vertices)
+        if len(verts) >= 2 and verts[0] == verts[-1]:
+            verts = verts[:-1]
+        if len(verts) < 3:
+            raise ValueError("a polygon needs at least 3 distinct vertices")
+        object.__setattr__(self, "vertices", verts)
+        object.__setattr__(self, "_bbox", Rect.from_points(verts))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Polygon":
+        """The rectangle as a 4-vertex polygon."""
+        return cls(rect.corners())
+
+    @classmethod
+    def from_latlon_pairs(cls, pairs: Sequence[tuple[float, float]]) -> "Polygon":
+        """Build from ``(lat, lon)`` pairs, the order used by the paper's
+        query dialect (``Polygon(<lat,long>)``)."""
+        return cls(GeoPoint(lon, lat) for lat, lon in pairs)
+
+    # ------------------------------------------------------------------
+    # Measures
+    # ------------------------------------------------------------------
+    @property
+    def bounding_box(self) -> Rect:
+        return self._bbox
+
+    @property
+    def area(self) -> float:
+        """Unsigned area via the shoelace formula."""
+        total = 0.0
+        verts = self.vertices
+        n = len(verts)
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            total += a.x * b.y - b.x * a.y
+        return abs(total) / 2.0
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def contains_point(self, p: GeoPoint) -> bool:
+        """Even-odd point-in-polygon test; boundary points count inside."""
+        if not self._bbox.contains_point(p):
+            return False
+        verts = self.vertices
+        n = len(verts)
+        inside = False
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            if _on_segment(p, a, b):
+                return True
+            if (a.y > p.y) != (b.y > p.y):
+                x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if p.x < x_cross:
+                    inside = not inside
+        return inside
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True when the polygon and the rectangle share any point."""
+        if not self._bbox.intersects(rect):
+            return False
+        # Any polygon vertex inside the rect, or any rect corner inside
+        # the polygon, or any edge pair crossing.
+        if any(rect.contains_point(v) for v in self.vertices):
+            return True
+        if any(self.contains_point(c) for c in rect.corners()):
+            return True
+        rect_edges = _rect_edges(rect)
+        verts = self.vertices
+        n = len(verts)
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            for c, d in rect_edges:
+                if _segments_intersect(a, b, c, d):
+                    return True
+        return False
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """True when the rectangle lies entirely inside the polygon.
+
+        For a simple polygon it suffices that all four corners are inside
+        and no polygon edge crosses a rectangle edge.
+        """
+        if not self._bbox.contains_rect(rect):
+            return False
+        if not all(self.contains_point(c) for c in rect.corners()):
+            return False
+        rect_edges = _rect_edges(rect)
+        verts = self.vertices
+        n = len(verts)
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            for c, d in rect_edges:
+                if _segments_properly_intersect(a, b, c, d):
+                    return False
+        return True
+
+
+def _rect_edges(rect: Rect) -> list[tuple[GeoPoint, GeoPoint]]:
+    c0, c1, c2, c3 = rect.corners()
+    return [(c0, c1), (c1, c2), (c2, c3), (c3, c0)]
+
+
+def _orient(a: GeoPoint, b: GeoPoint, c: GeoPoint) -> float:
+    """Signed area of the triangle (a, b, c); >0 means counterclockwise."""
+    return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+
+
+def _on_segment(p: GeoPoint, a: GeoPoint, b: GeoPoint) -> bool:
+    """True when ``p`` lies on the closed segment ``ab``."""
+    if abs(_orient(a, b, p)) > 1e-12 * (1.0 + abs(a.x) + abs(b.x) + abs(a.y) + abs(b.y)):
+        return False
+    return (
+        min(a.x, b.x) - 1e-12 <= p.x <= max(a.x, b.x) + 1e-12
+        and min(a.y, b.y) - 1e-12 <= p.y <= max(a.y, b.y) + 1e-12
+    )
+
+
+def _segments_intersect(a: GeoPoint, b: GeoPoint, c: GeoPoint, d: GeoPoint) -> bool:
+    """Closed-segment intersection (touching endpoints count)."""
+    o1 = _orient(a, b, c)
+    o2 = _orient(a, b, d)
+    o3 = _orient(c, d, a)
+    o4 = _orient(c, d, b)
+    if ((o1 > 0) != (o2 > 0)) and ((o3 > 0) != (o4 > 0)) and o1 != 0 and o2 != 0 and o3 != 0 and o4 != 0:
+        return True
+    return (
+        _on_segment(c, a, b)
+        or _on_segment(d, a, b)
+        or _on_segment(a, c, d)
+        or _on_segment(b, c, d)
+    )
+
+
+def _segments_properly_intersect(a: GeoPoint, b: GeoPoint, c: GeoPoint, d: GeoPoint) -> bool:
+    """Proper crossing test: the segments cross at an interior point."""
+    o1 = _orient(a, b, c)
+    o2 = _orient(a, b, d)
+    o3 = _orient(c, d, a)
+    o4 = _orient(c, d, b)
+    return ((o1 > 0) != (o2 > 0)) and ((o3 > 0) != (o4 > 0)) and 0 not in (o1, o2, o3, o4)

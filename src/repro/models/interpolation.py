@@ -1,0 +1,100 @@
+"""Spatial interpolation models.
+
+Both models predict a value at an unobserved location from nearby
+observed samples; they differ in how distance discounts influence.
+They are deliberately simple — the point of the model-view layer is the
+*composition* with COLR-Tree's cache, not model sophistication — but
+the protocol accommodates richer models.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.geometry import GeoPoint
+
+
+@runtime_checkable
+class SpatialModel(Protocol):
+    """The model protocol the view layer consumes."""
+
+    def fit(self, locations: Sequence[GeoPoint], values: Sequence[float]) -> None:
+        """Absorb observed samples."""
+        ...
+
+    def predict(self, p: GeoPoint) -> float:
+        """Estimate the value at an arbitrary location."""
+        ...
+
+    @property
+    def support(self) -> int:
+        """Number of samples the model was fitted on."""
+        ...
+
+
+class _FittedBase:
+    """Shared storage/fitting for the sample-based models."""
+
+    def __init__(self) -> None:
+        self._xs = np.empty(0)
+        self._ys = np.empty(0)
+        self._values = np.empty(0)
+
+    def fit(self, locations: Sequence[GeoPoint], values: Sequence[float]) -> None:
+        if len(locations) != len(values):
+            raise ValueError("locations and values must align")
+        self._xs = np.array([p.x for p in locations], dtype=np.float64)
+        self._ys = np.array([p.y for p in locations], dtype=np.float64)
+        self._values = np.asarray(values, dtype=np.float64)
+
+    @property
+    def support(self) -> int:
+        return int(self._values.size)
+
+    def _require_fit(self) -> None:
+        if self._values.size == 0:
+            raise ValueError("model has no samples; call fit() first")
+
+    def _distances(self, p: GeoPoint) -> np.ndarray:
+        return np.hypot(self._xs - p.x, self._ys - p.y)
+
+
+class IDWModel(_FittedBase):
+    """Inverse-distance weighting: ``sum(w_i v_i) / sum(w_i)`` with
+    ``w_i = 1 / d_i^power``.  A sample within ``snap_epsilon`` of the
+    query point answers exactly."""
+
+    def __init__(self, power: float = 2.0, snap_epsilon: float = 1e-9) -> None:
+        super().__init__()
+        if power <= 0:
+            raise ValueError("power must be positive")
+        self.power = float(power)
+        self.snap_epsilon = float(snap_epsilon)
+
+    def predict(self, p: GeoPoint) -> float:
+        self._require_fit()
+        d = self._distances(p)
+        nearest = int(d.argmin())
+        if d[nearest] <= self.snap_epsilon:
+            return float(self._values[nearest])
+        w = d ** (-self.power)
+        return float((w * self._values).sum() / w.sum())
+
+
+class KNNModel(_FittedBase):
+    """Mean of the k nearest samples (uniform weights)."""
+
+    def __init__(self, k: int = 5) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = int(k)
+
+    def predict(self, p: GeoPoint) -> float:
+        self._require_fit()
+        d = self._distances(p)
+        k = min(self.k, d.size)
+        idx = np.argpartition(d, k - 1)[:k]
+        return float(self._values[idx].mean())

@@ -1,0 +1,167 @@
+"""Model views over a COLR-Tree's cache.
+
+A :class:`ModelView` gathers the fresh cached readings around a query
+location (an expanding-radius search over the tree's leaf caches) and
+fits a spatial model to them, answering point and region estimates with
+**zero sensor probes**.  When the cache cannot support an estimate the
+view either raises :class:`InsufficientSupport` or, in
+``fallback="probe"`` mode, issues a bounded sampled query through the
+tree to refill the cache and retries.
+"""
+
+from __future__ import annotations
+
+from repro.core.tree import COLRTree
+from repro.geometry import GeoPoint, Rect
+from repro.models.interpolation import IDWModel, SpatialModel
+from repro.sensors.sensor import Reading
+
+
+class InsufficientSupport(RuntimeError):
+    """Raised when too few fresh cached readings surround the query."""
+
+
+class ModelView:
+    """A read-only model-based view over one tree's cached data.
+
+    Parameters
+    ----------
+    tree:
+        The backing index (with caching enabled).
+    model:
+        A :class:`~repro.models.interpolation.SpatialModel`; a fresh
+        instance is fitted per estimate.  Defaults to IDW.
+    min_support:
+        Minimum fresh cached readings required to answer.
+    fallback:
+        ``"raise"`` (default) or ``"probe"`` — on insufficient support,
+        probe up to ``fallback_sample_size`` sensors through the tree
+        (populating the cache) and retry once.
+    """
+
+    def __init__(
+        self,
+        tree: COLRTree,
+        model: SpatialModel | None = None,
+        min_support: int = 4,
+        fallback: str = "raise",
+        fallback_sample_size: int = 20,
+    ) -> None:
+        if not tree.config.caching_enabled:
+            raise ValueError("model views need a caching-enabled tree")
+        if fallback not in ("raise", "probe"):
+            raise ValueError("fallback must be 'raise' or 'probe'")
+        if min_support < 1:
+            raise ValueError("min_support must be at least 1")
+        self.tree = tree
+        self._model = model if model is not None else IDWModel()
+        self.min_support = int(min_support)
+        self.fallback = fallback
+        self.fallback_sample_size = int(fallback_sample_size)
+
+    # ------------------------------------------------------------------
+    # Cache harvesting
+    # ------------------------------------------------------------------
+    def cached_readings_near(
+        self,
+        p: GeoPoint,
+        now: float,
+        max_staleness: float,
+        want: int,
+    ) -> list[Reading]:
+        """Fresh cached readings around ``p``, found by doubling a
+        search rectangle until ``want`` readings (or the whole domain)
+        are covered."""
+        domain = self.tree.root.bbox
+        radius = max(domain.width, domain.height) / 64.0 or 1.0
+        seen: list[Reading] = []
+        while True:
+            probe_rect = Rect.from_center(p, radius, radius)
+            seen = self._harvest(probe_rect, now, max_staleness)
+            if len(seen) >= want or probe_rect.contains_rect(domain):
+                return seen
+            radius *= 2.0
+
+    def _harvest(self, rect: Rect, now: float, max_staleness: float) -> list[Reading]:
+        out: list[Reading] = []
+        stack = [self.tree.root]
+        while stack:
+            node = stack.pop()
+            if not rect.intersects(node.bbox):
+                continue
+            if node.is_leaf:
+                if node.leaf_cache is None:
+                    continue
+                for reading in node.leaf_cache.fresh_readings(now, max_staleness):
+                    if rect.contains_point(self.tree.sensor(reading.sensor_id).location):
+                        out.append(reading)
+            else:
+                stack.extend(node.children)
+        return out
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimate_at(self, p: GeoPoint, now: float, max_staleness: float) -> float:
+        """Estimate the sensed value at an arbitrary location."""
+        readings = self.cached_readings_near(
+            p, now, max_staleness, want=max(self.min_support, 8)
+        )
+        if len(readings) < self.min_support:
+            readings = self._fallback_probe(p, now, max_staleness, readings)
+        locations = [self.tree.sensor(r.sensor_id).location for r in readings]
+        self._model.fit(locations, [r.value for r in readings])
+        return self._model.predict(p)
+
+    def estimate_region_mean(
+        self,
+        region: Rect,
+        now: float,
+        max_staleness: float,
+        grid: int = 5,
+    ) -> float:
+        """Mean of the modelled surface over a region, evaluated on a
+        ``grid x grid`` lattice of points."""
+        if grid < 1:
+            raise ValueError("grid must be at least 1")
+        readings = self._harvest(region.expanded(max(region.width, region.height) / 2), now, max_staleness)
+        if len(readings) < self.min_support:
+            readings = self._fallback_probe(region.center, now, max_staleness, readings)
+        locations = [self.tree.sensor(r.sensor_id).location for r in readings]
+        self._model.fit(locations, [r.value for r in readings])
+        total = 0.0
+        for i in range(grid):
+            for j in range(grid):
+                x = region.min_x + (i + 0.5) * region.width / grid
+                y = region.min_y + (j + 0.5) * region.height / grid
+                total += self._model.predict(GeoPoint(x, y))
+        return total / (grid * grid)
+
+    def _fallback_probe(
+        self,
+        p: GeoPoint,
+        now: float,
+        max_staleness: float,
+        readings: list[Reading],
+    ) -> list[Reading]:
+        if self.fallback != "probe":
+            raise InsufficientSupport(
+                f"only {len(readings)} fresh cached readings near "
+                f"({p.x:.3f}, {p.y:.3f}); need {self.min_support}"
+            )
+        # One bounded sampled query through the index refills the cache.
+        self.tree.query(
+            self.tree.root.bbox,
+            now=now,
+            max_staleness=max_staleness,
+            sample_size=self.fallback_sample_size,
+        )
+        refreshed = self.cached_readings_near(
+            p, now, max_staleness, want=max(self.min_support, 8)
+        )
+        if len(refreshed) < self.min_support:
+            raise InsufficientSupport(
+                f"cache still too thin after probing "
+                f"({len(refreshed)} < {self.min_support})"
+            )
+        return refreshed

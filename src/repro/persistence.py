@@ -1,0 +1,155 @@
+"""Snapshot and restore: sensors, configuration and cache contents.
+
+The deployed portal periodically reconstructs its index (Section
+III-C); restarts must not begin with a cold cache, or the first minutes
+of queries would re-probe the world.  A snapshot captures everything
+needed to resume: the registered sensor metadata, the index
+configuration, and the cached readings with their fetch times.  The
+tree *structure* is not stored — the bulk build is deterministic given
+the sensors and the config seed, so it is rebuilt on load and the
+cached readings are re-inserted (re-running the aggregate maintenance,
+which also re-validates them against the restored clock).
+
+The format is versioned JSON; networks and availability histories are
+runtime objects the caller re-wires.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import COLRTreeConfig
+from repro.core.tree import COLRTree
+from repro.geometry import GeoPoint
+from repro.sensors.availability import AvailabilityModel
+from repro.sensors.network import SensorNetwork
+from repro.sensors.sensor import Reading, Sensor
+
+FORMAT_VERSION = 1
+
+
+class SnapshotError(ValueError):
+    """Raised for malformed or incompatible snapshot files."""
+
+
+def snapshot_tree(tree: COLRTree, now: float) -> dict[str, Any]:
+    """Capture a tree as a JSON-serializable dict."""
+    sensors = [
+        {
+            "sensor_id": s.sensor_id,
+            "x": s.location.x,
+            "y": s.location.y,
+            "expiry_seconds": s.expiry_seconds,
+            "sensor_type": s.sensor_type,
+            "availability": s.availability,
+            "metadata": list(map(list, s.metadata)),
+        }
+        for s in (tree.sensor(sid) for sid in sorted(tree._sensors))
+    ]
+    readings = []
+    for leaf in tree.root.iter_leaves():
+        if leaf.leaf_cache is None:
+            continue
+        for sensor_id in sorted(
+            r.sensor_id for r in leaf.leaf_cache.all_readings()
+        ):
+            cached = leaf.leaf_cache.get(sensor_id)
+            assert cached is not None
+            readings.append(
+                {
+                    "sensor_id": cached.reading.sensor_id,
+                    "value": cached.reading.value,
+                    "timestamp": cached.reading.timestamp,
+                    "expires_at": cached.reading.expires_at,
+                    "fetched_at": cached.fetched_at,
+                }
+            )
+    config = {f: getattr(tree.config, f) for f in tree.config.__dataclass_fields__}
+    return {
+        "format_version": FORMAT_VERSION,
+        "saved_at": now,
+        "config": config,
+        "sensors": sensors,
+        "cached_readings": readings,
+    }
+
+
+def save_tree(tree: COLRTree, path: str | Path, now: float) -> None:
+    """Write a snapshot file."""
+    Path(path).write_text(json.dumps(snapshot_tree(tree, now)))
+
+
+def restore_tree(
+    data: dict[str, Any],
+    network: SensorNetwork | None = None,
+    availability_model: AvailabilityModel | None = None,
+    build_network: bool = True,
+    network_seed: int = 0,
+) -> COLRTree:
+    """Rebuild a tree (structure + caches) from a snapshot dict.
+
+    ``network=None`` with ``build_network=True`` constructs a fresh
+    simulated network over the restored sensors; pass an explicit
+    network to re-wire a live one.
+    """
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SnapshotError(f"unsupported snapshot version {version!r}")
+    try:
+        config = COLRTreeConfig(**data["config"])
+        sensors = [
+            Sensor(
+                sensor_id=int(s["sensor_id"]),
+                location=GeoPoint(float(s["x"]), float(s["y"])),
+                expiry_seconds=float(s["expiry_seconds"]),
+                sensor_type=str(s["sensor_type"]),
+                availability=float(s["availability"]),
+                metadata=tuple((str(k), str(v)) for k, v in s.get("metadata", [])),
+            )
+            for s in data["sensors"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise SnapshotError(f"malformed snapshot: {exc}") from exc
+    if not sensors:
+        raise SnapshotError("snapshot holds no sensors")
+    if network is None and build_network:
+        network = SensorNetwork(
+            sensors, availability_model=availability_model, seed=network_seed
+        )
+    tree = COLRTree(
+        sensors, config, network=network, availability_model=availability_model
+    )
+    saved_at = float(data.get("saved_at", 0.0))
+    for entry in data.get("cached_readings", []):
+        reading = Reading(
+            sensor_id=int(entry["sensor_id"]),
+            value=float(entry["value"]),
+            timestamp=float(entry["timestamp"]),
+            expires_at=float(entry["expires_at"]),
+        )
+        if not reading.is_valid_at(saved_at):
+            continue  # expired while on disk
+        tree.insert_reading(reading, fetched_at=float(entry["fetched_at"]))
+    tree._enforce_capacity()
+    return tree
+
+
+def load_tree(
+    path: str | Path,
+    network: SensorNetwork | None = None,
+    availability_model: AvailabilityModel | None = None,
+    network_seed: int = 0,
+) -> COLRTree:
+    """Read a snapshot file and rebuild the tree."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"snapshot is not valid JSON: {exc}") from exc
+    return restore_tree(
+        data,
+        network=network,
+        availability_model=availability_model,
+        network_seed=network_seed,
+    )

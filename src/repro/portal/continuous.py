@@ -1,0 +1,180 @@
+"""Continuous queries: standing viewports refreshed on a schedule.
+
+A SensorMap user keeps a map open; the portal periodically re-executes
+the viewport's query and pushes *changes* to the front end rather than
+re-sending the whole result.  ``ContinuousQueryManager`` implements
+that loop over the simulated clock: subscriptions carry a refresh
+interval (defaulting to the query's staleness bound — data older than
+that is no longer acceptable anyway), ``tick()`` runs everything due,
+and each run produces a :class:`ResultDelta` of appeared / changed /
+departed sensors plus the aggregate drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.portal.portal import PortalResult, SensorMapPortal
+from repro.portal.query import SensorQuery
+
+
+@dataclass(frozen=True, slots=True)
+class ResultDelta:
+    """What changed between two executions of a standing query."""
+
+    appeared: tuple[int, ...]
+    departed: tuple[int, ...]
+    changed: tuple[int, ...]
+    aggregate_before: float | None
+    aggregate_after: float | None
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.appeared or self.departed or self.changed) and (
+            self.aggregate_before == self.aggregate_after
+        )
+
+
+DeltaCallback = Callable[["Subscription", ResultDelta, PortalResult], None]
+
+
+@dataclass
+class Subscription:
+    """One standing query."""
+
+    subscription_id: int
+    query: SensorQuery
+    refresh_seconds: float
+    callback: DeltaCallback | None = None
+    last_executed_at: float | None = None
+    last_result: PortalResult | None = None
+    _last_values: dict[int, float] = field(default_factory=dict)
+    executions: int = 0
+
+    def due_at(self) -> float:
+        """Next execution instant (immediately when never run)."""
+        if self.last_executed_at is None:
+            return float("-inf")
+        return self.last_executed_at + self.refresh_seconds
+
+
+class ContinuousQueryManager:
+    """Drives standing queries against one portal."""
+
+    def __init__(self, portal: SensorMapPortal) -> None:
+        self.portal = portal
+        self._subscriptions: dict[int, Subscription] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Subscription lifecycle
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        query: SensorQuery,
+        refresh_seconds: float | None = None,
+        callback: DeltaCallback | None = None,
+    ) -> Subscription:
+        """Register a standing query.
+
+        The refresh interval defaults to the query's staleness bound —
+        by then the previous answer has aged out of acceptability.
+        """
+        interval = (
+            refresh_seconds if refresh_seconds is not None else query.staleness_seconds
+        )
+        if interval <= 0:
+            raise ValueError("refresh interval must be positive")
+        subscription = Subscription(
+            subscription_id=self._next_id,
+            query=query,
+            refresh_seconds=float(interval),
+            callback=callback,
+        )
+        self._subscriptions[subscription.subscription_id] = subscription
+        self._next_id += 1
+        return subscription
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        if subscription_id not in self._subscriptions:
+            raise KeyError(f"no subscription {subscription_id}")
+        del self._subscriptions[subscription_id]
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def subscriptions(self) -> list[Subscription]:
+        return [self._subscriptions[i] for i in sorted(self._subscriptions)]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def tick(self) -> list[tuple[Subscription, ResultDelta]]:
+        """Execute every subscription due at the portal's current time.
+
+        Returns the (subscription, delta) pairs that ran, in
+        subscription order.  Callbacks fire after each run.
+        """
+        now = self.portal.clock.now()
+        ran: list[tuple[Subscription, ResultDelta]] = []
+        for subscription in self.subscriptions():
+            if subscription.due_at() > now:
+                continue
+            delta = self._execute(subscription)
+            ran.append((subscription, delta))
+        return ran
+
+    def run_for(self, duration: float, step: float) -> int:
+        """Advance the clock in ``step`` increments for ``duration``
+        seconds, ticking at each step; returns the execution count."""
+        if step <= 0 or duration < 0:
+            raise ValueError("need a positive step and non-negative duration")
+        executed = 0
+        elapsed = 0.0
+        while elapsed < duration:
+            self.portal.clock.advance(step)
+            elapsed += step
+            executed += len(self.tick())
+        return executed
+
+    def _execute(self, subscription: Subscription) -> ResultDelta:
+        result = self.portal.execute(subscription.query)
+        new_values: dict[int, float] = {}
+        for answer in result.answers:
+            for reading in list(answer.probed_readings) + list(answer.cached_readings):
+                new_values[reading.sensor_id] = reading.value
+        old_values = subscription._last_values
+        appeared = tuple(sorted(set(new_values) - set(old_values)))
+        departed = tuple(sorted(set(old_values) - set(new_values)))
+        changed = tuple(
+            sorted(
+                sid
+                for sid in set(new_values) & set(old_values)
+                if new_values[sid] != old_values[sid]
+            )
+        )
+        try:
+            agg_after: float | None = result.aggregate()
+        except ValueError:
+            agg_after = None
+        agg_before: float | None = None
+        if subscription.last_result is not None:
+            try:
+                agg_before = subscription.last_result.aggregate()
+            except ValueError:
+                agg_before = None
+        delta = ResultDelta(
+            appeared=appeared,
+            departed=departed,
+            changed=changed,
+            aggregate_before=agg_before,
+            aggregate_after=agg_after,
+        )
+        subscription.last_executed_at = self.portal.clock.now()
+        subscription.last_result = result
+        subscription._last_values = new_values
+        subscription.executions += 1
+        if subscription.callback is not None:
+            subscription.callback(subscription, delta, result)
+        return delta

@@ -1,0 +1,151 @@
+"""Viewport grouping (the ``CLUSTER`` clause).
+
+A query over a large region in a fixed-size viewport would paint
+overlapping icons; SensorMap instead groups near-by sensors and shows a
+per-group aggregate (Section III-B).  We group raw result readings on a
+grid of ``cluster_miles`` cells (two sensors in one cell are within
+roughly the cluster distance) and pass cached node-level aggregates
+through as their own groups anchored at the node's bounding-box center.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.aggregates import AggregateSketch
+from repro.core.lookup import QueryAnswer
+from repro.geometry import GeoPoint
+from repro.geometry.point import miles_to_degrees_lat, miles_to_degrees_lon
+from repro.sensors.sensor import Reading
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.tree import COLRTree
+
+
+@dataclass
+class DisplayGroup:
+    """One icon-group on the map: a location, the member readings (when
+    raw), and the aggregate sketch to render."""
+
+    center: GeoPoint
+    sketch: AggregateSketch
+    readings: list[Reading] = field(default_factory=list)
+    from_cache_node: int | None = None
+
+    @property
+    def size(self) -> int:
+        return self.sketch.count
+
+    def result(self, function: str) -> float:
+        return self.sketch.result(function)
+
+
+def group_answer(
+    answer: QueryAnswer,
+    cluster_miles: float | None,
+    tree: "COLRTree | None" = None,
+    sensor_location=None,
+) -> list[DisplayGroup]:
+    """Group a query answer for display.
+
+    ``sensor_location`` maps a sensor id to a :class:`GeoPoint`; when
+    omitted, ``tree.sensor`` is used.  With ``cluster_miles=None`` every
+    reading becomes its own group (full zoom).
+    """
+    if sensor_location is None:
+        if tree is None:
+            raise ValueError("need a tree or a sensor_location function")
+        sensor_location = lambda sid: tree.sensor(sid).location  # noqa: E731
+
+    groups: list[DisplayGroup] = []
+    readings = list(answer.probed_readings) + list(answer.cached_readings)
+    if cluster_miles is None:
+        for reading in readings:
+            sketch = AggregateSketch()
+            sketch.add(reading.value, reading.timestamp)
+            groups.append(
+                DisplayGroup(center=sensor_location(reading.sensor_id), sketch=sketch,
+                             readings=[reading])
+            )
+    else:
+        cells: dict[tuple[int, int], DisplayGroup] = {}
+        dlat = miles_to_degrees_lat(cluster_miles)
+        for reading in readings:
+            loc = sensor_location(reading.sensor_id)
+            dlon = miles_to_degrees_lon(cluster_miles, at_lat=loc.lat)
+            key = (int(loc.x // dlon), int(loc.y // dlat))
+            group = cells.get(key)
+            if group is None:
+                group = DisplayGroup(center=loc, sketch=AggregateSketch())
+                cells[key] = group
+                groups.append(group)
+            group.sketch.add(reading.value, reading.timestamp)
+            group.readings.append(reading)
+        # Re-center each group on its members.
+        for group in groups:
+            if group.readings:
+                xs = [sensor_location(r.sensor_id).x for r in group.readings]
+                ys = [sensor_location(r.sensor_id).y for r in group.readings]
+                group.center = GeoPoint(sum(xs) / len(xs), sum(ys) / len(ys))
+
+    # Cached node-level aggregates stay whole: their membership is
+    # opaque, so each becomes one group at the node's center.
+    for sketch, node_id in zip(answer.cached_sketches, answer.cached_sketch_nodes):
+        if tree is not None:
+            center = tree.node(node_id).bbox.center
+        else:
+            center = GeoPoint(0.0, 0.0)
+        groups.append(
+            DisplayGroup(center=center, sketch=sketch.copy(), from_cache_node=node_id)
+        )
+    return groups
+
+
+def group_by_terminal(
+    answer: QueryAnswer,
+    tree: "COLRTree",
+    level: int,
+) -> list[DisplayGroup]:
+    """Multi-resolution grouping: one group per tree node at ``level``.
+
+    This is the paper's zoom-level presentation — "one sample (or
+    aggregate computed over the sample) is returned for each non-leaf
+    node at level T".  Each raw reading is assigned to its level-
+    ``level`` ancestor (or its leaf, for shallow subtrees); cached
+    aggregates are assigned to their source node's ancestor the same
+    way.
+    """
+    if level < 0:
+        raise ValueError("level must be non-negative")
+    groups: dict[int, DisplayGroup] = {}
+
+    def group_for(node_id: int) -> DisplayGroup:
+        anchor = _ancestor_at_level(tree, node_id, level)
+        group = groups.get(anchor.node_id)
+        if group is None:
+            group = DisplayGroup(center=anchor.bbox.center, sketch=AggregateSketch())
+            groups[anchor.node_id] = group
+        return group
+
+    for reading in list(answer.probed_readings) + list(answer.cached_readings):
+        leaf = tree.leaf_for(reading.sensor_id)
+        group = group_for(leaf.node_id)
+        group.sketch.add(reading.value, reading.timestamp)
+        group.readings.append(reading)
+    for sketch, node_id in zip(answer.cached_sketches, answer.cached_sketch_nodes):
+        group = group_for(node_id)
+        group.sketch.merge(sketch.copy())
+        if group.from_cache_node is None:
+            group.from_cache_node = node_id
+    return list(groups.values())
+
+
+def _ancestor_at_level(tree: "COLRTree", node_id: int, level: int):
+    node = tree.node(node_id)
+    anchor = node
+    for candidate in node.path_to_root():
+        anchor = candidate
+        if candidate.level <= level:
+            break
+    return anchor

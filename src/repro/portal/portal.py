@@ -1,0 +1,282 @@
+"""The SensorMap portal facade.
+
+``SensorMapPortal`` wires the whole reproduction together the way the
+deployed portal wires SQL Server, the data collector and the web front
+end: publishers register sensors, the portal (re)builds one COLR-Tree
+per sensor type (the paper rebuilds periodically to absorb location
+changes; we rebuild lazily when the population changed), and user
+queries — SQL text or :class:`SensorQuery` objects — are executed
+against the index with probe-budget sampling, viewport grouping and
+latency accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import COLRTreeConfig
+from repro.core.lookup import QueryAnswer
+from repro.core.stats import ProcessingCostModel
+from repro.core.tree import COLRTree
+from repro.geometry import GeoPoint
+from repro.portal.grouping import DisplayGroup, group_answer, group_by_terminal
+from repro.portal.parser import parse_query
+from repro.portal.query import SensorQuery
+from repro.sensors.availability import AvailabilityModel
+from repro.sensors.clock import SimClock
+from repro.sensors.network import SensorNetwork
+from repro.sensors.registry import SensorRegistry
+from repro.sensors.sensor import Sensor
+
+
+@dataclass
+class PortalResult:
+    """What a portal query returns to the front end."""
+
+    query: SensorQuery
+    groups: list[DisplayGroup]
+    answers: list[QueryAnswer]
+    processing_seconds: float
+    collection_seconds: float
+
+    @property
+    def end_to_end_seconds(self) -> float:
+        return self.processing_seconds + self.collection_seconds
+
+    @property
+    def result_weight(self) -> int:
+        return sum(a.result_weight for a in self.answers)
+
+    def aggregate(self) -> float:
+        """The requested aggregate over the whole answer."""
+        from repro.core.aggregates import combine
+
+        total = combine(a.combined_sketch() for a in self.answers)
+        return total.result(self.query.aggregate)
+
+
+class SensorMapPortal:
+    """The rendezvous point of publishers and map users."""
+
+    def __init__(
+        self,
+        config: COLRTreeConfig | None = None,
+        cost_model: ProcessingCostModel | None = None,
+        value_fn=None,
+        network_seed: int = 0,
+        clock: SimClock | None = None,
+        max_sensors_per_query: int | None = 1000,
+    ) -> None:
+        """``max_sensors_per_query`` is the portal-wide collection cap of
+        Section III-B: a whole-world query is answered from at most this
+        many sensors, roughly uniformly distributed, instead of trying
+        to contact everything.  ``None`` disables the cap."""
+        if max_sensors_per_query is not None and max_sensors_per_query < 1:
+            raise ValueError("max_sensors_per_query must be positive or None")
+        self.config = config if config is not None else COLRTreeConfig()
+        self.max_sensors_per_query = max_sensors_per_query
+        self.cost_model = cost_model if cost_model is not None else ProcessingCostModel()
+        self.registry = SensorRegistry()
+        self.availability = AvailabilityModel()
+        self.clock = clock if clock is not None else SimClock()
+        self._value_fn = value_fn
+        self._network_seed = network_seed
+        self._network: SensorNetwork | None = None
+        self._trees: dict[str, COLRTree] = {}
+        self._index_dirty = True
+
+    # ------------------------------------------------------------------
+    # Publisher side
+    # ------------------------------------------------------------------
+    def register_sensor(
+        self,
+        location: GeoPoint,
+        expiry_seconds: float,
+        sensor_type: str = "generic",
+        availability: float = 1.0,
+        metadata: dict[str, str] | None = None,
+    ) -> Sensor:
+        """Register one sensor; the index rebuilds before the next query."""
+        sensor = self.registry.register(
+            location,
+            expiry_seconds,
+            sensor_type=sensor_type,
+            availability=availability,
+            metadata=metadata,
+        )
+        self._index_dirty = True
+        return sensor
+
+    def register_all(self, sensors: list[Sensor]) -> None:
+        self.registry.register_all(sensors)
+        self._index_dirty = True
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+    def rebuild_index(self) -> None:
+        """(Re)build one COLR-Tree per registered sensor type — the
+        paper's periodic batch reconstruction."""
+        if len(self.registry) == 0:
+            raise ValueError("no sensors registered")
+        self._network = SensorNetwork(
+            self.registry.all(),
+            value_fn=self._value_fn,
+            availability_model=self.availability,
+            seed=self._network_seed,
+        )
+        self._trees = {}
+        by_type: dict[str, list[Sensor]] = {}
+        for sensor in self.registry:
+            by_type.setdefault(sensor.sensor_type, []).append(sensor)
+        for sensor_type, sensors in by_type.items():
+            self._trees[sensor_type] = COLRTree(
+                sensors,
+                self.config,
+                network=self._network,
+                availability_model=self.availability,
+                cost_model=self.cost_model,
+            )
+        self._index_dirty = False
+
+    @property
+    def network(self) -> SensorNetwork:
+        if self._network is None:
+            raise RuntimeError("index not built yet; call rebuild_index()")
+        return self._network
+
+    def tree(self, sensor_type: str) -> COLRTree:
+        """The index of one sensor type (for inspection/tests)."""
+        self._ensure_index()
+        return self._trees[sensor_type]
+
+    def sensor_types(self) -> list[str]:
+        self._ensure_index()
+        return sorted(self._trees)
+
+    def _ensure_index(self) -> None:
+        if self._index_dirty or not self._trees:
+            self.rebuild_index()
+
+    # ------------------------------------------------------------------
+    # User side
+    # ------------------------------------------------------------------
+    def execute_sql(self, sql: str) -> PortalResult:
+        """Parse and execute one query in the SQL-ish dialect."""
+        return self.execute(parse_query(sql))
+
+    def execute(self, query: SensorQuery) -> PortalResult:
+        """Execute one portal query at the current simulated time."""
+        self._ensure_index()
+        now = self.clock.now()
+        if query.sensor_type is not None:
+            if query.sensor_type not in self._trees:
+                raise KeyError(f"no sensors of type {query.sensor_type!r} registered")
+            trees = [self._trees[query.sensor_type]]
+        else:
+            trees = list(self._trees.values())
+        answers: list[QueryAnswer] = []
+        groups: list[DisplayGroup] = []
+        processing = 0.0
+        collection = 0.0
+        sample_size = self._effective_sample_size(query.sample_size, len(trees))
+        for tree in trees:
+            answer = tree.query(
+                query.region,
+                now=now,
+                max_staleness=query.staleness_seconds,
+                sample_size=sample_size,
+                terminal_level=query.zoom_level,
+            )
+            answers.append(answer)
+            processing += self.cost_model.processing_seconds(answer.stats)
+            collection += answer.stats.collection_latency_seconds
+            if query.zoom_level is not None:
+                groups.extend(group_by_terminal(answer, tree, query.zoom_level))
+            else:
+                groups.extend(group_answer(answer, query.cluster_miles, tree=tree))
+        return PortalResult(
+            query=query,
+            groups=groups,
+            answers=answers,
+            processing_seconds=processing,
+            collection_seconds=collection,
+        )
+
+    def stats(self) -> dict[str, object]:
+        """Operational summary: per-type index shape, cache occupancy,
+        cumulative query/probe totals, and network meters."""
+        self._ensure_index()
+        per_type = {}
+        for name, tree in self._trees.items():
+            per_type[name] = {
+                "sensors": len(tree),
+                "height": tree.height(),
+                "cached_readings": tree.cached_reading_count,
+                "queries": tree.stats.queries,
+                "sensors_probed": tree.stats.totals.sensors_probed,
+                "cached_nodes_accessed": tree.stats.totals.cached_nodes_accessed,
+            }
+        net = self.network.stats
+        return {
+            "types": per_type,
+            "total_sensors": len(self.registry),
+            "network": {
+                "probes_attempted": net.probes_attempted,
+                "probes_succeeded": net.probes_succeeded,
+                "batches": net.batches,
+                "total_collection_seconds": net.total_latency_seconds,
+            },
+        }
+
+    def explain(self, query: SensorQuery) -> dict[str, object]:
+        """EXPLAIN for a portal query: per-type plans plus totals,
+        without probing anything.
+
+        Returns ``{"plans": {type: QueryPlan}, "expected_probes": float,
+        "cache_coverage": float}``.
+        """
+        self._ensure_index()
+        if query.sensor_type is not None:
+            if query.sensor_type not in self._trees:
+                raise KeyError(f"no sensors of type {query.sensor_type!r} registered")
+            trees = {query.sensor_type: self._trees[query.sensor_type]}
+        else:
+            trees = dict(self._trees)
+        sample_size = self._effective_sample_size(query.sample_size, len(trees))
+        plans = {
+            name: tree.explain(
+                query.region,
+                now=self.clock.now(),
+                max_staleness=query.staleness_seconds,
+                sample_size=sample_size,
+                terminal_level=query.zoom_level,
+            )
+            for name, tree in trees.items()
+        }
+        expected = sum(p.expected_probes for p in plans.values())
+        coverages = [p.cache_coverage for p in plans.values()]
+        return {
+            "plans": plans,
+            "expected_probes": expected,
+            "cache_coverage": sum(coverages) / len(coverages) if coverages else 1.0,
+        }
+
+    def _effective_sample_size(
+        self, requested: int | None, n_trees: int
+    ) -> int | None:
+        """Apply the portal-wide collection cap (Section III-B).
+
+        A missing SAMPLESIZE on an uncapped portal stays exact; with a
+        cap, exact queries are demoted to sampling at the cap, and
+        explicit sample sizes are clamped to it.  The cap is split
+        across the per-type trees a type-less query fans out to.
+        """
+        if self.max_sensors_per_query is None:
+            # No cap: a query without SAMPLESIZE is exact (0 disables
+            # sampling at the tree level).
+            return 0 if requested is None else requested
+        per_tree_cap = max(1, self.max_sensors_per_query // max(1, n_trees))
+        if requested is None or requested == 0:
+            return per_tree_cap
+        return min(requested, per_tree_cap)

@@ -1,0 +1,38 @@
+"""The relational COLR-Tree (Section VI of the paper).
+
+The paper's production implementation represents the tree as *layer
+tables* (one per tree level, ``{node id, child id, child bounding box,
+child weight}``), the caches as *cache tables* (``{node id, slot id,
+value, value weight}``), traverses by joining adjacent layers, and
+maintains the caches with four AFTER triggers.  This package rebuilds
+that design on :mod:`repro.relational`:
+
+``build_schema`` / ``load_tree``
+    Create the layer / cache / sensor / leaf-cache tables and populate
+    them from a bulk-built :class:`~repro.core.node.COLRNode` hierarchy.
+``install_triggers``
+    The roll, slot-insert, slot-delete and slot-update triggers.
+``RelCOLRTree``
+    The access-method facade: reading insertion through DML (exercising
+    the trigger cascade), the cache-read access method, and the
+    sensor-selection access method.
+
+The in-memory :class:`~repro.core.tree.COLRTree` and this implementation
+are kept behaviourally equivalent; ``tests/relcolr`` asserts the
+equivalence on shared workloads.
+"""
+
+from repro.relcolr.schema import SchemaNames, build_schema
+from repro.relcolr.loader import load_tree
+from repro.relcolr.triggers import install_triggers
+from repro.relcolr.tree import RelCOLRTree
+from repro.relcolr.joins import descend_by_joins
+
+__all__ = [
+    "SchemaNames",
+    "build_schema",
+    "descend_by_joins",
+    "load_tree",
+    "install_triggers",
+    "RelCOLRTree",
+]

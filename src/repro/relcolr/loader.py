@@ -1,0 +1,75 @@
+"""Populate the relational schema from a bulk-built node hierarchy.
+
+The tree shape itself is produced by :func:`repro.core.build.build_colr_tree`
+(the k-means batch build of Section III-C); this loader flattens it into
+the layer tables, seeds ``node_meta`` and the ``sensors`` table, and
+returns the number of levels so callers can size their per-layer loops.
+"""
+
+from __future__ import annotations
+
+from repro.core.node import COLRNode
+from repro.relational import Database
+from repro.relcolr.schema import SchemaNames, build_schema
+
+
+def tree_depth(root: COLRNode) -> int:
+    """Number of levels: root level 0 through the deepest leaf."""
+    deepest = 0
+    for node in root.iter_subtree():
+        deepest = max(deepest, node.level)
+    return deepest + 1
+
+
+def load_tree(db: Database, root: COLRNode, names: SchemaNames | None = None) -> SchemaNames:
+    """Create the schema and load one tree; returns the name scheme."""
+    names = names if names is not None else SchemaNames()
+    n_levels = tree_depth(root)
+    build_schema(db, names, n_levels)
+
+    meta_rows = []
+    layer_rows: dict[int, list[dict]] = {}
+    sensor_rows = []
+    for node in root.iter_subtree():
+        meta_rows.append(
+            {
+                "node_id": node.node_id,
+                "level": node.level,
+                "is_leaf": node.is_leaf,
+                "weight": node.weight,
+                "parent_id": node.parent.node_id if node.parent is not None else None,
+                "min_x": node.bbox.min_x,
+                "min_y": node.bbox.min_y,
+                "max_x": node.bbox.max_x,
+                "max_y": node.bbox.max_y,
+            }
+        )
+        for child in node.children:
+            layer_rows.setdefault(node.level, []).append(
+                {
+                    "node_id": node.node_id,
+                    "child_id": child.node_id,
+                    "child_min_x": child.bbox.min_x,
+                    "child_min_y": child.bbox.min_y,
+                    "child_max_x": child.bbox.max_x,
+                    "child_max_y": child.bbox.max_y,
+                    "child_weight": child.weight,
+                }
+            )
+        if node.is_leaf:
+            for sensor in node.sensors:
+                sensor_rows.append(
+                    {
+                        "sensor_id": sensor.sensor_id,
+                        "x": sensor.location.x,
+                        "y": sensor.location.y,
+                        "leaf_id": node.node_id,
+                        "expiry_seconds": sensor.expiry_seconds,
+                    }
+                )
+
+    db.insert(names.node_meta, meta_rows)
+    for level, rows in layer_rows.items():
+        db.insert(names.layer(level), rows)
+    db.insert(names.sensors, sensor_rows)
+    return names

@@ -1,0 +1,162 @@
+"""Relational schema of the COLR-Tree (Section VI-A).
+
+Per the paper, each tree layer ``k`` (holding the edges from level-k
+nodes to their children) gets a table::
+
+    layer_k = {node_id, child_id, child bounding box, child_weight}
+
+and each internal level gets a cache table.  The paper stores
+``{node id, slot id, value, value weight}``; we widen ``value`` to the
+full aggregate sketch (count / sum / min / max / oldest timestamp) so
+any standard aggregate can be answered — the weight column of the paper
+is our ``value_count``.
+
+Two pragmatic additions to the paper's minimal schema (documented in
+DESIGN.md): a ``node_meta`` table with per-node level / bbox / weight
+(the paper keeps the root's metadata in the application; we keep it
+queryable), and a ``sensors`` table mapping sensors to their leaf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.relational import Column, Database, TableSchema
+
+
+@dataclass(frozen=True, slots=True)
+class SchemaNames:
+    """Table-name scheme for one COLR-Tree instance.
+
+    ``layer(k)`` is the edge table from level-k nodes to their children;
+    ``cache(k)`` the aggregate cache of level-k internal nodes;
+    ``leaf_cache`` holds raw readings; ``sensors`` the static metadata.
+    """
+
+    prefix: str = "colr"
+
+    def layer(self, level: int) -> str:
+        return f"{self.prefix}_layer_{level}"
+
+    def cache(self, level: int) -> str:
+        return f"{self.prefix}_cache_{level}"
+
+    @property
+    def leaf_cache(self) -> str:
+        return f"{self.prefix}_leaf_cache"
+
+    @property
+    def sensors(self) -> str:
+        return f"{self.prefix}_sensors"
+
+    @property
+    def node_meta(self) -> str:
+        return f"{self.prefix}_node_meta"
+
+
+_BBOX_COLUMNS = [
+    ("min_x", "float"),
+    ("min_y", "float"),
+    ("max_x", "float"),
+    ("max_y", "float"),
+]
+
+
+def layer_schema(name: str) -> TableSchema:
+    """One layer table: parent→child edges with child bbox and weight."""
+    return TableSchema.of(
+        name,
+        [("node_id", "int"), ("child_id", "int")]
+        + [(f"child_{c}", t) for c, t in _BBOX_COLUMNS]
+        + [("child_weight", "int")],
+        primary_key=["node_id", "child_id"],
+    )
+
+
+def cache_schema(name: str) -> TableSchema:
+    """One cache table: per-(node, slot) aggregate sketch."""
+    return TableSchema.of(
+        name,
+        [
+            ("node_id", "int"),
+            ("slot_id", "int"),
+            ("value_count", "int"),
+            ("value_sum", "float"),
+            ("value_min", "float"),
+            ("value_max", "float"),
+            ("oldest_ts", "float"),
+        ],
+        primary_key=["node_id", "slot_id"],
+    )
+
+
+def leaf_cache_schema(name: str) -> TableSchema:
+    """Raw cached readings: one row per sensor (its newest reading)."""
+    return TableSchema.of(
+        name,
+        [
+            ("sensor_id", "int"),
+            ("leaf_id", "int"),
+            ("slot_id", "int"),
+            ("value", "float"),
+            ("timestamp", "float"),
+            ("expires_at", "float"),
+            ("fetched_at", "float"),
+        ],
+        primary_key=["sensor_id"],
+    )
+
+
+def sensors_schema(name: str) -> TableSchema:
+    return TableSchema.of(
+        name,
+        [
+            ("sensor_id", "int"),
+            ("x", "float"),
+            ("y", "float"),
+            ("leaf_id", "int"),
+            ("expiry_seconds", "float"),
+        ],
+        primary_key=["sensor_id"],
+    )
+
+
+def node_meta_schema(name: str) -> TableSchema:
+    return TableSchema(
+        name,
+        columns=(
+            Column("node_id", "int"),
+            Column("level", "int"),
+            Column("is_leaf", "bool"),
+            Column("weight", "int"),
+            Column("parent_id", "int", nullable=True),
+            Column("min_x", "float"),
+            Column("min_y", "float"),
+            Column("max_x", "float"),
+            Column("max_y", "float"),
+        ),
+        primary_key=("node_id",),
+    )
+
+
+def build_schema(db: Database, names: SchemaNames, n_levels: int) -> None:
+    """Create every table for a tree of ``n_levels`` levels (root level
+    0 through leaf level ``n_levels - 1``), with the secondary indexes
+    the access methods and triggers rely on."""
+    if n_levels < 1:
+        raise ValueError("a tree has at least one level")
+    for level in range(n_levels - 1):
+        layer = db.create_table(layer_schema(names.layer(level)))
+        layer.create_index("node_id")
+        layer.create_index("child_id")
+        cache = db.create_table(cache_schema(names.cache(level)))
+        cache.create_index("node_id")
+        cache.create_index("slot_id")
+    leaf_cache = db.create_table(leaf_cache_schema(names.leaf_cache))
+    leaf_cache.create_index("leaf_id")
+    leaf_cache.create_index("slot_id")
+    sensors = db.create_table(sensors_schema(names.sensors))
+    sensors.create_index("leaf_id")
+    meta = db.create_table(node_meta_schema(names.node_meta))
+    meta.create_index("level")
+    meta.create_index("parent_id")

@@ -1,0 +1,339 @@
+"""The four cache-maintenance triggers (Section VI-B).
+
+* **Roll trigger** — AFTER INSERT on the leaf cache.  Advances the slot
+  window so the newest insertion lies in the most recent slot and
+  expunges every leaf row in slots the window slid over (the deletions
+  cascade through the slot-delete trigger).
+* **Slot insert trigger** — AFTER INSERT on the leaf cache.  Increments
+  the same-slot aggregate row in the cache table one layer above the
+  leaves, and enforces the cache-size constraint with
+  least-recently-fetched eviction from the oldest slot.
+* **Slot delete trigger** — AFTER DELETE on the leaf cache.  Decrements
+  the layer above (recomputing min/max from the children when the
+  deleted value may have defined them) and deletes emptied rows.
+* **Slot update trigger** — AFTER INSERT/UPDATE/DELETE on every cache
+  table above the leaf layer.  Propagates the per-row delta to the
+  parent layer, cascading to the root.
+
+All bodies speak pure DML against the :class:`~repro.relational.Database`,
+so the cascade is driven by the engine's statement-trigger dispatch the
+same way SQL Server drives the paper's implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.relational import Database, Trigger, TriggerEvent, col
+from repro.relational.triggers import TriggerInvocation
+from repro.relcolr.schema import SchemaNames
+
+
+@dataclass(frozen=True, slots=True)
+class MaintenanceConfig:
+    """Knobs the triggers need."""
+
+    slot_seconds: float
+    n_slots: int
+    cache_capacity: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.slot_seconds <= 0:
+            raise ValueError("slot_seconds must be positive")
+        if self.n_slots < 1:
+            raise ValueError("n_slots must be positive")
+        if self.cache_capacity is not None and self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+
+
+def install_triggers(
+    db: Database,
+    names: SchemaNames,
+    config: MaintenanceConfig,
+    n_levels: int,
+) -> None:
+    """Register the four triggers for a loaded tree."""
+    maint = _Maintenance(names, config, n_levels)
+    db.create_trigger(
+        Trigger(
+            name=f"{names.prefix}_roll",
+            table=names.leaf_cache,
+            event=TriggerEvent.INSERT,
+            body=maint.roll_trigger,
+        )
+    )
+    db.create_trigger(
+        Trigger(
+            name=f"{names.prefix}_slot_insert",
+            table=names.leaf_cache,
+            event=TriggerEvent.INSERT,
+            body=maint.slot_insert_trigger,
+        )
+    )
+    db.create_trigger(
+        Trigger(
+            name=f"{names.prefix}_slot_delete",
+            table=names.leaf_cache,
+            event=TriggerEvent.DELETE,
+            body=maint.slot_delete_trigger,
+        )
+    )
+    # The slot update trigger: one registration per cache table above
+    # the leaf layer, for each event that changes a row's contribution.
+    for level in range(1, n_levels - 1):
+        for event in (TriggerEvent.INSERT, TriggerEvent.UPDATE, TriggerEvent.DELETE):
+            db.create_trigger(
+                Trigger(
+                    name=f"{names.prefix}_slot_update_{level}_{event.value}",
+                    table=names.cache(level),
+                    event=event,
+                    body=maint.make_slot_update_trigger(level),
+                )
+            )
+
+
+class _Maintenance:
+    """Shared state and helpers for the trigger bodies."""
+
+    def __init__(self, names: SchemaNames, config: MaintenanceConfig, n_levels: int) -> None:
+        self.names = names
+        self.config = config
+        self.n_levels = n_levels
+        self.newest_slot: int | None = None
+
+    # ------------------------------------------------------------------
+    # Trigger bodies
+    # ------------------------------------------------------------------
+    def roll_trigger(self, db: Database, inv: TriggerInvocation) -> None:
+        """Slide the window forward to cover the newest insertion and
+        expunge slots that fell off the back."""
+        newest = max(int(row["slot_id"]) for row in inv.inserted)
+        if self.newest_slot is not None and newest <= self.newest_slot:
+            return
+        self.newest_slot = newest if self.newest_slot is None else max(self.newest_slot, newest)
+        # With absolute slot alignment, live readings straddle a slot
+        # boundary: at any instant their expiries span n_slots + 1 slot
+        # ids, so the window retains one extra slot.  Everything behind
+        # it expired before the insertion that slid the window.
+        window_start = self.newest_slot - self.config.n_slots
+        db.delete(self.names.leaf_cache, col("slot_id") < window_start)
+
+    def slot_insert_trigger(self, db: Database, inv: TriggerInvocation) -> None:
+        """Bump the parent-layer aggregate for each new reading, then
+        enforce the cache-size constraint."""
+        for row in inv.inserted:
+            if self.newest_slot is not None and int(row["slot_id"]) < (
+                self.newest_slot - self.config.n_slots
+            ):
+                continue  # the roll trigger already expunged this row
+            parent_id, parent_level = self._parent_of(db, int(row["leaf_id"]))
+            if parent_id is None:
+                continue  # single-node tree: the leaf is the root
+            self._apply_delta(
+                db,
+                level=parent_level,
+                node_id=parent_id,
+                slot=int(row["slot_id"]),
+                d_count=1,
+                d_sum=float(row["value"]),
+                merge_min=float(row["value"]),
+                merge_max=float(row["value"]),
+                merge_oldest=float(row["timestamp"]),
+            )
+        self._enforce_capacity(db)
+
+    def slot_delete_trigger(self, db: Database, inv: TriggerInvocation) -> None:
+        """Decrement the parent layer for each expunged/evicted reading."""
+        for row in inv.deleted:
+            parent_id, parent_level = self._parent_of(db, int(row["leaf_id"]))
+            if parent_id is None:
+                continue
+            self._apply_delta(
+                db,
+                level=parent_level,
+                node_id=parent_id,
+                slot=int(row["slot_id"]),
+                d_count=-1,
+                d_sum=-float(row["value"]),
+                removed_value=float(row["value"]),
+            )
+
+    def make_slot_update_trigger(self, level: int):
+        """The propagation trigger for one cache table: applies each
+        affected row's delta to the parent layer."""
+
+        def body(db: Database, inv: TriggerInvocation) -> None:
+            old_by_key = {
+                (r["node_id"], r["slot_id"]): r for r in inv.deleted
+            }
+            new_by_key = {
+                (r["node_id"], r["slot_id"]): r for r in inv.inserted
+            }
+            for key in set(old_by_key) | set(new_by_key):
+                old = old_by_key.get(key)
+                new = new_by_key.get(key)
+                node_id = int(key[0])
+                slot = int(key[1])
+                parent_id, parent_level = self._parent_of(db, node_id)
+                if parent_id is None:
+                    continue
+                d_count = (int(new["value_count"]) if new else 0) - (
+                    int(old["value_count"]) if old else 0
+                )
+                d_sum = (float(new["value_sum"]) if new else 0.0) - (
+                    float(old["value_sum"]) if old else 0.0
+                )
+                if d_count == 0 and d_sum == 0.0 and new is not None and old is not None:
+                    # min/max-only recompute below still matters when a
+                    # child's extremes changed without count/sum moving.
+                    if (
+                        new["value_min"] == old["value_min"]
+                        and new["value_max"] == old["value_max"]
+                        and new["oldest_ts"] == old["oldest_ts"]
+                    ):
+                        continue
+                shrinking = old is not None and (
+                    new is None
+                    or float(new["value_min"]) > float(old["value_min"])
+                    or float(new["value_max"]) < float(old["value_max"])
+                )
+                self._apply_delta(
+                    db,
+                    level=parent_level,
+                    node_id=parent_id,
+                    slot=slot,
+                    d_count=d_count,
+                    d_sum=d_sum,
+                    merge_min=float(new["value_min"]) if new else None,
+                    merge_max=float(new["value_max"]) if new else None,
+                    merge_oldest=float(new["oldest_ts"]) if new else None,
+                    removed_value=0.0 if shrinking else None,
+                )
+
+        return body
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _parent_of(self, db: Database, node_id: int) -> tuple[int | None, int]:
+        meta = db.table(self.names.node_meta).get((node_id,))
+        if meta is None:
+            raise KeyError(f"unknown node {node_id}")
+        parent_id = meta["parent_id"]
+        if parent_id is None:
+            return None, -1
+        parent_meta = db.table(self.names.node_meta).get((int(parent_id),))
+        assert parent_meta is not None
+        return int(parent_id), int(parent_meta["level"])
+
+    def _apply_delta(
+        self,
+        db: Database,
+        level: int,
+        node_id: int,
+        slot: int,
+        d_count: int,
+        d_sum: float,
+        merge_min: float | None = None,
+        merge_max: float | None = None,
+        merge_oldest: float | None = None,
+        removed_value: float | None = None,
+    ) -> None:
+        """Apply a delta to one (node, slot) cache row.
+
+        ``removed_value`` not ``None`` marks a shrink: the row's min/max
+        may be invalidated, so they are recomputed from the children
+        (the paper's non-decrementable-aggregate path).
+        """
+        cache_name = self.names.cache(level)
+        table = db.table(cache_name)
+        key = (node_id, slot)
+        existing = table.get(key)
+        if existing is None:
+            if d_count <= 0:
+                return  # decrement against an already-expired slot
+            db.insert(
+                cache_name,
+                [
+                    {
+                        "node_id": node_id,
+                        "slot_id": slot,
+                        "value_count": d_count,
+                        "value_sum": d_sum,
+                        "value_min": merge_min if merge_min is not None else d_sum,
+                        "value_max": merge_max if merge_max is not None else d_sum,
+                        "oldest_ts": merge_oldest if merge_oldest is not None else 0.0,
+                    }
+                ],
+            )
+            return
+        new_count = int(existing["value_count"]) + d_count
+        where = (col("node_id") == node_id) & (col("slot_id") == slot)
+        if new_count <= 0:
+            db.delete(cache_name, where)
+            return
+        changes: dict[str, object] = {
+            "value_count": new_count,
+            "value_sum": float(existing["value_sum"]) + d_sum,
+        }
+        if removed_value is not None:
+            low, high, oldest = self._recompute_extremes(db, level, node_id, slot)
+            changes["value_min"] = low
+            changes["value_max"] = high
+            changes["oldest_ts"] = oldest
+        else:
+            if merge_min is not None:
+                changes["value_min"] = min(float(existing["value_min"]), merge_min)
+            if merge_max is not None:
+                changes["value_max"] = max(float(existing["value_max"]), merge_max)
+            if merge_oldest is not None:
+                changes["oldest_ts"] = min(float(existing["oldest_ts"]), merge_oldest)
+        db.update(cache_name, changes, where)
+
+    def _recompute_extremes(
+        self, db: Database, level: int, node_id: int, slot: int
+    ) -> tuple[float, float, float]:
+        """Min / max / oldest over the children's same-slot data."""
+        low, high, oldest = math.inf, -math.inf, math.inf
+        children = db.table(self.names.layer(level)).scan(col("node_id") == node_id)
+        for edge in children:
+            child_id = int(edge["child_id"])
+            child_meta = db.table(self.names.node_meta).get((child_id,))
+            assert child_meta is not None
+            if child_meta["is_leaf"]:
+                rows = db.table(self.names.leaf_cache).scan(
+                    (col("leaf_id") == child_id) & (col("slot_id") == slot)
+                )
+                for r in rows:
+                    low = min(low, float(r["value"]))
+                    high = max(high, float(r["value"]))
+                    oldest = min(oldest, float(r["timestamp"]))
+            else:
+                row = db.table(self.names.cache(int(child_meta["level"]))).get(
+                    (child_id, slot)
+                )
+                if row is not None:
+                    low = min(low, float(row["value_min"]))
+                    high = max(high, float(row["value_max"]))
+                    oldest = min(oldest, float(row["oldest_ts"]))
+        return low, high, oldest
+
+    def _enforce_capacity(self, db: Database) -> None:
+        """LRF eviction from the oldest occupied slot until the leaf
+        cache fits the size constraint."""
+        capacity = self.config.cache_capacity
+        if capacity is None:
+            return
+        leaf_cache = db.table(self.names.leaf_cache)
+        while len(leaf_cache) > capacity:
+            oldest_slot = min(int(r["slot_id"]) for r in leaf_cache)
+            victims = sorted(
+                (r for r in leaf_cache if int(r["slot_id"]) == oldest_slot),
+                key=lambda r: float(r["fetched_at"]),
+            )
+            overflow = len(leaf_cache) - capacity
+            victim_ids = [int(r["sensor_id"]) for r in victims[:overflow]]
+            if not victim_ids:
+                break
+            db.delete(self.names.leaf_cache, col("sensor_id").in_(victim_ids))

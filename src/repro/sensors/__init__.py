@@ -1,0 +1,45 @@
+"""Simulated live-sensor substrate.
+
+The paper's sensors are real web-connected devices (restaurant wait-time
+publishers, USGS gauges, weather stations) that must be *pulled* on
+demand, are intermittently available, and stamp each reading with an
+expiry time.  This package simulates that world faithfully enough for the
+evaluation to be meaningful:
+
+``SimClock``
+    A deterministic virtual clock shared by the network, the index and
+    the benchmark harness.
+``Sensor`` / ``Reading``
+    Static metadata (location, type, expiry duration) and timestamped
+    readings with explicit expiry instants.
+``AvailabilityModel``
+    Per-sensor ground-truth availability plus the *historical* estimates
+    that COLR-Tree's oversampling step consumes (Section V).
+``SpatialField``
+    Spatially correlated ground-truth values, used for the Figure 7
+    result-accuracy experiment.
+``SensorNetwork``
+    The probe endpoint: batch probes succeed per-sensor with the
+    ground-truth availability and are metered for probe counts and a
+    simulated latency model.
+``SensorRegistry``
+    The publisher-facing registration store of static metadata.
+"""
+
+from repro.sensors.clock import SimClock
+from repro.sensors.sensor import Reading, Sensor
+from repro.sensors.availability import AvailabilityModel
+from repro.sensors.field import SpatialField
+from repro.sensors.network import ProbeResult, SensorNetwork
+from repro.sensors.registry import SensorRegistry
+
+__all__ = [
+    "SimClock",
+    "Sensor",
+    "Reading",
+    "AvailabilityModel",
+    "SpatialField",
+    "SensorNetwork",
+    "ProbeResult",
+    "SensorRegistry",
+]

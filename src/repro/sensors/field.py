@@ -1,0 +1,98 @@
+"""Spatially correlated ground-truth fields.
+
+Figure 7 of the paper exploits the fact that nearby sensors report
+similar values (water discharge in the same river basin), so a small
+random sample approximates the regional average well.  ``SpatialField``
+reproduces that property: the value at a location is a smooth mixture of
+Gaussian bumps (the "basins") plus a slow temporal drift and a small
+per-reading noise term.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry import GeoPoint, Rect
+
+
+class SpatialField:
+    """A smooth scalar field over a rectangular domain.
+
+    Parameters
+    ----------
+    domain:
+        The rectangle the field covers.
+    n_bumps:
+        Number of Gaussian bumps; more bumps means shorter correlation
+        length (less spatial smoothness).
+    amplitude:
+        Scale of bump heights above the base level.
+    base:
+        Constant offset so values stay positive (discharge-like).
+    noise_sigma:
+        Standard deviation of independent per-reading noise.
+    drift_period:
+        Period (seconds) of a slow sinusoidal temporal drift applied to
+        the whole field, so repeated probes at different times differ.
+    width_range:
+        Bump standard deviations as fractions of the domain diagonal;
+        narrower bumps give a rougher field (higher spatial variance,
+        shorter correlation length).
+    seed:
+        RNG seed controlling bump placement and noise.
+    """
+
+    def __init__(
+        self,
+        domain: Rect,
+        n_bumps: int = 8,
+        amplitude: float = 100.0,
+        base: float = 150.0,
+        noise_sigma: float = 2.0,
+        drift_period: float = 86_400.0,
+        width_range: tuple[float, float] = (0.15, 0.45),
+        seed: int = 0,
+    ) -> None:
+        if n_bumps < 1:
+            raise ValueError("need at least one bump")
+        if not 0 < width_range[0] <= width_range[1]:
+            raise ValueError("width_range must be positive and ordered")
+        self.domain = domain
+        self.base = float(base)
+        self.noise_sigma = float(noise_sigma)
+        self.drift_period = float(drift_period)
+        rng = np.random.default_rng(seed)
+        self._bump_x = rng.uniform(domain.min_x, domain.max_x, n_bumps)
+        self._bump_y = rng.uniform(domain.min_y, domain.max_y, n_bumps)
+        # Bump widths as a fraction of the domain extent control how
+        # smooth the field is at the sensor spacing.
+        scale = max(domain.width, domain.height, 1e-9)
+        self._bump_sigma = rng.uniform(width_range[0], width_range[1], n_bumps) * scale
+        self._bump_height = rng.uniform(0.3, 1.0, n_bumps) * float(amplitude)
+        self._noise_rng = np.random.default_rng(seed + 1)
+
+    def mean_value(self, p: GeoPoint, at_time: float = 0.0) -> float:
+        """Noise-free field value at a point and instant."""
+        total = self.base
+        for bx, by, bs, bh in zip(
+            self._bump_x, self._bump_y, self._bump_sigma, self._bump_height
+        ):
+            d2 = (p.x - bx) ** 2 + (p.y - by) ** 2
+            total += bh * math.exp(-d2 / (2.0 * bs * bs))
+        drift = 1.0 + 0.1 * math.sin(2.0 * math.pi * at_time / self.drift_period)
+        return total * drift
+
+    def sample(self, p: GeoPoint, at_time: float = 0.0) -> float:
+        """One noisy observation of the field."""
+        return self.mean_value(p, at_time) + float(
+            self._noise_rng.normal(0.0, self.noise_sigma)
+        )
+
+    def regional_mean(self, points: list[GeoPoint], at_time: float = 0.0) -> float:
+        """Noise-free average over a set of sensor locations — the exact
+        answer a full (unsampled) aggregate query would converge to."""
+        if not points:
+            raise ValueError("regional mean of zero points is undefined")
+        return sum(self.mean_value(p, at_time) for p in points) / len(points)

@@ -1,0 +1,230 @@
+"""The simulated probe endpoint.
+
+``SensorNetwork`` is the only component allowed to produce fresh
+readings.  Every probe is metered: the benchmark harness reads the
+counters to reproduce the paper's "# sensor probes" axes, and the
+latency model converts batch sizes into a simulated collection latency
+(probes run in parallel up to a connection limit, as a web portal's data
+collector would).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.sensors.availability import AvailabilityModel
+from repro.sensors.sensor import Reading, Sensor
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeResult:
+    """Outcome of one batch probe.
+
+    ``readings`` maps sensor id to the fresh reading for every sensor
+    that answered; ``failed`` lists the sensors that were probed but
+    unavailable.  ``latency_seconds`` is the simulated wall-clock cost of
+    the batch under the parallel collection model.
+    """
+
+    readings: Mapping[int, Reading]
+    failed: tuple[int, ...]
+    latency_seconds: float
+
+    @property
+    def attempted(self) -> int:
+        return len(self.readings) + len(self.failed)
+
+
+@dataclass
+class NetworkStats:
+    """Cumulative probe accounting for an experiment run."""
+
+    probes_attempted: int = 0
+    probes_succeeded: int = 0
+    batches: int = 0
+    total_latency_seconds: float = 0.0
+    per_sensor_probes: dict[int, int] = field(default_factory=dict)
+
+    def snapshot(self) -> "NetworkStats":
+        """A copy safe to keep while the run continues."""
+        clone = NetworkStats(
+            probes_attempted=self.probes_attempted,
+            probes_succeeded=self.probes_succeeded,
+            batches=self.batches,
+            total_latency_seconds=self.total_latency_seconds,
+        )
+        clone.per_sensor_probes = dict(self.per_sensor_probes)
+        return clone
+
+
+ValueFn = Callable[[Sensor, float], float]
+
+
+class SensorNetwork:
+    """Holds the registered sensors and answers probe batches.
+
+    Parameters
+    ----------
+    sensors:
+        The sensor population.  Ids must be unique.
+    value_fn:
+        ``(sensor, now) -> value`` ground-truth generator; defaults to a
+        hash-derived stable pseudo-value when the experiment does not
+        care about values (probe-count experiments).
+    availability_model:
+        Where probe outcomes are recorded so the index can later read
+        historical estimates.  Optional.
+    rtt_seconds:
+        Base round-trip latency of contacting one sensor.
+    parallelism:
+        Number of concurrent connections of the data collector; a batch
+        of ``n`` probes costs ``ceil(n / parallelism)`` round trips.
+    latency_jitter:
+        Log-normal sigma of per-probe latency around ``rtt_seconds``;
+        0 (default) keeps latencies deterministic.
+    timeout_seconds:
+        The collector's per-probe timeout: a probe whose sampled
+        latency exceeds it is abandoned and reported unavailable (the
+        collector cannot tell a slow sensor from a dead one).  ``None``
+        disables timeouts.
+    seed:
+        RNG seed for availability and latency draws.
+    """
+
+    def __init__(
+        self,
+        sensors: Iterable[Sensor],
+        value_fn: ValueFn | None = None,
+        availability_model: AvailabilityModel | None = None,
+        rtt_seconds: float = 0.2,
+        parallelism: int = 64,
+        latency_jitter: float = 0.0,
+        timeout_seconds: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._sensors: dict[int, Sensor] = {}
+        for sensor in sensors:
+            if sensor.sensor_id in self._sensors:
+                raise ValueError(f"duplicate sensor id {sensor.sensor_id}")
+            self._sensors[sensor.sensor_id] = sensor
+        if parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        if rtt_seconds < 0:
+            raise ValueError("rtt_seconds must be non-negative")
+        if latency_jitter < 0:
+            raise ValueError("latency_jitter must be non-negative")
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive or None")
+        self._value_fn = value_fn if value_fn is not None else _default_value
+        self.availability_model = availability_model
+        self.rtt_seconds = float(rtt_seconds)
+        self.parallelism = int(parallelism)
+        self.latency_jitter = float(latency_jitter)
+        self.timeout_seconds = timeout_seconds
+        self._rng = np.random.default_rng(seed)
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sensors)
+
+    def sensor(self, sensor_id: int) -> Sensor:
+        return self._sensors[sensor_id]
+
+    def sensors(self) -> list[Sensor]:
+        """All sensors, in id order."""
+        return [self._sensors[sid] for sid in sorted(self._sensors)]
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def probe(self, sensor_ids: Iterable[int], now: float) -> ProbeResult:
+        """Probe a batch of sensors at simulated instant ``now``.
+
+        Each probe succeeds independently with the sensor's ground-truth
+        availability.  Successful probes return a reading timestamped
+        ``now`` that expires after the sensor's published expiry
+        duration.  Outcomes are recorded in the availability model so
+        future oversampling decisions improve.
+        """
+        ids = list(sensor_ids)
+        readings: dict[int, Reading] = {}
+        failed: list[int] = []
+        draws = self._rng.random(len(ids))
+        latencies = self._sample_latencies(len(ids))
+        for i, (sid, draw) in enumerate(zip(ids, draws)):
+            sensor = self._sensors.get(sid)
+            if sensor is None:
+                raise KeyError(f"unknown sensor id {sid}")
+            timed_out = (
+                self.timeout_seconds is not None and latencies[i] > self.timeout_seconds
+            )
+            if timed_out:
+                # A timed-out probe occupies its connection for the full
+                # timeout and is indistinguishable from a dead sensor.
+                latencies[i] = self.timeout_seconds
+            success = (draw < sensor.availability) and not timed_out
+            if self.availability_model is not None:
+                self.availability_model.record(sid, success)
+            self.stats.per_sensor_probes[sid] = (
+                self.stats.per_sensor_probes.get(sid, 0) + 1
+            )
+            if success:
+                value = self._value_fn(sensor, now)
+                readings[sid] = Reading(
+                    sensor_id=sid,
+                    value=value,
+                    timestamp=now,
+                    expires_at=now + sensor.expiry_seconds,
+                )
+            else:
+                failed.append(sid)
+        latency = self._batch_latency_from(latencies)
+        self.stats.probes_attempted += len(ids)
+        self.stats.probes_succeeded += len(readings)
+        self.stats.batches += 1 if ids else 0
+        self.stats.total_latency_seconds += latency
+        return ProbeResult(readings=readings, failed=tuple(failed), latency_seconds=latency)
+
+    def batch_latency(self, n_probes: int) -> float:
+        """Deterministic (no-jitter) latency of probing ``n_probes``
+        sensors in parallel over ``parallelism`` connections."""
+        if n_probes <= 0:
+            return 0.0
+        rounds = math.ceil(n_probes / self.parallelism)
+        return self.rtt_seconds * rounds
+
+    def _sample_latencies(self, n: int) -> np.ndarray:
+        """Per-probe latencies: log-normal jitter around the base RTT."""
+        if n == 0:
+            return np.empty(0)
+        if self.latency_jitter <= 0.0:
+            return np.full(n, self.rtt_seconds)
+        return self.rtt_seconds * np.exp(
+            self._rng.normal(0.0, self.latency_jitter, n)
+        )
+
+    def _batch_latency_from(self, latencies: np.ndarray) -> float:
+        """Batch latency: probes run in rounds of ``parallelism``
+        concurrent connections; each round lasts as long as its slowest
+        probe."""
+        if latencies.size == 0:
+            return 0.0
+        total = 0.0
+        for start in range(0, latencies.size, self.parallelism):
+            total += float(latencies[start : start + self.parallelism].max())
+        return total
+
+
+def _default_value(sensor: Sensor, now: float) -> float:
+    """Stable pseudo-value when the experiment ignores reading values."""
+    return float((sensor.sensor_id * 2654435761) % 1000) / 10.0

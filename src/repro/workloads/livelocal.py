@@ -1,0 +1,187 @@
+"""The Windows-Live-Local-like workload generator.
+
+The paper evaluates on two proprietary Live Local datasets: ~370,000
+restaurant locations (the sensor set) and 106,000 rectangular viewport
+queries (the query set).  Two properties of that workload carry the
+evaluation:
+
+* **skewed sensor density** — restaurants cluster around metros, which
+  is what makes weighted sample-size partitioning and near-uniform
+  k-means clusters matter; and
+* **spatio-temporal query locality** — users pan/zoom around popular
+  areas and re-visit regions, which is what gives caching its hit rate.
+
+The generator reproduces both: sensors are scattered around real US
+city centers with population weighting and a Gaussian urban radius;
+queries pick a hotspot city Zipf-style, choose a zoom level (viewport
+edge from ~2 to ~200 miles), jitter the center, and with a configurable
+probability revisit one of the last few viewports instead (locality).
+Query timestamps advance with exponential inter-arrivals.
+
+Every knob (counts, skew, locality, staleness window) is a constructor
+parameter so the benches can run scaled-down by default and full-scale
+on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import GeoPoint, Rect
+from repro.geometry.point import miles_to_degrees_lat, miles_to_degrees_lon
+from repro.sensors.sensor import Sensor
+from repro.workloads.cities import CITIES
+
+
+@dataclass(frozen=True, slots=True)
+class QuerySpec:
+    """One generated portal query."""
+
+    region: Rect
+    at_time: float
+    staleness_seconds: float
+    sample_size: int
+
+
+class LiveLocalWorkload:
+    """Sensor placement + viewport query stream.
+
+    Parameters
+    ----------
+    n_sensors / n_queries:
+        Scale knobs (paper scale: 370 000 / 106 000).
+    expiry_seconds:
+        Either a scalar (all sensors alike) or a callable
+        ``rng -> float`` drawing per-sensor expiry durations.
+    availability:
+        Scalar ground-truth availability, or ``rng -> float``.
+    zipf_s:
+        Skew of hotspot-city selection for queries (higher = more
+        concentrated on the largest metros).
+    revisit_probability:
+        Probability a query re-uses one of the last ``revisit_window``
+        viewports (temporal locality).
+    mean_interarrival_seconds:
+        Exponential inter-arrival mean of the query stream.
+    staleness_seconds:
+        Freshness window attached to every query.
+    sample_size:
+        SAMPLESIZE attached to every query.
+    urban_radius_miles:
+        Gaussian scatter radius around city centers.
+    """
+
+    def __init__(
+        self,
+        n_sensors: int = 40_000,
+        n_queries: int = 2_000,
+        expiry_seconds=300.0,
+        availability=1.0,
+        zipf_s: float = 1.1,
+        revisit_probability: float = 0.35,
+        revisit_window: int = 20,
+        mean_interarrival_seconds: float = 0.5,
+        staleness_seconds: float = 300.0,
+        sample_size: int = 100,
+        urban_radius_miles: float = 12.0,
+        seed: int = 0,
+    ) -> None:
+        if n_sensors < 1 or n_queries < 0:
+            raise ValueError("need at least one sensor and a non-negative query count")
+        if not 0.0 <= revisit_probability <= 1.0:
+            raise ValueError("revisit_probability must be in [0, 1]")
+        self.n_sensors = n_sensors
+        self.n_queries = n_queries
+        self._expiry = expiry_seconds
+        self._availability = availability
+        self.zipf_s = zipf_s
+        self.revisit_probability = revisit_probability
+        self.revisit_window = max(1, revisit_window)
+        self.mean_interarrival = mean_interarrival_seconds
+        self.staleness_seconds = staleness_seconds
+        self.sample_size = sample_size
+        self.urban_radius_miles = urban_radius_miles
+        self.seed = seed
+        self._city_weights = self._population_weights()
+
+    def _population_weights(self) -> np.ndarray:
+        pops = np.array([c.population for c in CITIES], dtype=np.float64)
+        return pops / pops.sum()
+
+    # ------------------------------------------------------------------
+    # Sensors
+    # ------------------------------------------------------------------
+    def sensors(self) -> list[Sensor]:
+        """The synthetic restaurant directory."""
+        rng = np.random.default_rng(self.seed)
+        city_idx = rng.choice(len(CITIES), size=self.n_sensors, p=self._city_weights)
+        out: list[Sensor] = []
+        for sensor_id, ci in enumerate(city_idx):
+            city = CITIES[int(ci)]
+            dlat = miles_to_degrees_lat(self.urban_radius_miles)
+            dlon = miles_to_degrees_lon(self.urban_radius_miles, at_lat=city.lat)
+            lat = city.lat + float(rng.normal(0.0, dlat))
+            lon = city.lon + float(rng.normal(0.0, dlon))
+            expiry = (
+                float(self._expiry(rng))
+                if callable(self._expiry)
+                else float(self._expiry)
+            )
+            avail = (
+                float(self._availability(rng))
+                if callable(self._availability)
+                else float(self._availability)
+            )
+            out.append(
+                Sensor(
+                    sensor_id=sensor_id,
+                    location=GeoPoint(lon, lat),
+                    expiry_seconds=max(1.0, expiry),
+                    sensor_type="restaurant",
+                    availability=min(1.0, max(0.0, avail)),
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def queries(self) -> list[QuerySpec]:
+        """The viewport query stream, ordered by arrival time."""
+        rng = np.random.default_rng(self.seed + 1)
+        # Zipf-style hotspot ranking over cities ordered by population.
+        order = np.argsort(-np.array([c.population for c in CITIES]))
+        ranks = np.arange(1, len(CITIES) + 1, dtype=np.float64)
+        zipf = ranks ** (-self.zipf_s)
+        zipf /= zipf.sum()
+        recent: list[Rect] = []
+        out: list[QuerySpec] = []
+        now = 0.0
+        for _ in range(self.n_queries):
+            now += float(rng.exponential(self.mean_interarrival))
+            if recent and rng.random() < self.revisit_probability:
+                region = recent[int(rng.integers(len(recent)))]
+            else:
+                city = CITIES[int(order[int(rng.choice(len(CITIES), p=zipf))])]
+                # Zoom level: log-uniform viewport edge, 2..200 miles.
+                edge_miles = float(np.exp(rng.uniform(np.log(2.0), np.log(200.0))))
+                half_lat = miles_to_degrees_lat(edge_miles) / 2.0
+                half_lon = miles_to_degrees_lon(edge_miles, at_lat=city.lat) / 2.0
+                jitter_lat = float(rng.normal(0.0, half_lat / 2.0))
+                jitter_lon = float(rng.normal(0.0, half_lon / 2.0))
+                center = GeoPoint(city.lon + jitter_lon, city.lat + jitter_lat)
+                region = Rect.from_center(center, half_lon, half_lat)
+                recent.append(region)
+                if len(recent) > self.revisit_window:
+                    recent.pop(0)
+            out.append(
+                QuerySpec(
+                    region=region,
+                    at_time=now,
+                    staleness_seconds=self.staleness_seconds,
+                    sample_size=self.sample_size,
+                )
+            )
+        return out

@@ -1,0 +1,103 @@
+"""Workload traces: freeze a generated workload to disk.
+
+The paper's evaluation runs one fixed trace (the Windows Live Local
+logs) against every configuration.  Our workloads are generated, so a
+*trace file* pins a specific realization — sensors plus the timed query
+stream — letting experiments be re-run bit-identically across machines
+and letting users drop in their own traces (any JSON of the same shape)
+in place of the generators.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.geometry import GeoPoint, Rect
+from repro.sensors.sensor import Sensor
+from repro.workloads.livelocal import QuerySpec
+
+TRACE_VERSION = 1
+
+
+class TraceError(ValueError):
+    """Raised for malformed trace files."""
+
+
+def workload_to_dict(sensors: list[Sensor], queries: list[QuerySpec]) -> dict[str, Any]:
+    """Serialize one workload realization."""
+    return {
+        "trace_version": TRACE_VERSION,
+        "sensors": [
+            {
+                "sensor_id": s.sensor_id,
+                "x": s.location.x,
+                "y": s.location.y,
+                "expiry_seconds": s.expiry_seconds,
+                "sensor_type": s.sensor_type,
+                "availability": s.availability,
+            }
+            for s in sensors
+        ],
+        "queries": [
+            {
+                "min_x": q.region.min_x,
+                "min_y": q.region.min_y,
+                "max_x": q.region.max_x,
+                "max_y": q.region.max_y,
+                "at_time": q.at_time,
+                "staleness_seconds": q.staleness_seconds,
+                "sample_size": q.sample_size,
+            }
+            for q in queries
+        ],
+    }
+
+
+def workload_from_dict(data: dict[str, Any]) -> tuple[list[Sensor], list[QuerySpec]]:
+    """Deserialize; validates the version and every record."""
+    if data.get("trace_version") != TRACE_VERSION:
+        raise TraceError(f"unsupported trace version {data.get('trace_version')!r}")
+    try:
+        sensors = [
+            Sensor(
+                sensor_id=int(s["sensor_id"]),
+                location=GeoPoint(float(s["x"]), float(s["y"])),
+                expiry_seconds=float(s["expiry_seconds"]),
+                sensor_type=str(s.get("sensor_type", "generic")),
+                availability=float(s.get("availability", 1.0)),
+            )
+            for s in data["sensors"]
+        ]
+        queries = [
+            QuerySpec(
+                region=Rect(
+                    float(q["min_x"]),
+                    float(q["min_y"]),
+                    float(q["max_x"]),
+                    float(q["max_y"]),
+                ),
+                at_time=float(q["at_time"]),
+                staleness_seconds=float(q["staleness_seconds"]),
+                sample_size=int(q["sample_size"]),
+            )
+            for q in data["queries"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"malformed trace: {exc}") from exc
+    return sensors, queries
+
+
+def save_workload(
+    sensors: list[Sensor], queries: list[QuerySpec], path: str | Path
+) -> None:
+    Path(path).write_text(json.dumps(workload_to_dict(sensors, queries)))
+
+
+def load_workload(path: str | Path) -> tuple[list[Sensor], list[QuerySpec]]:
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"trace is not valid JSON: {exc}") from exc
+    return workload_from_dict(data)

@@ -1,0 +1,58 @@
+"""Fast smoke coverage of every figure driver at tiny scale (the real
+shape assertions live in benchmarks/)."""
+
+import pytest
+
+from repro.bench.fig2 import run_fig2
+from repro.bench.fig3 import run_fig3
+from repro.bench.fig4 import run_fig4
+from repro.bench.fig5 import run_fig5
+from repro.bench.fig6 import run_fig6
+from repro.bench.fig7 import run_fig7
+from repro.bench.setup import EvalSetup
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return EvalSetup(n_sensors=1200, n_queries=30)
+
+
+class TestDrivers:
+    def test_fig2_structure(self):
+        result = run_fig2(n_samples=500)
+        assert set(result.curves) == {"uniform", "usgs", "weather"}
+        assert all(len(c) == len(result.deltas) for c in result.curves.values())
+        assert "optima" in result.format_table()
+
+    def test_fig3_structure(self, tiny):
+        result = run_fig3(tiny)
+        assert set(result.mean_traversed) == {"rtree", "hier_cache", "colr_tree"}
+        assert result.format_table().count("Figure 3") == 2  # main + nested
+
+    def test_fig4_structure(self, tiny):
+        result = run_fig4(tiny, freshness_windows=[120.0, 480.0])
+        assert len(result.rows) == 2
+        summary = result.summary()
+        assert summary["max_probe_reduction_vs_flat"] > 0
+        assert "fresh_min" in result.format_table()
+
+    def test_fig5_structure(self, tiny):
+        result = run_fig5(tiny, cache_fractions=[0.2], sample_sizes=[10, 100])
+        assert len(result.cells) == 2
+        assert result.cell(0.2, 10).mean_probes >= 0
+        with pytest.raises(KeyError):
+            result.cell(0.9, 10)
+
+    def test_fig6_structure(self, tiny):
+        result = run_fig6(tiny, cache_fractions=[0.2], sample_sizes=[10])
+        cell = result.cell(0.2, 10)
+        assert 0.0 <= cell.target_accuracy <= 1.5
+        with pytest.raises(KeyError):
+            result.cell(0.2, 999)
+
+    def test_fig7_structure(self):
+        result = run_fig7(sample_sizes=[10, 50], n_trials=4)
+        assert len(result.points) == 2
+        assert result.error_at(10) >= 0
+        with pytest.raises(KeyError):
+            result.error_at(77)

@@ -1,0 +1,32 @@
+from repro.bench.report import format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        text = format_table(["name", "value"], [["x", 1.5], ["y", 2.0]])
+        assert "name" in text and "value" in text
+        assert "1.500" in text and "2.000" in text
+
+    def test_title_underlined(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_large_floats_get_thousands_separator(self):
+        text = format_table(["v"], [[123456.0]])
+        assert "123,456" in text
+
+    def test_zero_compact(self):
+        text = format_table(["v"], [[0.0]])
+        assert text.splitlines()[-1].strip() == "0"
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines if line.strip()}
+        assert len(widths) == 1  # every row padded to the same width
+
+    def test_mixed_types(self):
+        text = format_table(["a", "b", "c"], [[True, 42, "txt"]])
+        assert "True" in text and "42" in text and "txt" in text

@@ -1,0 +1,65 @@
+"""Shared fixtures: small deterministic sensor populations and trees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AvailabilityModel,
+    COLRTree,
+    COLRTreeConfig,
+    GeoPoint,
+    SensorNetwork,
+    SensorRegistry,
+)
+
+
+def make_registry(
+    n: int = 400,
+    extent: float = 100.0,
+    expiry_range: tuple[float, float] = (120.0, 600.0),
+    availability: float = 1.0,
+    seed: int = 0,
+) -> SensorRegistry:
+    """A uniform random sensor population over a square region."""
+    rng = np.random.default_rng(seed)
+    registry = SensorRegistry()
+    for _ in range(n):
+        registry.register(
+            GeoPoint(float(rng.uniform(0, extent)), float(rng.uniform(0, extent))),
+            expiry_seconds=float(rng.uniform(*expiry_range)),
+            availability=availability,
+        )
+    return registry
+
+
+@pytest.fixture
+def registry() -> SensorRegistry:
+    return make_registry()
+
+
+@pytest.fixture
+def flaky_registry() -> SensorRegistry:
+    return make_registry(availability=0.8, seed=7)
+
+
+def make_tree(
+    registry: SensorRegistry,
+    config: COLRTreeConfig | None = None,
+    network_seed: int = 1,
+) -> COLRTree:
+    """A tree wired to a network and a shared availability model."""
+    model = AvailabilityModel()
+    network = SensorNetwork(
+        registry.all(), availability_model=model, seed=network_seed
+    )
+    cfg = config if config is not None else COLRTreeConfig(
+        max_expiry_seconds=600.0, slot_seconds=120.0
+    )
+    return COLRTree(registry.all(), cfg, network=network, availability_model=model)
+
+
+@pytest.fixture
+def tree(registry: SensorRegistry) -> COLRTree:
+    return make_tree(registry)

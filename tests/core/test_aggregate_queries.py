@@ -1,0 +1,134 @@
+"""End-to-end aggregate correctness: every aggregate function answered
+through the index (with caching in the loop) must equal the brute-force
+computation over the same network values."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AvailabilityModel,
+    COLRTree,
+    COLRTreeConfig,
+    GeoPoint,
+    Rect,
+    SensorNetwork,
+    SensorRegistry,
+)
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(50)
+    registry = SensorRegistry()
+    for _ in range(400):
+        registry.register(
+            GeoPoint(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            expiry_seconds=float(rng.uniform(300, 600)),
+        )
+
+    def value_fn(sensor, now):
+        return float((sensor.sensor_id * 37) % 101) - 50.0  # deterministic
+
+    network = SensorNetwork(registry.all(), value_fn=value_fn, seed=1)
+    tree = COLRTree(
+        registry.all(),
+        COLRTreeConfig(
+            max_expiry_seconds=600.0,
+            slot_seconds=120.0,
+            sampling_enabled=False,
+        ),
+        network=network,
+        availability_model=AvailabilityModel(),
+    )
+    return registry, tree, value_fn
+
+
+REGION = Rect(15, 15, 75, 75)
+
+
+def brute_force(registry, value_fn, region):
+    values = [
+        value_fn(s, 0.0) for s in registry.all() if region.contains_point(s.location)
+    ]
+    return values
+
+
+class TestExactAggregates:
+    @pytest.mark.parametrize("function", ["count", "sum", "avg", "min", "max"])
+    def test_cold_query_matches_brute_force(self, setup, function):
+        registry, tree, value_fn = setup
+        values = brute_force(registry, value_fn, REGION)
+        answer = tree.query(REGION, now=0.0, max_staleness=600.0)
+        expected = {
+            "count": float(len(values)),
+            "sum": sum(values),
+            "avg": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+        }[function]
+        assert answer.estimate(function) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("function", ["count", "sum", "avg", "min", "max"])
+    def test_cache_served_query_matches_brute_force(self, setup, function):
+        registry, tree, value_fn = setup
+        values = brute_force(registry, value_fn, REGION)
+        tree.query(REGION, now=0.0, max_staleness=600.0)
+        answer = tree.query(REGION, now=5.0, max_staleness=600.0)
+        assert answer.stats.sensors_probed == 0  # fully cache-served
+        expected = {
+            "count": float(len(values)),
+            "sum": sum(values),
+            "avg": sum(values) / len(values),
+            "min": min(values),
+            "max": max(values),
+        }[function]
+        assert answer.estimate(function) == pytest.approx(expected)
+
+    def test_min_max_survive_updates(self, setup):
+        """Values change across probes: cached extremes must track."""
+        registry, tree, _ = setup
+
+        # Rebuild with a time-varying value function.
+        def varying(sensor, now):
+            return float((sensor.sensor_id * 37) % 101) - 50.0 + now / 10.0
+
+        network = SensorNetwork(registry.all(), value_fn=varying, seed=2)
+        tree = COLRTree(
+            registry.all(),
+            COLRTreeConfig(
+                max_expiry_seconds=600.0, slot_seconds=120.0, sampling_enabled=False
+            ),
+            network=network,
+        )
+        tree.query(REGION, now=0.0, max_staleness=600.0)
+        # Force re-probes with a tight staleness bound: values shift.
+        answer = tree.query(REGION, now=100.0, max_staleness=10.0)
+        values = [
+            varying(s, 100.0)
+            for s in registry.all()
+            if REGION.contains_point(s.location)
+        ]
+        assert answer.estimate("max") == pytest.approx(max(values))
+        assert answer.estimate("min") == pytest.approx(min(values))
+
+    def test_sampled_average_approximates(self, setup):
+        """A sampled answer's average should land near the exact one
+        (smoothness is not assumed here, so allow a loose band)."""
+        registry, tree, value_fn = setup
+        values = brute_force(registry, value_fn, REGION)
+        exact_avg = sum(values) / len(values)
+        from dataclasses import replace
+
+        sampled_tree = COLRTree(
+            registry.all(),
+            replace(tree.config, sampling_enabled=True),
+            network=SensorNetwork(registry.all(), value_fn=value_fn, seed=3),
+        )
+        estimates = []
+        for trial in range(10):
+            answer = sampled_tree.query(
+                REGION, now=float(trial) * 10_000, max_staleness=600.0, sample_size=60
+            )
+            estimates.append(answer.estimate("avg"))
+        spread = float(np.std(values)) / np.sqrt(60)
+        assert abs(float(np.mean(estimates)) - exact_avg) <= 4 * spread

@@ -1,0 +1,99 @@
+import math
+
+import pytest
+
+from repro.core.aggregates import AggregateSketch, combine
+
+
+class TestAdd:
+    def test_single_value(self):
+        s = AggregateSketch()
+        s.add(5.0, timestamp=100.0)
+        assert s.count == 1
+        assert s.result("sum") == 5.0
+        assert s.result("min") == s.result("max") == 5.0
+        assert s.oldest_timestamp == 100.0
+
+    def test_multiple_values(self):
+        s = AggregateSketch.of([(1.0, 10.0), (5.0, 20.0), (3.0, 5.0)])
+        assert s.result("count") == 3
+        assert s.result("sum") == 9.0
+        assert s.result("avg") == 3.0
+        assert s.result("min") == 1.0
+        assert s.result("max") == 5.0
+        assert s.oldest_timestamp == 5.0
+
+    def test_empty_results_undefined(self):
+        s = AggregateSketch()
+        for fn in ("count", "sum", "avg", "min", "max"):
+            with pytest.raises(ValueError):
+                s.result(fn)
+
+    def test_unknown_function_rejected(self):
+        s = AggregateSketch.of([(1.0, 0.0)])
+        with pytest.raises(ValueError):
+            s.result("median")
+
+
+class TestRemove:
+    def test_decrement_interior_value_stays_clean(self):
+        s = AggregateSketch.of([(1.0, 0.0), (3.0, 0.0), (5.0, 0.0)])
+        s.remove(3.0)
+        assert not s.minmax_dirty
+        assert s.result("sum") == 6.0
+        assert s.result("min") == 1.0 and s.result("max") == 5.0
+
+    def test_removing_extreme_dirties_minmax(self):
+        s = AggregateSketch.of([(1.0, 0.0), (3.0, 0.0), (5.0, 0.0)])
+        s.remove(5.0)
+        assert s.minmax_dirty
+        assert s.result("count") == 2
+        assert s.result("sum") == 4.0
+        with pytest.raises(ValueError):
+            s.result("max")
+
+    def test_remove_to_empty_resets(self):
+        s = AggregateSketch.of([(2.0, 0.0)])
+        s.remove(2.0)
+        assert s.is_empty
+        assert not s.minmax_dirty
+        assert s.minimum == math.inf
+
+    def test_remove_from_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateSketch().remove(1.0)
+
+
+class TestMergeAndCopy:
+    def test_merge(self):
+        a = AggregateSketch.of([(1.0, 10.0), (2.0, 20.0)])
+        b = AggregateSketch.of([(10.0, 5.0)])
+        a.merge(b)
+        assert a.result("count") == 3
+        assert a.result("max") == 10.0
+        assert a.oldest_timestamp == 5.0
+
+    def test_merge_empty_is_noop(self):
+        a = AggregateSketch.of([(1.0, 0.0)])
+        a.merge(AggregateSketch())
+        assert a.result("count") == 1
+
+    def test_merge_propagates_dirtiness(self):
+        a = AggregateSketch.of([(1.0, 0.0)])
+        b = AggregateSketch.of([(2.0, 0.0), (3.0, 0.0)])
+        b.remove(3.0)
+        a.merge(b)
+        assert a.minmax_dirty
+
+    def test_copy_is_independent(self):
+        a = AggregateSketch.of([(1.0, 0.0)])
+        c = a.copy()
+        c.add(5.0, 1.0)
+        assert a.result("count") == 1
+        assert c.result("count") == 2
+
+    def test_combine_many(self):
+        sketches = [AggregateSketch.of([(float(i), 0.0)]) for i in range(5)]
+        total = combine(sketches)
+        assert total.result("count") == 5
+        assert total.result("sum") == 10.0

@@ -1,0 +1,60 @@
+import pytest
+
+from repro import COLRTreeConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        COLRTreeConfig()
+
+    def test_fanout_bounds(self):
+        with pytest.raises(ValueError):
+            COLRTreeConfig(fanout=1)
+
+    def test_slot_exceeding_tmax_rejected(self):
+        with pytest.raises(ValueError):
+            COLRTreeConfig(max_expiry_seconds=100.0, slot_seconds=101.0)
+
+    def test_zero_slot_rejected(self):
+        with pytest.raises(ValueError):
+            COLRTreeConfig(slot_seconds=0.0)
+
+    def test_oversample_must_be_at_or_below_terminal(self):
+        with pytest.raises(ValueError):
+            COLRTreeConfig(terminal_level=3, oversample_level=2)
+        COLRTreeConfig(terminal_level=2, oversample_level=2)
+
+    def test_negative_cache_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            COLRTreeConfig(cache_capacity=-1)
+
+
+class TestDerived:
+    def test_n_slots_exact_division(self):
+        cfg = COLRTreeConfig(max_expiry_seconds=600.0, slot_seconds=120.0)
+        assert cfg.n_slots == 5
+
+    def test_n_slots_rounds_up(self):
+        cfg = COLRTreeConfig(max_expiry_seconds=600.0, slot_seconds=250.0)
+        assert cfg.n_slots == 3
+
+    def test_plain_rtree_variant(self):
+        cfg = COLRTreeConfig().as_plain_rtree()
+        assert not cfg.caching_enabled and not cfg.sampling_enabled
+
+    def test_hierarchical_cache_variant(self):
+        cfg = COLRTreeConfig().as_hierarchical_cache()
+        assert cfg.caching_enabled and not cfg.sampling_enabled
+
+    def test_with_slot_seconds(self):
+        cfg = COLRTreeConfig(max_expiry_seconds=600.0).with_slot_seconds(60.0)
+        assert cfg.slot_seconds == 60.0
+
+    def test_with_cache_capacity(self):
+        cfg = COLRTreeConfig().with_cache_capacity(500)
+        assert cfg.cache_capacity == 500
+        assert cfg.with_cache_capacity(None).cache_capacity is None
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            COLRTreeConfig().fanout = 4

@@ -1,0 +1,99 @@
+"""EXPLAIN: plan inspection without execution."""
+
+import pytest
+
+from repro import COLRTreeConfig, Rect
+
+from tests.conftest import make_registry, make_tree
+
+
+@pytest.fixture
+def tree():
+    return make_tree(make_registry(n=500, seed=60))
+
+
+REGION = Rect(10, 10, 80, 80)
+
+
+class TestExplainBasics:
+    def test_no_side_effects(self, tree):
+        plan = tree.explain(REGION, now=0.0, max_staleness=600.0, sample_size=30)
+        assert plan.expected_probes > 0
+        assert tree.network.stats.probes_attempted == 0
+        assert tree.cached_reading_count == 0
+
+    def test_deterministic(self, tree):
+        a = tree.explain(REGION, now=0.0, max_staleness=600.0, sample_size=30)
+        b = tree.explain(REGION, now=0.0, max_staleness=600.0, sample_size=30)
+        assert a.expected_probes == b.expected_probes
+        assert len(a.terminals) == len(b.terminals)
+
+    def test_access_path_selection(self, tree):
+        sampled = tree.explain(REGION, now=0.0, max_staleness=600.0, sample_size=30)
+        exact = tree.explain(REGION, now=0.0, max_staleness=600.0, sample_size=0)
+        assert sampled.access_path == "layered_sampling"
+        assert exact.access_path == "range_lookup"
+
+    def test_relevant_sensors_exact(self, tree):
+        plan = tree.explain(REGION, now=0.0, max_staleness=600.0, sample_size=0)
+        # Count by brute force.
+        expected = sum(
+            1
+            for sid in range(len(tree))
+            if REGION.contains_point(tree.sensor(sid).location)
+        )
+        assert plan.relevant_sensors == expected
+
+    def test_negative_staleness_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.explain(REGION, now=0.0, max_staleness=-1.0)
+
+    def test_format_readable(self, tree):
+        text = tree.explain(REGION, now=0.0, max_staleness=600.0, sample_size=30).format()
+        assert "access path" in text
+        assert "expected probes" in text
+
+
+class TestExplainPredictions:
+    def test_cold_exact_plan_predicts_full_probe(self, tree):
+        plan = tree.explain(REGION, now=0.0, max_staleness=600.0, sample_size=0)
+        assert plan.expected_probes == plan.relevant_sensors
+        assert plan.cache_coverage == 0.0
+        answer = tree.query(REGION, now=0.0, max_staleness=600.0, sample_size=0)
+        assert answer.stats.sensors_probed == plan.expected_probes
+
+    def test_warm_exact_plan_sees_cache(self, tree):
+        tree.query(REGION, now=0.0, max_staleness=600.0, sample_size=0)
+        plan = tree.explain(REGION, now=1.0, max_staleness=600.0, sample_size=0)
+        assert plan.cache_coverage == 1.0
+        assert plan.expected_probes == 0.0
+
+    def test_sampled_plan_close_to_execution(self, tree):
+        plan = tree.explain(REGION, now=0.0, max_staleness=600.0, sample_size=30)
+        answer = tree.query(REGION, now=0.0, max_staleness=600.0, sample_size=30)
+        # The plan is an expectation; the execution is one draw.
+        assert plan.expected_probes == pytest.approx(
+            answer.stats.sensors_probed, rel=0.5, abs=10
+        )
+
+    def test_warm_sampled_plan_drops_probes(self, tree):
+        cold = tree.explain(REGION, now=0.0, max_staleness=600.0, sample_size=30)
+        tree.query(Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=0)
+        warm = tree.explain(REGION, now=1.0, max_staleness=600.0, sample_size=30)
+        assert warm.expected_probes < cold.expected_probes
+        assert warm.cached_weight > 0
+
+    def test_empty_region_plan(self, tree):
+        plan = tree.explain(
+            Rect(500, 500, 600, 600), now=0.0, max_staleness=600.0, sample_size=30
+        )
+        assert plan.relevant_sensors == 0
+        assert plan.expected_probes == 0.0
+        assert plan.cache_coverage == 1.0
+
+    def test_plain_rtree_mode_plan(self):
+        registry = make_registry(n=200, seed=61)
+        tree = make_tree(registry, COLRTreeConfig().as_plain_rtree())
+        plan = tree.explain(REGION, now=0.0, max_staleness=600.0, sample_size=30)
+        assert plan.access_path == "range_lookup"
+        assert plan.expected_probes == plan.relevant_sensors

@@ -1,0 +1,68 @@
+"""The QueryAnswer value object: weights and combined aggregates over
+mixed sources (probed readings, cached readings, cached sketches)."""
+
+import pytest
+
+from repro import Reading
+from repro.core.aggregates import AggregateSketch
+from repro.core.lookup import QueryAnswer
+
+
+def reading(sensor_id, value, timestamp=0.0):
+    return Reading(
+        sensor_id=sensor_id, value=value, timestamp=timestamp, expires_at=timestamp + 100
+    )
+
+
+class TestWeights:
+    def test_empty_answer(self):
+        answer = QueryAnswer()
+        assert answer.probed_count == 0
+        assert answer.result_weight == 0
+
+    def test_weight_sums_all_sources(self):
+        answer = QueryAnswer(
+            probed_readings=[reading(1, 1.0)],
+            cached_readings=[reading(2, 2.0), reading(3, 3.0)],
+            cached_sketches=[AggregateSketch.of([(4.0, 0.0), (5.0, 0.0)])],
+        )
+        assert answer.probed_count == 1
+        assert answer.result_weight == 5
+
+
+class TestCombinedAggregates:
+    @pytest.fixture
+    def answer(self):
+        return QueryAnswer(
+            probed_readings=[reading(1, 10.0, timestamp=5.0)],
+            cached_readings=[reading(2, 20.0, timestamp=3.0)],
+            cached_sketches=[AggregateSketch.of([(30.0, 1.0), (40.0, 2.0)])],
+        )
+
+    def test_count(self, answer):
+        assert answer.estimate("count") == 4.0
+
+    def test_sum_and_avg(self, answer):
+        assert answer.estimate("sum") == 100.0
+        assert answer.estimate("avg") == 25.0
+
+    def test_min_max(self, answer):
+        assert answer.estimate("min") == 10.0
+        assert answer.estimate("max") == 40.0
+
+    def test_oldest_timestamp_propagates(self, answer):
+        assert answer.combined_sketch().oldest_timestamp == 1.0
+
+    def test_combined_sketch_does_not_mutate_sources(self, answer):
+        before = answer.cached_sketches[0].count
+        answer.combined_sketch()
+        answer.combined_sketch()
+        assert answer.cached_sketches[0].count == before
+
+    def test_empty_aggregate_raises(self):
+        with pytest.raises(ValueError):
+            QueryAnswer().estimate("avg")
+
+    def test_unknown_function_rejected(self, answer):
+        with pytest.raises(ValueError):
+            answer.estimate("median")

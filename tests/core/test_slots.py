@@ -1,0 +1,165 @@
+import pytest
+
+from repro import Reading
+from repro.core.slots import LeafSlotCache, SlotCache, slot_of, usable_slot_range
+
+
+def reading(sensor_id=0, value=1.0, timestamp=0.0, lifetime=300.0):
+    return Reading(
+        sensor_id=sensor_id,
+        value=value,
+        timestamp=timestamp,
+        expires_at=timestamp + lifetime,
+    )
+
+
+class TestSlotOf:
+    def test_basic_bucketing(self):
+        assert slot_of(0.0, 120.0) == 0
+        assert slot_of(119.9, 120.0) == 0
+        assert slot_of(120.0, 120.0) == 1
+
+    def test_global_alignment(self):
+        """Two caches with the same Δ agree on every slot id."""
+        for t in (0.0, 59.0, 240.0, 1234.5):
+            assert slot_of(t, 60.0) == slot_of(t, 60.0)
+
+    def test_usable_range_excludes_boundary_slot(self):
+        low, _ = usable_slot_range(now=250.0, slot_seconds=120.0)
+        assert low == slot_of(250.0, 120.0) + 1
+
+
+class TestLeafSlotCache:
+    def test_insert_and_get(self):
+        cache = LeafSlotCache(120.0)
+        r = reading(sensor_id=7)
+        assert cache.insert(r, fetched_at=0.0) is None
+        assert len(cache) == 1
+        assert 7 in cache
+        assert cache.get(7).reading == r
+
+    def test_insert_replaces_and_returns_displaced(self):
+        cache = LeafSlotCache(120.0)
+        old = reading(sensor_id=7, value=1.0, timestamp=0.0)
+        new = reading(sensor_id=7, value=2.0, timestamp=100.0)
+        cache.insert(old, fetched_at=0.0)
+        displaced = cache.insert(new, fetched_at=100.0)
+        assert displaced == old
+        assert len(cache) == 1
+        assert cache.get(7).reading.value == 2.0
+
+    def test_remove_absent_returns_none(self):
+        assert LeafSlotCache(120.0).remove(5) is None
+
+    def test_slot_bookkeeping(self):
+        cache = LeafSlotCache(120.0)
+        cache.insert(reading(sensor_id=1, timestamp=0.0, lifetime=100.0), 0.0)
+        cache.insert(reading(sensor_id=2, timestamp=0.0, lifetime=500.0), 0.0)
+        assert cache.slot_ids() == [slot_of(100.0, 120.0), slot_of(500.0, 120.0)]
+
+    def test_prune_expired(self):
+        cache = LeafSlotCache(120.0)
+        cache.insert(reading(sensor_id=1, timestamp=0.0, lifetime=100.0), 0.0)
+        cache.insert(reading(sensor_id=2, timestamp=0.0, lifetime=500.0), 0.0)
+        dropped = cache.prune_expired(now=240.0)
+        assert [r.sensor_id for r in dropped] == [1]
+        assert len(cache) == 1
+
+    def test_fresh_readings_excludes_expired(self):
+        cache = LeafSlotCache(120.0)
+        cache.insert(reading(sensor_id=1, timestamp=0.0, lifetime=100.0), 0.0)
+        cache.insert(reading(sensor_id=2, timestamp=0.0, lifetime=500.0), 0.0)
+        fresh = cache.fresh_readings(now=150.0, max_staleness=1000.0)
+        assert {r.sensor_id for r in fresh} == {2}
+
+    def test_fresh_readings_excludes_stale(self):
+        cache = LeafSlotCache(120.0)
+        cache.insert(reading(sensor_id=1, timestamp=0.0, lifetime=500.0), 0.0)
+        cache.insert(reading(sensor_id=2, timestamp=90.0, lifetime=500.0), 90.0)
+        fresh = cache.fresh_readings(now=100.0, max_staleness=50.0)
+        assert {r.sensor_id for r in fresh} == {2}
+
+    def test_boundary_slot_inspected_individually(self):
+        cache = LeafSlotCache(120.0)
+        # Both land in slot 1 (expiries 130 and 230); at now=200 the
+        # first is expired, the second is not.
+        cache.insert(reading(sensor_id=1, timestamp=0.0, lifetime=130.0), 0.0)
+        cache.insert(reading(sensor_id=2, timestamp=0.0, lifetime=230.0), 0.0)
+        fresh = cache.fresh_readings(now=200.0, max_staleness=1000.0)
+        assert {r.sensor_id for r in fresh} == {2}
+
+    def test_eviction_candidates_lrf_order_in_oldest_slot(self):
+        cache = LeafSlotCache(120.0)
+        cache.insert(reading(sensor_id=1, timestamp=0.0, lifetime=100.0), fetched_at=50.0)
+        cache.insert(reading(sensor_id=2, timestamp=0.0, lifetime=110.0), fetched_at=10.0)
+        cache.insert(reading(sensor_id=3, timestamp=0.0, lifetime=500.0), fetched_at=0.0)
+        candidates = cache.eviction_candidates()
+        # Sensors 1 and 2 share the oldest slot; 2 was fetched earlier.
+        assert [sid for _, sid in candidates] == [2, 1]
+
+    def test_invalid_slot_seconds(self):
+        with pytest.raises(ValueError):
+            LeafSlotCache(0.0)
+
+
+class TestAggregateSlotCache:
+    def test_add_and_usable(self):
+        cache = SlotCache(120.0)
+        cache.add(slot=5, value=10.0, timestamp=500.0)
+        cache.add(slot=5, value=20.0, timestamp=510.0)
+        sketches = cache.usable_sketches(now=400.0, max_staleness=200.0)
+        assert len(sketches) == 1
+        assert sketches[0].count == 2
+
+    def test_boundary_slot_not_usable(self):
+        cache = SlotCache(120.0)
+        cache.add(slot=slot_of(450.0, 120.0), value=1.0, timestamp=440.0)
+        assert cache.usable_sketches(now=450.0, max_staleness=1000.0) == []
+
+    def test_stale_aggregate_filtered_by_oldest_timestamp(self):
+        cache = SlotCache(120.0)
+        cache.add(slot=10, value=1.0, timestamp=100.0)
+        cache.add(slot=10, value=2.0, timestamp=900.0)
+        # Window of 50s at now=920 excludes the old constituent.
+        assert cache.usable_sketches(now=920.0, max_staleness=50.0) == []
+        assert len(cache.usable_sketches(now=920.0, max_staleness=900.0)) == 1
+
+    def test_usable_weight(self):
+        cache = SlotCache(120.0)
+        cache.add(slot=9, value=1.0, timestamp=800.0)
+        cache.add(slot=9, value=2.0, timestamp=810.0)
+        cache.add(slot=2, value=3.0, timestamp=100.0)  # behind now
+        assert cache.usable_weight(now=820.0, max_staleness=600.0) == 2
+        assert cache.total_weight() == 3
+
+    def test_remove_and_empty_slot_dropped(self):
+        cache = SlotCache(120.0)
+        cache.add(slot=4, value=5.0, timestamp=0.0)
+        dirty = cache.remove(slot=4, value=5.0)
+        assert not dirty
+        assert cache.sketch(4) is None
+
+    def test_remove_extreme_reports_dirty(self):
+        cache = SlotCache(120.0)
+        cache.add(slot=4, value=5.0, timestamp=0.0)
+        cache.add(slot=4, value=9.0, timestamp=0.0)
+        assert cache.remove(slot=4, value=9.0) is True
+
+    def test_remove_missing_slot_rejected(self):
+        with pytest.raises(KeyError):
+            SlotCache(120.0).remove(slot=3, value=1.0)
+
+    def test_prune_expired(self):
+        cache = SlotCache(120.0)
+        cache.add(slot=1, value=1.0, timestamp=0.0)
+        cache.add(slot=9, value=1.0, timestamp=0.0)
+        assert cache.prune_expired(now=600.0) == 1
+        assert cache.slot_ids() == [9]
+
+    def test_replace_with_empty_drops(self):
+        from repro.core.aggregates import AggregateSketch
+
+        cache = SlotCache(120.0)
+        cache.add(slot=3, value=1.0, timestamp=0.0)
+        cache.replace(3, AggregateSketch())
+        assert len(cache) == 0

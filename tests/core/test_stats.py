@@ -1,0 +1,65 @@
+import pytest
+
+from repro.core.stats import ProcessingCostModel, QueryStats, TreeStats
+
+
+class TestQueryStats:
+    def test_defaults_zero(self):
+        stats = QueryStats()
+        assert stats.nodes_traversed == 0
+        assert stats.collection_latency_seconds == 0.0
+
+    def test_merge_accumulates_every_field(self):
+        a = QueryStats(nodes_traversed=3, sensors_probed=5, collection_latency_seconds=0.5)
+        b = QueryStats(nodes_traversed=2, sensors_probed=1, collection_latency_seconds=0.25)
+        a.merge(b)
+        assert a.nodes_traversed == 5
+        assert a.sensors_probed == 6
+        assert a.collection_latency_seconds == 0.75
+
+
+class TestTreeStats:
+    def test_record_and_reset(self):
+        tree_stats = TreeStats()
+        tree_stats.record(QueryStats(nodes_traversed=4))
+        tree_stats.record(QueryStats(nodes_traversed=6))
+        assert tree_stats.queries == 2
+        assert tree_stats.totals.nodes_traversed == 10
+        tree_stats.reset()
+        assert tree_stats.queries == 0
+        assert tree_stats.totals.nodes_traversed == 0
+
+
+class TestProcessingCostModel:
+    def test_zero_work_zero_latency(self):
+        assert ProcessingCostModel().processing_seconds(QueryStats()) == 0.0
+
+    def test_each_counter_contributes(self):
+        model = ProcessingCostModel()
+        base = model.processing_seconds(QueryStats())
+        for field, value in (
+            ("nodes_traversed", 10),
+            ("slots_combined", 10),
+            ("readings_scanned", 10),
+            ("maintenance_ops", 10),
+            ("sensors_probed", 10),
+        ):
+            stats = QueryStats(**{field: value})
+            assert model.processing_seconds(stats) > base, field
+
+    def test_linear_in_work(self):
+        model = ProcessingCostModel()
+        one = model.processing_seconds(QueryStats(nodes_traversed=1))
+        ten = model.processing_seconds(QueryStats(nodes_traversed=10))
+        assert ten == pytest.approx(10 * one)
+
+    def test_end_to_end_adds_collection(self):
+        model = ProcessingCostModel()
+        stats = QueryStats(nodes_traversed=5, collection_latency_seconds=1.5)
+        assert model.end_to_end_seconds(stats) == pytest.approx(
+            model.processing_seconds(stats) + 1.5
+        )
+
+    def test_custom_constants(self):
+        model = ProcessingCostModel(per_node_traversal=1.0)
+        assert model.processing_seconds(QueryStats(nodes_traversed=3)) == pytest.approx(3.0)

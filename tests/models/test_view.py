@@ -1,0 +1,128 @@
+import numpy as np
+import pytest
+
+from repro import (
+    AvailabilityModel,
+    COLRTree,
+    COLRTreeConfig,
+    GeoPoint,
+    Rect,
+    SensorNetwork,
+    SensorRegistry,
+    SpatialField,
+)
+from repro.models import InsufficientSupport, KNNModel, ModelView
+
+
+@pytest.fixture
+def field_setup():
+    """A smooth field sensed by 400 sensors; tree + view over it."""
+    domain = Rect(0, 0, 100, 100)
+    field = SpatialField(domain, n_bumps=6, noise_sigma=0.5, seed=5)
+    rng = np.random.default_rng(5)
+    registry = SensorRegistry()
+    for _ in range(400):
+        registry.register(
+            GeoPoint(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            expiry_seconds=600.0,
+        )
+    network = SensorNetwork(
+        registry.all(),
+        value_fn=lambda s, t: field.sample(s.location, t),
+        availability_model=AvailabilityModel(),
+        seed=6,
+    )
+    tree = COLRTree(
+        registry.all(),
+        COLRTreeConfig(max_expiry_seconds=600.0, slot_seconds=120.0),
+        network=network,
+    )
+    return field, tree
+
+
+class TestModelView:
+    def test_requires_caching_tree(self, field_setup):
+        field, tree = field_setup
+        from repro import COLRTreeConfig as Cfg
+
+        plain = COLRTree(
+            [tree.sensor(s) for s in range(10)], Cfg(caching_enabled=False, sampling_enabled=False)
+        )
+        with pytest.raises(ValueError):
+            ModelView(plain)
+
+    def test_estimate_uses_zero_probes(self, field_setup):
+        field, tree = field_setup
+        tree.query(Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=0)
+        probes_before = tree.network.stats.probes_attempted
+        view = ModelView(tree)
+        view.estimate_at(GeoPoint(50, 50), now=1.0, max_staleness=600.0)
+        assert tree.network.stats.probes_attempted == probes_before
+
+    def test_estimate_close_to_field(self, field_setup):
+        field, tree = field_setup
+        tree.query(Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=0)
+        view = ModelView(tree)
+        rng = np.random.default_rng(2)
+        errs = []
+        for _ in range(30):
+            p = GeoPoint(float(rng.uniform(10, 90)), float(rng.uniform(10, 90)))
+            estimate = view.estimate_at(p, now=1.0, max_staleness=600.0)
+            truth = field.mean_value(p, 1.0)
+            errs.append(abs(estimate - truth) / abs(truth))
+        assert float(np.mean(errs)) < 0.10
+
+    def test_insufficient_support_raises(self, field_setup):
+        _, tree = field_setup
+        view = ModelView(tree)  # cache is cold
+        with pytest.raises(InsufficientSupport):
+            view.estimate_at(GeoPoint(50, 50), now=0.0, max_staleness=600.0)
+
+    def test_probe_fallback_fills_cache(self, field_setup):
+        _, tree = field_setup
+        view = ModelView(tree, fallback="probe", fallback_sample_size=50)
+        value = view.estimate_at(GeoPoint(50, 50), now=0.0, max_staleness=600.0)
+        assert np.isfinite(value)
+        assert tree.network.stats.probes_attempted > 0
+
+    def test_region_mean_close_to_field(self, field_setup):
+        field, tree = field_setup
+        tree.query(Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=0)
+        view = ModelView(tree)
+        region = Rect(20, 20, 60, 60)
+        estimate = view.estimate_region_mean(region, now=1.0, max_staleness=600.0, grid=6)
+        # Truth: average of the field over the same lattice.
+        truth = 0.0
+        for i in range(6):
+            for j in range(6):
+                x = region.min_x + (i + 0.5) * region.width / 6
+                y = region.min_y + (j + 0.5) * region.height / 6
+                truth += field.mean_value(GeoPoint(x, y), 1.0)
+        truth /= 36
+        assert estimate == pytest.approx(truth, rel=0.15)
+
+    def test_staleness_respected(self, field_setup):
+        _, tree = field_setup
+        tree.query(Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=0)
+        view = ModelView(tree)
+        # 500s later with a 60s bound, the cached readings are stale.
+        with pytest.raises(InsufficientSupport):
+            view.estimate_at(GeoPoint(50, 50), now=500.0, max_staleness=60.0)
+
+    def test_custom_model(self, field_setup):
+        field, tree = field_setup
+        tree.query(Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=0)
+        view = ModelView(tree, model=KNNModel(k=3))
+        p = GeoPoint(40, 60)
+        estimate = view.estimate_at(p, now=1.0, max_staleness=600.0)
+        assert estimate == pytest.approx(field.mean_value(p, 1.0), rel=0.25)
+
+    def test_invalid_parameters(self, field_setup):
+        _, tree = field_setup
+        with pytest.raises(ValueError):
+            ModelView(tree, fallback="panic")
+        with pytest.raises(ValueError):
+            ModelView(tree, min_support=0)
+        view = ModelView(tree)
+        with pytest.raises(ValueError):
+            view.estimate_region_mean(Rect(0, 0, 1, 1), now=0.0, max_staleness=1.0, grid=0)

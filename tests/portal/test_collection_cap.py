@@ -1,0 +1,86 @@
+"""The portal-wide collection cap (Section III-B): a whole-world query
+must contact at most the configured number of sensors."""
+
+import pytest
+
+from repro import COLRTreeConfig, Rect
+from repro.portal import SensorMapPortal, SensorQuery
+
+from tests.conftest import make_registry
+
+
+def make_portal(max_sensors, n=600, types=1):
+    portal = SensorMapPortal(
+        COLRTreeConfig(max_expiry_seconds=600.0, slot_seconds=120.0),
+        max_sensors_per_query=max_sensors,
+    )
+    registry = make_registry(n=n, seed=40)
+    for sensor in registry.all():
+        portal.register_sensor(
+            sensor.location,
+            sensor.expiry_seconds,
+            sensor_type=f"type{sensor.sensor_id % types}",
+        )
+    return portal
+
+
+WORLD = SensorQuery(region=Rect(-1000, -1000, 1000, 1000), staleness_seconds=600.0)
+
+
+class TestCollectionCap:
+    def test_world_query_capped(self):
+        portal = make_portal(max_sensors=50)
+        result = portal.execute(WORLD)
+        probed = sum(a.stats.sensors_probed for a in result.answers)
+        # Oversampling may push attempts somewhat past the target, but
+        # nowhere near the full 600-sensor population.
+        assert probed <= 120
+        assert result.result_weight > 0
+
+    def test_uncapped_world_query_probes_everything(self):
+        portal = make_portal(max_sensors=None)
+        result = portal.execute(WORLD)
+        probed = sum(a.stats.sensors_probed for a in result.answers)
+        assert probed == 600
+
+    def test_explicit_sample_clamped_to_cap(self):
+        portal = make_portal(max_sensors=30)
+        q = SensorQuery(
+            region=Rect(-1000, -1000, 1000, 1000),
+            staleness_seconds=600.0,
+            sample_size=10_000,
+        )
+        result = portal.execute(q)
+        probed = sum(a.stats.sensors_probed for a in result.answers)
+        assert probed <= 80
+
+    def test_small_requests_unaffected(self):
+        portal = make_portal(max_sensors=1000)
+        q = SensorQuery(
+            region=Rect(-1000, -1000, 1000, 1000),
+            staleness_seconds=600.0,
+            sample_size=10,
+        )
+        result = portal.execute(q)
+        assert result.query.sample_size == 10
+
+    def test_cap_split_across_types(self):
+        portal = make_portal(max_sensors=40, types=4)
+        result = portal.execute(WORLD)
+        probed = sum(a.stats.sensors_probed for a in result.answers)
+        assert probed <= 100
+        assert len(result.answers) == 4
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            SensorMapPortal(max_sensors_per_query=0)
+
+    def test_effective_size_logic(self):
+        portal = make_portal(max_sensors=100)
+        assert portal._effective_sample_size(None, 1) == 100
+        assert portal._effective_sample_size(0, 1) == 100
+        assert portal._effective_sample_size(30, 1) == 30
+        assert portal._effective_sample_size(500, 1) == 100
+        assert portal._effective_sample_size(None, 4) == 25
+        uncapped = make_portal(max_sensors=None)
+        assert uncapped._effective_sample_size(None, 3) == 0

@@ -1,0 +1,137 @@
+"""Standing (continuous) queries over the portal clock."""
+
+import pytest
+
+from repro import COLRTreeConfig, Rect
+from repro.portal import ContinuousQueryManager, SensorMapPortal, SensorQuery
+
+from tests.conftest import make_registry
+
+
+@pytest.fixture
+def portal():
+    portal = SensorMapPortal(
+        COLRTreeConfig(max_expiry_seconds=600.0, slot_seconds=120.0),
+        value_fn=lambda s, t: float(s.sensor_id % 5) + t / 1000.0,
+        max_sensors_per_query=None,
+    )
+    portal.register_all(make_registry(n=300, seed=41).all())
+    return portal
+
+
+QUERY = SensorQuery(
+    region=Rect(0, 0, 60, 60), staleness_seconds=120.0, sample_size=40
+)
+
+
+class TestSubscriptionLifecycle:
+    def test_subscribe_assigns_ids(self, portal):
+        manager = ContinuousQueryManager(portal)
+        a = manager.subscribe(QUERY)
+        b = manager.subscribe(QUERY)
+        assert (a.subscription_id, b.subscription_id) == (0, 1)
+        assert len(manager) == 2
+
+    def test_default_refresh_is_staleness(self, portal):
+        manager = ContinuousQueryManager(portal)
+        sub = manager.subscribe(QUERY)
+        assert sub.refresh_seconds == 120.0
+
+    def test_invalid_refresh_rejected(self, portal):
+        manager = ContinuousQueryManager(portal)
+        with pytest.raises(ValueError):
+            manager.subscribe(QUERY, refresh_seconds=0)
+
+    def test_unsubscribe(self, portal):
+        manager = ContinuousQueryManager(portal)
+        sub = manager.subscribe(QUERY)
+        manager.unsubscribe(sub.subscription_id)
+        assert len(manager) == 0
+        with pytest.raises(KeyError):
+            manager.unsubscribe(sub.subscription_id)
+
+
+class TestTicking:
+    def test_first_tick_runs_immediately(self, portal):
+        manager = ContinuousQueryManager(portal)
+        sub = manager.subscribe(QUERY)
+        ran = manager.tick()
+        assert len(ran) == 1
+        assert sub.executions == 1
+
+    def test_not_due_no_rerun(self, portal):
+        manager = ContinuousQueryManager(portal)
+        manager.subscribe(QUERY, refresh_seconds=100.0)
+        manager.tick()
+        portal.clock.advance(10.0)
+        assert manager.tick() == []
+
+    def test_due_after_interval(self, portal):
+        manager = ContinuousQueryManager(portal)
+        sub = manager.subscribe(QUERY, refresh_seconds=100.0)
+        manager.tick()
+        portal.clock.advance(150.0)
+        assert len(manager.tick()) == 1
+        assert sub.executions == 2
+
+    def test_run_for_counts_executions(self, portal):
+        manager = ContinuousQueryManager(portal)
+        manager.subscribe(QUERY, refresh_seconds=50.0)
+        executed = manager.run_for(duration=200.0, step=25.0)
+        assert executed >= 4
+
+    def test_run_for_validates_args(self, portal):
+        manager = ContinuousQueryManager(portal)
+        with pytest.raises(ValueError):
+            manager.run_for(duration=10.0, step=0.0)
+
+
+class TestDeltas:
+    def test_first_run_everything_appears(self, portal):
+        manager = ContinuousQueryManager(portal)
+        manager.subscribe(QUERY)
+        [(sub, delta)] = manager.tick()
+        assert len(delta.appeared) == sub.last_result.result_weight
+        assert delta.departed == ()
+        assert delta.aggregate_before is None
+
+    def test_changed_values_detected(self, portal):
+        manager = ContinuousQueryManager(portal)
+        manager.subscribe(QUERY, refresh_seconds=50.0)
+        manager.tick()
+        # Past the staleness bound everything is re-probed with a new
+        # time-dependent value.
+        portal.clock.advance(200.0)
+        [(sub, delta)] = manager.tick()
+        assert delta.changed or delta.appeared
+
+    def test_empty_region_delta_empty(self, portal):
+        manager = ContinuousQueryManager(portal)
+        empty_query = SensorQuery(
+            region=Rect(500, 500, 600, 600), staleness_seconds=60.0, sample_size=10
+        )
+        manager.subscribe(empty_query)
+        [(sub, delta)] = manager.tick()
+        assert delta.is_empty or delta.aggregate_after is None
+
+    def test_callback_invoked(self, portal):
+        calls = []
+        manager = ContinuousQueryManager(portal)
+        manager.subscribe(
+            QUERY,
+            callback=lambda sub, delta, result: calls.append(
+                (sub.subscription_id, len(delta.appeared))
+            ),
+        )
+        manager.tick()
+        assert len(calls) == 1
+        assert calls[0][0] == 0
+
+    def test_aggregate_drift_tracked(self, portal):
+        manager = ContinuousQueryManager(portal)
+        sub = manager.subscribe(QUERY, refresh_seconds=50.0)
+        manager.tick()
+        portal.clock.advance(300.0)
+        [(_, delta)] = manager.tick()
+        assert delta.aggregate_before is not None
+        assert delta.aggregate_after is not None

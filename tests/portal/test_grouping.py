@@ -1,0 +1,66 @@
+import pytest
+
+from repro import GeoPoint, Reading
+from repro.core.aggregates import AggregateSketch
+from repro.core.lookup import QueryAnswer
+from repro.portal import group_answer
+
+
+LOCATIONS = {
+    0: GeoPoint(-122.33, 47.60),  # Seattle
+    1: GeoPoint(-122.34, 47.61),  # ~1 mile away
+    2: GeoPoint(-71.06, 42.36),   # Boston
+}
+
+
+def loc(sensor_id):
+    return LOCATIONS[sensor_id]
+
+
+def reading(sensor_id, value):
+    return Reading(sensor_id=sensor_id, value=value, timestamp=0.0, expires_at=100.0)
+
+
+class TestGrouping:
+    def test_no_cluster_one_group_per_reading(self):
+        answer = QueryAnswer(probed_readings=[reading(0, 1.0), reading(2, 2.0)])
+        groups = group_answer(answer, cluster_miles=None, sensor_location=loc)
+        assert len(groups) == 2
+        assert all(g.size == 1 for g in groups)
+
+    def test_nearby_sensors_merged(self):
+        answer = QueryAnswer(
+            probed_readings=[reading(0, 1.0), reading(1, 3.0), reading(2, 5.0)]
+        )
+        groups = group_answer(answer, cluster_miles=10.0, sensor_location=loc)
+        assert len(groups) == 2
+        seattle = max(groups, key=lambda g: g.size)
+        assert seattle.size == 2
+        assert seattle.result("avg") == pytest.approx(2.0)
+
+    def test_distant_sensors_not_merged(self):
+        answer = QueryAnswer(probed_readings=[reading(0, 1.0), reading(2, 2.0)])
+        groups = group_answer(answer, cluster_miles=10.0, sensor_location=loc)
+        assert len(groups) == 2
+
+    def test_group_center_is_member_centroid(self):
+        answer = QueryAnswer(probed_readings=[reading(0, 1.0), reading(1, 3.0)])
+        [group] = group_answer(answer, cluster_miles=10.0, sensor_location=loc)
+        assert group.center.x == pytest.approx((LOCATIONS[0].x + LOCATIONS[1].x) / 2)
+
+    def test_cached_readings_grouped_too(self):
+        answer = QueryAnswer(cached_readings=[reading(0, 1.0)])
+        groups = group_answer(answer, cluster_miles=10.0, sensor_location=loc)
+        assert len(groups) == 1
+
+    def test_cached_sketch_becomes_own_group(self):
+        sketch = AggregateSketch.of([(1.0, 0.0), (2.0, 0.0)])
+        answer = QueryAnswer(cached_sketches=[sketch], cached_sketch_nodes=[42])
+        groups = group_answer(answer, cluster_miles=10.0, sensor_location=loc)
+        assert len(groups) == 1
+        assert groups[0].from_cache_node == 42
+        assert groups[0].size == 2
+
+    def test_requires_location_source(self):
+        with pytest.raises(ValueError):
+            group_answer(QueryAnswer(), cluster_miles=None)

@@ -1,0 +1,148 @@
+"""Multi-resolution (zoom-level) queries: per-node terminal grouping."""
+
+import pytest
+
+from repro import COLRTreeConfig, Rect
+from repro.portal import SensorMapPortal, SensorQuery, group_by_terminal, parse_query
+
+from tests.conftest import make_registry, make_tree
+
+
+DEEP_CFG = COLRTreeConfig(
+    fanout=4,
+    leaf_capacity=8,
+    max_expiry_seconds=600.0,
+    slot_seconds=120.0,
+    terminal_level=2,
+    oversample_level=3,
+)
+
+
+@pytest.fixture
+def tree():
+    return make_tree(make_registry(n=1500, seed=17), DEEP_CFG)
+
+
+class TestTerminalLevelOverride:
+    def test_zoom_moves_terminal_depth(self, tree):
+        region = Rect(0, 0, 100, 100)
+        deep = tree.query(region, now=0.0, max_staleness=600.0, sample_size=60, terminal_level=3)
+        tree2 = make_tree(make_registry(n=1500, seed=17), DEEP_CFG)
+        shallow = tree2.query(
+            region, now=0.0, max_staleness=600.0, sample_size=60, terminal_level=0
+        )
+        # With a deeper threshold, probing terminals sit strictly deeper.
+        assert min(t.level for t in shallow.terminals) < min(
+            t.level for t in deep.terminals
+        )
+
+    def test_terminal_levels_respect_override(self, tree):
+        answer = tree.query(
+            Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=60,
+            terminal_level=1,
+        )
+        # Probing happens strictly below the override level.
+        assert all(t.level >= 2 for t in answer.terminals if not t.used_cache)
+
+    def test_negative_level_rejected(self, tree):
+        with pytest.raises(ValueError):
+            tree.query(
+                Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=10,
+                terminal_level=-1,
+            )
+
+    def test_expected_size_preserved_under_zoom(self, tree):
+        answer = tree.query(
+            Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=40,
+            terminal_level=1,
+        )
+        # All sensors fully available; prior estimates may inflate a bit.
+        assert 20 <= answer.probed_count <= 100
+
+
+class TestGroupByTerminal:
+    def test_groups_anchor_at_level(self, tree):
+        answer = tree.query(
+            Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=80
+        )
+        groups = group_by_terminal(answer, tree, level=1)
+        anchor_levels = set()
+        for g in groups:
+            # Every group's weight is positive and centers lie in the domain.
+            assert g.size > 0
+            assert tree.root.bbox.contains_point(g.center)
+            anchor_levels.add(1)
+        assert groups
+
+    def test_group_weights_cover_answer(self, tree):
+        answer = tree.query(
+            Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=80
+        )
+        groups = group_by_terminal(answer, tree, level=2)
+        assert sum(g.size for g in groups) == answer.result_weight
+
+    def test_coarser_level_fewer_groups(self, tree):
+        answer = tree.query(
+            Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=120
+        )
+        fine = group_by_terminal(answer, tree, level=4)
+        coarse = group_by_terminal(answer, tree, level=0)
+        assert len(coarse) <= len(fine)
+        assert len(coarse) == 1  # level 0 is the root
+
+    def test_negative_level_rejected(self, tree):
+        answer = tree.query(
+            Rect(0, 0, 100, 100), now=0.0, max_staleness=600.0, sample_size=10
+        )
+        with pytest.raises(ValueError):
+            group_by_terminal(answer, tree, level=-1)
+
+
+class TestPortalZoom:
+    @pytest.fixture
+    def portal(self):
+        portal = SensorMapPortal(
+            COLRTreeConfig(max_expiry_seconds=600.0, slot_seconds=120.0)
+        )
+        registry = make_registry(n=500, seed=18)
+        portal.register_all(registry.all())
+        return portal
+
+    def test_zoom_query_groups_per_node(self, portal):
+        result = portal.execute(
+            SensorQuery(
+                region=Rect(0, 0, 100, 100),
+                staleness_seconds=600.0,
+                sample_size=60,
+                zoom_level=1,
+            )
+        )
+        assert result.groups
+        assert sum(g.size for g in result.groups) == result.result_weight
+
+    def test_zoom_out_coarsens_groups(self, portal):
+        def run(zoom):
+            portal.clock.advance(2000.0)  # fresh cache per run
+            return portal.execute(
+                SensorQuery(
+                    region=Rect(0, 0, 100, 100),
+                    staleness_seconds=600.0,
+                    sample_size=60,
+                    zoom_level=zoom,
+                )
+            )
+
+        coarse = run(0)
+        fine = run(3)
+        assert len(coarse.groups) <= len(fine.groups)
+
+    def test_zoom_clause_parsed(self):
+        q = parse_query(
+            "SELECT count(*) FROM sensor S WHERE S.location WITHIN Rect(0,0,1,1) "
+            "AND S.time BETWEEN now()-5 AND now() mins SAMPLESIZE 10 ZOOM 2"
+        )
+        assert q.zoom_level == 2
+
+    def test_invalid_zoom_rejected(self):
+        with pytest.raises(ValueError):
+            SensorQuery(region=Rect(0, 0, 1, 1), staleness_seconds=1.0, zoom_level=-1)

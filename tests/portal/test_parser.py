@@ -1,0 +1,114 @@
+import pytest
+
+from repro import Polygon, Rect
+from repro.portal import QueryParseError, parse_query
+
+
+PAPER_QUERY = """
+SELECT count(*)
+FROM sensor S
+WHERE S.location WITHIN Polygon((47.2, -122.5), (47.9, -122.5), (47.9, -121.9), (47.2, -121.9))
+AND S.time BETWEEN now()-10 AND now() mins
+CLUSTER 10 miles
+SAMPLESIZE 30
+"""
+
+
+class TestPaperExample:
+    def test_parses(self):
+        q = parse_query(PAPER_QUERY)
+        assert q.aggregate == "count"
+        assert isinstance(q.region, Polygon)
+        assert q.staleness_seconds == 600.0
+        assert q.cluster_miles == 10.0
+        assert q.sample_size == 30
+
+    def test_polygon_latlon_to_xy(self):
+        q = parse_query(PAPER_QUERY)
+        bbox = q.region.bounding_box
+        assert bbox.min_x == -122.5 and bbox.max_x == -121.9
+        assert bbox.min_y == 47.2 and bbox.max_y == 47.9
+
+
+class TestVariants:
+    def test_rect_shorthand(self):
+        q = parse_query(
+            "SELECT avg(value) FROM sensor S WHERE S.location WITHIN "
+            "Rect(47.0, -123.0, 48.0, -122.0) AND S.time BETWEEN now()-5 AND now() mins"
+        )
+        assert q.aggregate == "avg"
+        assert q.region == Rect(-123.0, 47.0, -122.0, 48.0)
+        assert q.cluster_miles is None and q.sample_size is None
+
+    def test_type_filter(self):
+        q = parse_query(
+            "SELECT count(*) FROM sensor S WHERE S.location WITHIN "
+            "Rect(0, 0, 1, 1) AND S.type = 'restaurant' "
+            "AND S.time BETWEEN now()-10 AND now() mins"
+        )
+        assert q.sensor_type == "restaurant"
+
+    @pytest.mark.parametrize(
+        "unit,expected",
+        [("secs", 10.0), ("mins", 600.0), ("hours", 36_000.0), ("", 600.0)],
+    )
+    def test_time_units(self, unit, expected):
+        q = parse_query(
+            "SELECT count(*) FROM sensor S WHERE S.location WITHIN Rect(0,0,1,1) "
+            f"AND S.time BETWEEN now()-10 AND now() {unit}"
+        )
+        assert q.staleness_seconds == expected
+
+    def test_case_insensitive(self):
+        q = parse_query(
+            "select COUNT(*) from SENSOR s where s.LOCATION within rect(0,0,1,1) "
+            "and s.time BETWEEN NOW()-2 and now() MINS samplesize 5"
+        )
+        assert q.sample_size == 5
+
+    def test_min_max_sum(self):
+        for agg in ("min", "max", "sum"):
+            q = parse_query(
+                f"SELECT {agg}(value) FROM sensor S WHERE S.location WITHIN "
+                "Rect(0,0,1,1) AND S.time BETWEEN now()-1 AND now()"
+            )
+            assert q.aggregate == agg
+
+
+class TestErrors:
+    def test_missing_select(self):
+        with pytest.raises(QueryParseError):
+            parse_query("WHERE S.location WITHIN Rect(0,0,1,1)")
+
+    def test_missing_region(self):
+        with pytest.raises(QueryParseError):
+            parse_query(
+                "SELECT count(*) FROM sensor S WHERE S.time BETWEEN now()-1 AND now()"
+            )
+
+    def test_missing_time_window(self):
+        with pytest.raises(QueryParseError):
+            parse_query(
+                "SELECT count(*) FROM sensor S WHERE S.location WITHIN Rect(0,0,1,1)"
+            )
+
+    def test_polygon_too_few_vertices(self):
+        with pytest.raises(QueryParseError):
+            parse_query(
+                "SELECT count(*) FROM sensor S WHERE S.location WITHIN "
+                "Polygon((0,0),(1,1)) AND S.time BETWEEN now()-1 AND now()"
+            )
+
+    def test_rect_wrong_arity(self):
+        with pytest.raises(QueryParseError):
+            parse_query(
+                "SELECT count(*) FROM sensor S WHERE S.location WITHIN "
+                "Rect(0,0,1) AND S.time BETWEEN now()-1 AND now()"
+            )
+
+    def test_rect_inverted(self):
+        with pytest.raises(QueryParseError):
+            parse_query(
+                "SELECT count(*) FROM sensor S WHERE S.location WITHIN "
+                "Rect(5,5,1,1) AND S.time BETWEEN now()-1 AND now()"
+            )

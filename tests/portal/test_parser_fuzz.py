@@ -1,0 +1,74 @@
+"""Round-trip fuzzing of the query dialect: render a random query as
+SQL text, parse it back, and require semantic equality."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rect
+from repro.portal import parse_query
+
+
+lat = st.floats(min_value=-80, max_value=80, allow_nan=False).map(lambda v: round(v, 4))
+lon = st.floats(min_value=-170, max_value=170, allow_nan=False).map(lambda v: round(v, 4))
+
+
+@st.composite
+def rect_queries(draw):
+    lat1, lat2 = sorted((draw(lat), draw(lat)))
+    lon1, lon2 = sorted((draw(lon), draw(lon)))
+    agg = draw(st.sampled_from(["count", "sum", "avg", "min", "max"]))
+    minutes = draw(st.integers(min_value=1, max_value=120))
+    cluster = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=100)))
+    sample = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=5000)))
+    zoom = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=9)))
+    sensor_type = draw(st.one_of(st.none(), st.sampled_from(["restaurant", "water", "traffic"])))
+    sql = (
+        f"SELECT {agg}(*) FROM sensor S WHERE S.location WITHIN "
+        f"Rect({lat1}, {lon1}, {lat2}, {lon2}) "
+    )
+    if sensor_type is not None:
+        sql += f"AND S.type = '{sensor_type}' "
+    sql += f"AND S.time BETWEEN now()-{minutes} AND now() mins "
+    if cluster is not None:
+        sql += f"CLUSTER {cluster} miles "
+    if sample is not None:
+        sql += f"SAMPLESIZE {sample} "
+    if zoom is not None:
+        sql += f"ZOOM {zoom}"
+    return sql, {
+        "agg": agg,
+        "region": Rect(lon1, lat1, lon2, lat2),
+        "staleness": minutes * 60.0,
+        "cluster": float(cluster) if cluster is not None else None,
+        "sample": sample,
+        "zoom": zoom,
+        "type": sensor_type,
+    }
+
+
+class TestRoundTrip:
+    @given(rect_queries())
+    @settings(max_examples=200)
+    def test_render_then_parse(self, case):
+        sql, expected = case
+        query = parse_query(sql)
+        assert query.aggregate == expected["agg"]
+        assert query.region == expected["region"]
+        assert query.staleness_seconds == expected["staleness"]
+        assert query.cluster_miles == expected["cluster"]
+        assert query.sample_size == expected["sample"]
+        assert query.zoom_level == expected["zoom"]
+        assert query.sensor_type == expected["type"]
+
+    @given(st.text(max_size=200))
+    @settings(max_examples=200)
+    def test_garbage_never_crashes_unexpectedly(self, text):
+        """Arbitrary input either parses or raises QueryParseError —
+        never an unhandled exception type."""
+        from repro.portal import QueryParseError, SensorQuery
+
+        try:
+            result = parse_query(text)
+        except QueryParseError:
+            return
+        assert isinstance(result, SensorQuery)

@@ -1,0 +1,71 @@
+import pytest
+
+from repro import COLRTreeConfig, Rect
+from repro.portal import SensorMapPortal, SensorQuery
+
+from tests.conftest import make_registry
+
+
+@pytest.fixture
+def portal():
+    portal = SensorMapPortal(
+        COLRTreeConfig(max_expiry_seconds=600.0, slot_seconds=120.0),
+        max_sensors_per_query=None,
+    )
+    registry = make_registry(n=400, seed=70)
+    for sensor in registry.all():
+        portal.register_sensor(
+            sensor.location,
+            sensor.expiry_seconds,
+            sensor_type="restaurant" if sensor.sensor_id % 2 == 0 else "traffic",
+        )
+    return portal
+
+
+QUERY = SensorQuery(region=Rect(0, 0, 70, 70), staleness_seconds=600.0, sample_size=25)
+
+
+class TestPortalExplain:
+    def test_no_side_effects(self, portal):
+        info = portal.explain(QUERY)
+        assert info["expected_probes"] > 0
+        assert portal.network.stats.probes_attempted == 0
+
+    def test_per_type_plans(self, portal):
+        info = portal.explain(QUERY)
+        assert set(info["plans"]) == {"restaurant", "traffic"}
+
+    def test_type_filter_restricts_plans(self, portal):
+        info = portal.explain(
+            SensorQuery(
+                region=Rect(0, 0, 70, 70),
+                staleness_seconds=600.0,
+                sample_size=25,
+                sensor_type="traffic",
+            )
+        )
+        assert set(info["plans"]) == {"traffic"}
+
+    def test_unknown_type_rejected(self, portal):
+        with pytest.raises(KeyError):
+            portal.explain(
+                SensorQuery(
+                    region=Rect(0, 0, 1, 1),
+                    staleness_seconds=1.0,
+                    sensor_type="submarine",
+                )
+            )
+
+    def test_warm_cache_visible_in_plan(self, portal):
+        cold = portal.explain(QUERY)
+        portal.execute(QUERY)
+        portal.clock.advance(5.0)
+        warm = portal.explain(QUERY)
+        assert warm["expected_probes"] < cold["expected_probes"]
+        assert warm["cache_coverage"] > cold["cache_coverage"]
+
+    def test_explain_tracks_execution_roughly(self, portal):
+        info = portal.explain(QUERY)
+        result = portal.execute(QUERY)
+        probed = sum(a.stats.sensors_probed for a in result.answers)
+        assert info["expected_probes"] == pytest.approx(probed, rel=0.6, abs=15)

@@ -1,0 +1,34 @@
+import pytest
+
+from repro import Rect
+from repro.portal import SensorQuery
+
+
+class TestValidation:
+    def test_valid(self):
+        SensorQuery(region=Rect(0, 0, 1, 1), staleness_seconds=60.0)
+
+    def test_negative_staleness_rejected(self):
+        with pytest.raises(ValueError):
+            SensorQuery(region=Rect(0, 0, 1, 1), staleness_seconds=-1.0)
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            SensorQuery(region=Rect(0, 0, 1, 1), staleness_seconds=1.0, aggregate="median")
+
+    def test_nonpositive_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            SensorQuery(
+                region=Rect(0, 0, 1, 1), staleness_seconds=1.0, cluster_miles=0.0
+            )
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            SensorQuery(region=Rect(0, 0, 1, 1), staleness_seconds=1.0, sample_size=-1)
+
+    def test_defaults(self):
+        q = SensorQuery(region=Rect(0, 0, 1, 1), staleness_seconds=1.0)
+        assert q.aggregate == "count"
+        assert q.cluster_miles is None
+        assert q.sample_size is None
+        assert q.sensor_type is None

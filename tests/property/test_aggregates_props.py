@@ -1,0 +1,87 @@
+"""Property-based tests of the aggregate sketch."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.aggregates import AggregateSketch, combine
+
+value = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+timestamp = st.floats(min_value=0, max_value=1e7, allow_nan=False)
+entries = st.lists(st.tuples(value, timestamp), min_size=1, max_size=40)
+
+
+class TestSketchProperties:
+    @given(entries)
+    def test_matches_direct_computation(self, items):
+        sketch = AggregateSketch.of(items)
+        values = [v for v, _ in items]
+        assert sketch.result("count") == len(values)
+        assert math.isclose(sketch.result("sum"), sum(values), rel_tol=1e-9, abs_tol=1e-6)
+        assert sketch.result("min") == min(values)
+        assert sketch.result("max") == max(values)
+        assert sketch.oldest_timestamp == min(t for _, t in items)
+
+    @given(entries, entries)
+    def test_merge_equals_concatenation(self, a, b):
+        merged = AggregateSketch.of(a)
+        merged.merge(AggregateSketch.of(b))
+        direct = AggregateSketch.of(a + b)
+        assert merged.count == direct.count
+        assert math.isclose(merged.total, direct.total, rel_tol=1e-9, abs_tol=1e-6)
+        assert merged.minimum == direct.minimum
+        assert merged.maximum == direct.maximum
+
+    @given(entries, st.integers(min_value=1, max_value=5))
+    def test_combine_invariant_under_partitioning(self, items, n_parts):
+        """Splitting the entries into any number of sketches and
+        combining them gives the same aggregate as one sketch."""
+        parts = [items[i::n_parts] for i in range(n_parts)]
+        total = combine(AggregateSketch.of(p) for p in parts if p)
+        direct = AggregateSketch.of(items)
+        assert total.count == direct.count
+        assert math.isclose(total.total, direct.total, rel_tol=1e-9, abs_tol=1e-6)
+        assert total.minimum == direct.minimum
+        assert total.maximum == direct.maximum
+        assert total.oldest_timestamp == direct.oldest_timestamp
+
+    @given(entries, st.integers(min_value=0, max_value=39))
+    def test_remove_preserves_count_and_sum(self, items, idx):
+        if idx >= len(items):
+            return
+        sketch = AggregateSketch.of(items)
+        removed_value = items[idx][0]
+        sketch.remove(removed_value)
+        remaining = [v for i, (v, _) in enumerate(items) if i != idx]
+        assert sketch.count == len(remaining)
+        if remaining:
+            assert math.isclose(
+                sketch.total, sum(remaining), rel_tol=1e-9, abs_tol=1e-5
+            )
+        else:
+            assert sketch.is_empty
+
+    @given(entries, st.integers(min_value=0, max_value=39))
+    def test_remove_interior_keeps_minmax_exact(self, items, idx):
+        if idx >= len(items):
+            return
+        sketch = AggregateSketch.of(items)
+        values = [v for v, _ in items]
+        victim = values[idx]
+        sketch.remove(victim)
+        if sketch.is_empty:
+            return
+        if not sketch.minmax_dirty:
+            remaining = values[:idx] + values[idx + 1:]
+            assert sketch.result("min") == min(remaining)
+            assert sketch.result("max") == max(remaining)
+
+    @given(entries)
+    def test_copy_equivalence(self, items):
+        sketch = AggregateSketch.of(items)
+        clone = sketch.copy()
+        assert clone.count == sketch.count
+        assert clone.total == sketch.total
+        assert clone.minimum == sketch.minimum
+        assert clone.maximum == sketch.maximum

@@ -1,0 +1,94 @@
+"""Property tests of viewport grouping: weights and values must be
+preserved by any grouping, at any cluster distance."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GeoPoint, Reading
+from repro.core.aggregates import AggregateSketch
+from repro.core.lookup import QueryAnswer
+from repro.portal import group_answer
+
+
+@st.composite
+def answers(draw):
+    n = draw(st.integers(min_value=0, max_value=25))
+    locations = {}
+    probed, cached = [], []
+    for sensor_id in range(n):
+        locations[sensor_id] = GeoPoint(
+            draw(st.floats(min_value=-170, max_value=170, allow_nan=False)),
+            draw(st.floats(min_value=-80, max_value=80, allow_nan=False)),
+        )
+        reading = Reading(
+            sensor_id=sensor_id,
+            value=draw(st.floats(min_value=-1000, max_value=1000, allow_nan=False)),
+            timestamp=0.0,
+            expires_at=100.0,
+        )
+        if draw(st.booleans()):
+            probed.append(reading)
+        else:
+            cached.append(reading)
+    n_sketches = draw(st.integers(min_value=0, max_value=3))
+    sketches, nodes = [], []
+    for k in range(n_sketches):
+        size = draw(st.integers(min_value=1, max_value=5))
+        sketches.append(
+            AggregateSketch.of(
+                [(draw(st.floats(min_value=-10, max_value=10, allow_nan=False)), 0.0) for _ in range(size)]
+            )
+        )
+        nodes.append(k)
+    answer = QueryAnswer(
+        probed_readings=probed,
+        cached_readings=cached,
+        cached_sketches=sketches,
+        cached_sketch_nodes=nodes,
+    )
+    return answer, locations
+
+
+cluster = st.one_of(st.none(), st.floats(min_value=0.5, max_value=5000, allow_nan=False))
+
+
+class TestGroupingProperties:
+    @given(answers(), cluster)
+    @settings(max_examples=150)
+    def test_total_weight_preserved(self, case, cluster_miles):
+        answer, locations = case
+        groups = group_answer(
+            answer, cluster_miles, sensor_location=lambda sid: locations[sid]
+        )
+        assert sum(g.size for g in groups) == answer.result_weight
+
+    @given(answers(), cluster)
+    @settings(max_examples=150)
+    def test_total_sum_preserved(self, case, cluster_miles):
+        answer, locations = case
+        groups = group_answer(
+            answer, cluster_miles, sensor_location=lambda sid: locations[sid]
+        )
+        total = sum(g.sketch.total for g in groups)
+        expected = (
+            sum(r.value for r in answer.probed_readings)
+            + sum(r.value for r in answer.cached_readings)
+            + sum(s.total for s in answer.cached_sketches)
+        )
+        assert abs(total - expected) < 1e-6 * max(1.0, abs(expected))
+
+    @given(answers())
+    @settings(max_examples=100)
+    def test_no_cluster_means_singleton_groups(self, case):
+        answer, locations = case
+        groups = group_answer(answer, None, sensor_location=lambda sid: locations[sid])
+        reading_groups = [g for g in groups if g.from_cache_node is None]
+        assert all(g.size == 1 for g in reading_groups)
+
+    @given(answers())
+    @settings(max_examples=100)
+    def test_coarser_cluster_never_more_groups(self, case):
+        answer, locations = case
+        fine = group_answer(answer, 1.0, sensor_location=lambda sid: locations[sid])
+        coarse = group_answer(answer, 5000.0, sensor_location=lambda sid: locations[sid])
+        assert len(coarse) <= len(fine)

@@ -1,0 +1,183 @@
+"""Statistical validation of the sampling guarantees (Section V-B).
+
+Theorem 1: Algorithm 1 returns a sample with expected size R.
+Theorem 2: with uniform sensors and caching disabled, every sensor in
+the query region is successfully probed with probability R/N.
+
+Both are statements about expectations, so we validate them over many
+independent runs with calibrated availability histories (the theorems
+assume the oversampling factor uses the true availability; we seed the
+historical model accordingly).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AvailabilityModel,
+    COLRTree,
+    COLRTreeConfig,
+    GeoPoint,
+    Rect,
+    SensorNetwork,
+    SensorRegistry,
+)
+
+
+def build_population(n, availability, seed):
+    rng = np.random.default_rng(seed)
+    registry = SensorRegistry()
+    for _ in range(n):
+        registry.register(
+            GeoPoint(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            expiry_seconds=300.0,
+            availability=availability,
+        )
+    return registry
+
+
+def calibrated_model(registry, observations=400):
+    """Availability history matching each sensor's true rate."""
+    model = AvailabilityModel()
+    for sensor in registry.all():
+        successes = int(round(observations * sensor.availability))
+        model.seed(sensor.sensor_id, successes, observations - successes)
+    return model
+
+
+def make_tree(registry, model, seed, caching=False):
+    config = COLRTreeConfig(
+        fanout=6,
+        leaf_capacity=16,
+        max_expiry_seconds=600.0,
+        slot_seconds=120.0,
+        caching_enabled=caching,
+        seed=seed,
+    )
+    network = SensorNetwork(registry.all(), availability_model=model, seed=seed + 1)
+    return COLRTree(registry.all(), config, network=network, availability_model=model)
+
+
+FULL_REGION = Rect(0, 0, 100, 100)
+
+
+class TestTheorem1ExpectedSampleSize:
+    def test_full_availability(self):
+        """With a = 1 everywhere the expected successes equal R."""
+        registry = build_population(600, availability=1.0, seed=0)
+        model = calibrated_model(registry)
+        target = 40
+        sizes = []
+        for seed in range(25):
+            tree = make_tree(registry, model, seed)
+            answer = tree.query(FULL_REGION, now=0.0, max_staleness=600.0, sample_size=target)
+            sizes.append(answer.probed_count)
+        mean = float(np.mean(sizes))
+        assert abs(mean - target) <= 0.15 * target, (mean, sizes)
+
+    def test_partial_availability_compensated(self):
+        """With a = 0.7 the 1/a oversampling keeps E[successes] ≈ R."""
+        registry = build_population(800, availability=0.7, seed=1)
+        model = calibrated_model(registry)
+        target = 40
+        sizes = []
+        for seed in range(25):
+            tree = make_tree(registry, model, seed)
+            answer = tree.query(FULL_REGION, now=0.0, max_staleness=600.0, sample_size=target)
+            sizes.append(answer.probed_count)
+        mean = float(np.mean(sizes))
+        assert abs(mean - target) <= 0.2 * target, (mean, sizes)
+
+    def test_without_oversampling_expectation_shrinks_by_a(self):
+        """Control: turning the mechanism off yields ≈ a * R."""
+        registry = build_population(800, availability=0.6, seed=2)
+        model = calibrated_model(registry)
+        target = 40
+        sizes = []
+        for seed in range(25):
+            config = COLRTreeConfig(
+                fanout=6,
+                leaf_capacity=16,
+                caching_enabled=False,
+                oversampling_enabled=False,
+                seed=seed,
+            )
+            network = SensorNetwork(registry.all(), availability_model=model, seed=seed + 1)
+            tree = COLRTree(registry.all(), config, network=network, availability_model=model)
+            answer = tree.query(FULL_REGION, now=0.0, max_staleness=600.0, sample_size=target)
+            sizes.append(answer.probed_count)
+        mean = float(np.mean(sizes))
+        assert abs(mean - 0.6 * target) <= 0.2 * target, mean
+
+    def test_partial_region_expectation(self):
+        """The guarantee holds for sub-regions too."""
+        registry = build_population(900, availability=1.0, seed=3)
+        model = calibrated_model(registry)
+        region = Rect(0, 0, 60, 60)
+        target = 30
+        sizes = []
+        for seed in range(25):
+            tree = make_tree(registry, model, seed)
+            answer = tree.query(region, now=0.0, max_staleness=600.0, sample_size=target)
+            sizes.append(answer.probed_count)
+        mean = float(np.mean(sizes))
+        assert abs(mean - target) <= 0.25 * target, (mean, sizes)
+
+
+class TestTheorem2Uniformity:
+    @pytest.mark.parametrize("availability", [1.0, 0.75])
+    def test_per_sensor_inclusion_near_uniform(self, availability):
+        """Across many independent queries, each sensor's successful-
+        probe count concentrates around n_queries * R / N."""
+        n_sensors = 500
+        registry = build_population(n_sensors, availability=availability, seed=4)
+        model = calibrated_model(registry)
+        target = 25
+        n_queries = 400
+        tree = make_tree(registry, model, seed=0)
+        counts = np.zeros(n_sensors, dtype=np.int64)
+        for i in range(n_queries):
+            answer = tree.query(
+                FULL_REGION, now=float(i), max_staleness=600.0, sample_size=target
+            )
+            for reading in answer.probed_readings:
+                counts[reading.sensor_id] += 1
+        expected = n_queries * target / n_sensors
+        mean = counts.mean()
+        assert abs(mean - expected) <= 0.2 * expected, (mean, expected)
+        # Uniformity: the spread must look binomial, not clustered.
+        assert counts.std() <= 0.6 * mean + 3.0, (counts.std(), mean)
+        assert counts.max() <= 3.0 * mean + 5.0
+        assert counts.min() >= 0.15 * mean - 2.0
+
+    def test_dense_and_sparse_regions_equal_rates(self):
+        """Sensors in a dense cluster and sensors spread out must have
+        the same inclusion probability (weighted partitioning)."""
+        rng = np.random.default_rng(5)
+        registry = SensorRegistry()
+        for _ in range(400):  # dense cluster in one corner
+            registry.register(
+                GeoPoint(float(rng.uniform(0, 10)), float(rng.uniform(0, 10))),
+                expiry_seconds=300.0,
+            )
+        for _ in range(100):  # sparse spread
+            registry.register(
+                GeoPoint(float(rng.uniform(10, 100)), float(rng.uniform(10, 100))),
+                expiry_seconds=300.0,
+            )
+        model = calibrated_model(registry)
+        tree = make_tree(registry, model, seed=0)
+        counts = np.zeros(500, dtype=np.int64)
+        n_queries, target = 400, 25
+        for i in range(n_queries):
+            answer = tree.query(
+                FULL_REGION, now=float(i), max_staleness=600.0, sample_size=target
+            )
+            for reading in answer.probed_readings:
+                counts[reading.sensor_id] += 1
+        dense_rate = counts[:400].mean()
+        sparse_rate = counts[400:].mean()
+        assert dense_rate == pytest.approx(sparse_rate, rel=0.3), (
+            dense_rate,
+            sparse_rate,
+        )

@@ -1,0 +1,152 @@
+"""Property-based tests of the slot caches."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Reading
+from repro.core.slots import LeafSlotCache, SlotCache, slot_of
+
+
+@st.composite
+def readings(draw):
+    sensor_id = draw(st.integers(min_value=0, max_value=20))
+    timestamp = draw(st.floats(min_value=0, max_value=10_000, allow_nan=False))
+    lifetime = draw(st.floats(min_value=1, max_value=600, allow_nan=False))
+    value = draw(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    return Reading(
+        sensor_id=sensor_id,
+        value=value,
+        timestamp=timestamp,
+        expires_at=timestamp + lifetime,
+    )
+
+
+reading_lists = st.lists(readings(), min_size=0, max_size=40)
+
+
+class TestLeafSlotCacheProperties:
+    @given(reading_lists)
+    def test_one_entry_per_sensor(self, items):
+        cache = LeafSlotCache(120.0)
+        for r in items:
+            cache.insert(r, fetched_at=r.timestamp)
+        assert len(cache) == len({r.sensor_id for r in items})
+
+    @given(reading_lists)
+    def test_newest_reading_wins(self, items):
+        cache = LeafSlotCache(120.0)
+        last: dict[int, Reading] = {}
+        for r in items:
+            cache.insert(r, fetched_at=r.timestamp)
+            last[r.sensor_id] = r
+        for sensor_id, expected in last.items():
+            assert cache.get(sensor_id).reading == expected
+
+    @given(reading_lists)
+    def test_slot_index_consistent(self, items):
+        cache = LeafSlotCache(120.0)
+        for r in items:
+            cache.insert(r, fetched_at=r.timestamp)
+        listed = set()
+        for slot in cache.slot_ids():
+            assert isinstance(slot, int)
+        for r in cache.all_readings():
+            assert slot_of(r.expires_at, 120.0) in cache.slot_ids()
+            listed.add(r.sensor_id)
+        assert len(listed) == len(cache)
+
+    @given(
+        reading_lists,
+        st.floats(min_value=0, max_value=12_000, allow_nan=False),
+        st.floats(min_value=0, max_value=1_000, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_fresh_readings_exactly_the_fresh_ones(self, items, now, staleness):
+        """fresh_readings must agree with a brute-force filter of the
+        cache contents."""
+        cache = LeafSlotCache(120.0)
+        for r in items:
+            cache.insert(r, fetched_at=r.timestamp)
+        expected = {
+            r.sensor_id
+            for r in cache.all_readings()
+            if r.is_valid_at(now) and now - r.timestamp <= staleness
+        }
+        # The slot filter may additionally drop *whole expired slots*;
+        # it must never drop an unexpired fresh reading nor return a
+        # stale one.
+        got = {r.sensor_id for r in cache.fresh_readings(now, staleness)}
+        assert got == expected
+
+    @given(reading_lists, st.floats(min_value=0, max_value=12_000, allow_nan=False))
+    def test_prune_drops_only_expired(self, items, now):
+        cache = LeafSlotCache(120.0)
+        for r in items:
+            cache.insert(r, fetched_at=r.timestamp)
+        dropped = cache.prune_expired(now)
+        for r in dropped:
+            assert not r.is_valid_at(now + 120.0)  # entire slot behind now
+        for r in cache.all_readings():
+            assert slot_of(r.expires_at, 120.0) >= slot_of(now, 120.0)
+
+    @given(reading_lists)
+    def test_remove_then_absent(self, items):
+        cache = LeafSlotCache(120.0)
+        for r in items:
+            cache.insert(r, fetched_at=r.timestamp)
+        for sensor_id in {r.sensor_id for r in items}:
+            assert cache.remove(sensor_id) is not None
+            assert sensor_id not in cache
+        assert len(cache) == 0
+        assert cache.slot_ids() == []
+
+
+class TestAggregateSlotCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10),
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=1_000, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    def test_total_weight_counts_every_add(self, adds):
+        cache = SlotCache(60.0)
+        for slot, value, ts in adds:
+            cache.add(slot, value, ts)
+        assert cache.total_weight() == len(adds)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10),
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_add_remove_roundtrip_empties(self, adds):
+        cache = SlotCache(60.0)
+        for slot, value in adds:
+            cache.add(slot, value, 0.0)
+        for slot, value in adds:
+            if cache.sketch(slot) is not None:
+                cache.remove(slot, value)
+        assert cache.total_weight() == 0
+        assert len(cache) == 0
+
+    @given(
+        st.floats(min_value=1, max_value=600, allow_nan=False),
+        st.floats(min_value=0, max_value=10_000, allow_nan=False),
+    )
+    def test_usable_excludes_boundary_and_past(self, slot_seconds, now):
+        cache = SlotCache(slot_seconds)
+        boundary = slot_of(now, slot_seconds)
+        cache.add(boundary - 1, 1.0, now)
+        cache.add(boundary, 1.0, now)
+        cache.add(boundary + 1, 1.0, now)
+        usable = cache.usable_sketches(now, max_staleness=1e9)
+        assert len(usable) == 1

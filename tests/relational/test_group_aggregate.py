@@ -1,0 +1,67 @@
+import pytest
+
+from repro.relational import Column, Database, TableSchema, col
+
+
+@pytest.fixture
+def db() -> Database:
+    db = Database()
+    db.create_table(
+        TableSchema(
+            "readings",
+            columns=(
+                Column("id", "int"),
+                Column("slot", "int"),
+                Column("node", "int"),
+                Column("value", "float", nullable=True),
+            ),
+            primary_key=("id",),
+        )
+    )
+    rows = [
+        {"id": 0, "slot": 1, "node": 10, "value": 5.0},
+        {"id": 1, "slot": 1, "node": 10, "value": 7.0},
+        {"id": 2, "slot": 2, "node": 10, "value": 1.0},
+        {"id": 3, "slot": 1, "node": 20, "value": -4.0},
+        {"id": 4, "slot": 2, "node": 20, "value": None},
+    ]
+    db.insert("readings", rows)
+    return db
+
+
+class TestGroupAggregate:
+    def test_single_key_grouping(self, db):
+        groups = {g["node"]: g for g in db.group_aggregate("readings", ["node"], "value")}
+        assert groups[10]["count"] == 3
+        assert groups[10]["sum"] == pytest.approx(13.0)
+        assert groups[10]["min"] == 1.0 and groups[10]["max"] == 7.0
+        assert groups[20]["count"] == 1  # the None value is skipped
+        assert groups[20]["min"] == -4.0
+
+    def test_composite_key_grouping(self, db):
+        groups = {
+            (g["node"], g["slot"]): g
+            for g in db.group_aggregate("readings", ["node", "slot"], "value")
+        }
+        assert groups[(10, 1)]["count"] == 2
+        assert groups[(10, 2)]["sum"] == 1.0
+        assert groups[(20, 2)]["count"] == 0
+
+    def test_where_filters_before_grouping(self, db):
+        groups = db.group_aggregate("readings", ["node"], "value", col("slot") == 1)
+        by_node = {g["node"]: g for g in groups}
+        assert by_node[10]["count"] == 2
+        assert by_node[20]["sum"] == -4.0
+
+    def test_empty_group_by_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.group_aggregate("readings", [], "value")
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(KeyError):
+            db.group_aggregate("readings", ["nope"], "value")
+        with pytest.raises(KeyError):
+            db.group_aggregate("readings", ["node"], "nope")
+
+    def test_no_matching_rows(self, db):
+        assert db.group_aggregate("readings", ["node"], "value", col("slot") == 99) == []

@@ -1,0 +1,34 @@
+import pytest
+
+from repro.sensors import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(100.0).now() == 100.0
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock()
+        assert clock.advance(5.0) == 5.0
+        assert clock.now() == 5.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now() == 4.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_future(self):
+        clock = SimClock(10.0)
+        assert clock.advance_to(20.0) == 20.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(10.0)
+        assert clock.advance_to(5.0) == 10.0

@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro import GeoPoint, Rect, SpatialField
+
+
+@pytest.fixture
+def field() -> SpatialField:
+    return SpatialField(Rect(0, 0, 100, 100), seed=3)
+
+
+class TestSpatialField:
+    def test_deterministic_mean(self, field):
+        p = GeoPoint(30, 40)
+        assert field.mean_value(p, 0.0) == field.mean_value(p, 0.0)
+
+    def test_spatial_correlation(self, field):
+        """Nearby points must be far more similar than distant ones."""
+        rng = np.random.default_rng(0)
+        near_diffs, far_diffs = [], []
+        for _ in range(200):
+            x, y = rng.uniform(5, 95, 2)
+            base = field.mean_value(GeoPoint(x, y))
+            near_diffs.append(abs(base - field.mean_value(GeoPoint(x + 1, y + 1))))
+            fx, fy = rng.uniform(0, 100, 2)
+            far_diffs.append(abs(base - field.mean_value(GeoPoint(fx, fy))))
+        assert np.mean(near_diffs) < 0.3 * np.mean(far_diffs)
+
+    def test_values_positive(self, field):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            p = GeoPoint(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            assert field.mean_value(p) > 0
+
+    def test_sample_noise_centered_on_mean(self, field):
+        p = GeoPoint(50, 50)
+        samples = [field.sample(p) for _ in range(500)]
+        assert np.mean(samples) == pytest.approx(field.mean_value(p), abs=1.0)
+
+    def test_temporal_drift_changes_values(self, field):
+        p = GeoPoint(50, 50)
+        assert field.mean_value(p, 0.0) != field.mean_value(p, 20_000.0)
+
+    def test_regional_mean_matches_average(self, field):
+        pts = [GeoPoint(10, 10), GeoPoint(20, 20), GeoPoint(30, 30)]
+        expected = sum(field.mean_value(p) for p in pts) / 3
+        assert field.regional_mean(pts) == pytest.approx(expected)
+
+    def test_regional_mean_empty_rejected(self, field):
+        with pytest.raises(ValueError):
+            field.regional_mean([])
+
+    def test_zero_bumps_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialField(Rect(0, 0, 1, 1), n_bumps=0)

@@ -1,0 +1,53 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_flags(self):
+        args = build_parser().parse_args(["fig4", "--sensors", "1000", "--queries", "20"])
+        assert args.sensors == 1000 and args.queries == 20
+
+    def test_fig7_trials_flag(self):
+        args = build_parser().parse_args(["fig7", "--trials", "3"])
+        assert args.trials == 3
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestExecution:
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "utility/cost" in out
+        assert "optima" in out
+
+    def test_fig3_runs_small(self, capsys):
+        assert main(["fig3", "--sensors", "1200", "--queries", "25"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_fig7_runs_small(self, capsys):
+        assert main(["fig7", "--trials", "2"]) == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--sensors", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "indexed 500 sensors" in out
+        assert "cold" in out and "warm" in out
+
+
+class TestMoreCommands:
+    def test_fig5_runs_small(self, capsys):
+        assert main(["fig5", "--sensors", "1200", "--queries", "20"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_fig6_runs_small(self, capsys):
+        assert main(["fig6", "--sensors", "1200", "--queries", "20"]) == 0
+        assert "Figure 6" in capsys.readouterr().out

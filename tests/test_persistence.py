@@ -1,0 +1,125 @@
+import json
+
+import pytest
+
+from repro import COLRTreeConfig, Rect
+from repro.persistence import (
+    SnapshotError,
+    load_tree,
+    restore_tree,
+    save_tree,
+    snapshot_tree,
+)
+
+from tests.conftest import make_registry, make_tree
+
+
+@pytest.fixture
+def warm_tree():
+    registry = make_registry(n=300, seed=21)
+    tree = make_tree(registry)
+    tree.query(Rect(0, 0, 60, 60), now=0.0, max_staleness=600.0, sample_size=0)
+    return tree
+
+
+class TestSnapshotRoundTrip:
+    def test_structure_restored(self, warm_tree, tmp_path):
+        path = tmp_path / "tree.json"
+        save_tree(warm_tree, path, now=1.0)
+        restored = load_tree(path)
+        assert len(restored) == len(warm_tree)
+        assert restored.height() == warm_tree.height()
+        assert restored.root.weight == warm_tree.root.weight
+
+    def test_cache_contents_restored(self, warm_tree, tmp_path):
+        path = tmp_path / "tree.json"
+        save_tree(warm_tree, path, now=1.0)
+        restored = load_tree(path)
+        assert restored.cached_reading_count == warm_tree.cached_reading_count
+        # The restored cache must serve the same data.
+        a = warm_tree.query(Rect(0, 0, 60, 60), now=2.0, max_staleness=600.0, sample_size=0)
+        b = restored.query(Rect(0, 0, 60, 60), now=2.0, max_staleness=600.0, sample_size=0)
+        assert a.result_weight == b.result_weight
+        assert b.stats.sensors_probed == 0
+
+    def test_aggregates_rebuilt_consistently(self, warm_tree, tmp_path):
+        path = tmp_path / "tree.json"
+        save_tree(warm_tree, path, now=1.0)
+        restored = load_tree(path)
+        for node in restored.root.iter_subtree():
+            if node.is_leaf or node.agg_cache is None:
+                continue
+            for slot in node.agg_cache.slot_ids():
+                cached = node.agg_cache.sketch(slot)
+                recomputed = restored._recompute_slot(node, slot)
+                assert cached.count == recomputed.count
+
+    def test_expired_readings_dropped_on_load(self, warm_tree, tmp_path):
+        path = tmp_path / "tree.json"
+        # Save "much later": everything in the snapshot is expired.
+        save_tree(warm_tree, path, now=100_000.0)
+        restored = load_tree(path)
+        assert restored.cached_reading_count == 0
+
+    def test_config_round_trips(self, tmp_path):
+        registry = make_registry(n=100, seed=22)
+        config = COLRTreeConfig(
+            fanout=5,
+            leaf_capacity=10,
+            max_expiry_seconds=500.0,
+            slot_seconds=100.0,
+            cache_capacity=40,
+            reversible_aggregates=True,
+        )
+        tree = make_tree(registry, config)
+        path = tmp_path / "t.json"
+        save_tree(tree, path, now=0.0)
+        restored = load_tree(path)
+        assert restored.config == config
+
+    def test_sensor_metadata_preserved(self, tmp_path):
+        from repro import COLRTree, GeoPoint, SensorRegistry
+
+        registry = SensorRegistry()
+        registry.register(
+            GeoPoint(1, 2), 300.0, sensor_type="water", metadata={"name": "gauge-7"}
+        )
+        registry.register(GeoPoint(3, 4), 200.0)
+        tree = COLRTree(registry.all(), COLRTreeConfig())
+        path = tmp_path / "t.json"
+        save_tree(tree, path, now=0.0)
+        restored = load_tree(path)
+        s = restored.sensor(0)
+        assert s.sensor_type == "water"
+        assert dict(s.metadata) == {"name": "gauge-7"}
+
+
+class TestErrors:
+    def test_bad_version_rejected(self, warm_tree):
+        data = snapshot_tree(warm_tree, now=0.0)
+        data["format_version"] = 99
+        with pytest.raises(SnapshotError):
+            restore_tree(data)
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SnapshotError):
+            load_tree(path)
+
+    def test_missing_fields_rejected(self, warm_tree):
+        data = snapshot_tree(warm_tree, now=0.0)
+        del data["config"]["fanout"]
+        data["config"]["bogus"] = 1
+        with pytest.raises((SnapshotError, TypeError)):
+            restore_tree(data)
+
+    def test_empty_sensor_list_rejected(self, warm_tree):
+        data = snapshot_tree(warm_tree, now=0.0)
+        data["sensors"] = []
+        with pytest.raises(SnapshotError):
+            restore_tree(data)
+
+    def test_snapshot_is_json_serializable(self, warm_tree):
+        data = snapshot_tree(warm_tree, now=0.0)
+        json.dumps(data)  # must not raise

@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.workloads import uniform_expiry, usgs_like_expiry, weather_like_expiry
+
+
+class TestDistributions:
+    def test_all_normalized(self):
+        for gen in (uniform_expiry, usgs_like_expiry, weather_like_expiry):
+            samples = gen(500, seed=1)
+            assert samples.min() > 0.0
+            assert samples.max() <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = usgs_like_expiry(100, seed=7)
+        b = usgs_like_expiry(100, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_uniform_mean_near_half(self):
+        samples = uniform_expiry(20_000, seed=2)
+        assert 0.45 < samples.mean() < 0.55
+
+    def test_usgs_mass_near_one(self):
+        samples = usgs_like_expiry(10_000, seed=2)
+        assert samples.mean() > 0.65
+        assert np.median(samples) > 0.7
+
+    def test_weather_mass_near_zero(self):
+        samples = weather_like_expiry(10_000, seed=2)
+        assert samples.mean() < 0.35
+        assert np.median(samples) < 0.3
+
+    def test_invalid_n_rejected(self):
+        for gen in (uniform_expiry, usgs_like_expiry, weather_like_expiry):
+            with pytest.raises(ValueError):
+                gen(0)
+
+    def test_figure2_optima_match_paper(self):
+        """Under the Figure 2 reference workload the model must land on
+        the paper's optima: Weather 0.2, Uniform 0.5, USGS 0.8."""
+        from repro.core.slot_sizing import (
+            FIG2_WORKLOAD,
+            SlotSizeModel,
+            optimal_slot_size,
+        )
+
+        def optimum(samples):
+            model = SlotSizeModel(
+                expiry_samples=tuple(float(x) for x in samples), **FIG2_WORKLOAD
+            )
+            return optimal_slot_size(model)
+
+        assert optimum(weather_like_expiry(4000, seed=3)) == pytest.approx(0.2)
+        assert optimum(uniform_expiry(4000, seed=3)) == pytest.approx(0.5)
+        assert optimum(usgs_like_expiry(4000, seed=3)) == pytest.approx(0.8)

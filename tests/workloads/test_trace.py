@@ -1,0 +1,86 @@
+import json
+
+import pytest
+
+from repro.workloads import LiveLocalWorkload
+from repro.workloads.trace import (
+    TraceError,
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+@pytest.fixture
+def workload():
+    wl = LiveLocalWorkload(n_sensors=100, n_queries=40, seed=42)
+    return wl.sensors(), wl.queries()
+
+
+class TestRoundTrip:
+    def test_sensors_identical(self, workload, tmp_path):
+        sensors, queries = workload
+        path = tmp_path / "trace.json"
+        save_workload(sensors, queries, path)
+        restored_sensors, _ = load_workload(path)
+        assert restored_sensors == sensors
+
+    def test_queries_identical(self, workload, tmp_path):
+        sensors, queries = workload
+        path = tmp_path / "trace.json"
+        save_workload(sensors, queries, path)
+        _, restored = load_workload(path)
+        assert restored == queries
+
+    def test_dict_round_trip_without_disk(self, workload):
+        sensors, queries = workload
+        restored_sensors, restored_queries = workload_from_dict(
+            workload_to_dict(sensors, queries)
+        )
+        assert restored_sensors == sensors
+        assert restored_queries == queries
+
+    def test_trace_is_plain_json(self, workload, tmp_path):
+        sensors, queries = workload
+        path = tmp_path / "trace.json"
+        save_workload(sensors, queries, path)
+        data = json.loads(path.read_text())
+        assert data["trace_version"] == 1
+        assert len(data["sensors"]) == 100
+
+
+class TestErrors:
+    def test_bad_version(self, workload):
+        data = workload_to_dict(*workload)
+        data["trace_version"] = 7
+        with pytest.raises(TraceError):
+            workload_from_dict(data)
+
+    def test_missing_fields(self, workload):
+        data = workload_to_dict(*workload)
+        del data["sensors"][0]["x"]
+        with pytest.raises(TraceError):
+            workload_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("]{")
+        with pytest.raises(TraceError):
+            load_workload(path)
+
+    def test_trace_drives_harness(self, workload, tmp_path):
+        """A loaded trace must be directly runnable by the harness."""
+        from repro.bench.harness import run_query_stream
+        from repro.core.config import COLRTreeConfig
+        from repro.core.tree import COLRTree
+        from repro.sensors.network import SensorNetwork
+
+        sensors, queries = workload
+        path = tmp_path / "trace.json"
+        save_workload(sensors, queries, path)
+        restored_sensors, restored_queries = load_workload(path)
+        network = SensorNetwork(restored_sensors, seed=0)
+        tree = COLRTree(restored_sensors, COLRTreeConfig(), network=network)
+        run = run_query_stream(tree, restored_queries[:10])
+        assert len(run) == 10

@@ -1,0 +1,51 @@
+import numpy as np
+import pytest
+
+from repro import SensorNetwork
+from repro.workloads import UsgsWaWorkload
+from repro.workloads.usgs import WA_BBOX
+
+
+class TestUsgsWorkload:
+    def test_default_200_gauges(self):
+        wl = UsgsWaWorkload(seed=4)
+        sensors = wl.sensors()
+        assert len(sensors) == 200
+        assert all(s.sensor_type == "water" for s in sensors)
+
+    def test_gauges_inside_wa(self):
+        for s in UsgsWaWorkload(seed=4).sensors():
+            assert WA_BBOX.contains_point(s.location)
+
+    def test_value_fn_spatially_correlated(self):
+        wl = UsgsWaWorkload(seed=4, noise_sigma=0.0)
+        sensors = wl.sensors()
+        fn = wl.value_fn()
+        # Values at the same location agree; distant gauges differ more
+        # on average than a gauge and its re-read.
+        v = [fn(s, 0.0) for s in sensors]
+        assert np.std(v) > 0
+
+    def test_true_regional_mean_stable(self):
+        wl = UsgsWaWorkload(seed=4)
+        assert wl.true_regional_mean(0.0) == pytest.approx(wl.true_regional_mean(0.0))
+
+    def test_sample_mean_approximates_truth(self):
+        """The Figure 7 premise: a modest random sample's average is
+        close to the full regional mean."""
+        wl = UsgsWaWorkload(seed=4, noise_sigma=1.0)
+        sensors = wl.sensors()
+        network = SensorNetwork(sensors, value_fn=wl.value_fn(), seed=0)
+        rng = np.random.default_rng(1)
+        truth = wl.true_regional_mean(0.0)
+        errors = []
+        for _ in range(10):
+            pick = rng.choice(len(sensors), size=30, replace=False)
+            result = network.probe([sensors[i].sensor_id for i in pick], now=0.0)
+            est = np.mean([r.value for r in result.readings.values()])
+            errors.append(abs(est - truth) / truth)
+        assert np.mean(errors) < 0.15
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            UsgsWaWorkload(n_sensors=0)
