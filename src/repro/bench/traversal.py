@@ -1,0 +1,300 @@
+"""Traversal microbenchmark: flattened kernel vs pointer traversal.
+
+Times the spatial half of the exact range path (``range_scan``: node
+classification, cache consults, terminal emission — everything except
+the network probes, which would otherwise dominate and hide the index
+cost) on the same seeded workload under three configurations:
+
+``legacy``
+    ``flat_kernel_enabled=False`` — the per-node pointer recursion.
+``kernel_cold``
+    Kernel on, every region seen for the first time (plan-cache miss:
+    pays one vectorized classification per query).
+``kernel_warm``
+    The same regions again (plan-cache hit: memoized plans only).
+
+Before timing, every region is executed under both configurations and
+the answers are compared field-for-field (stats excluding the three
+kernel-only counters, which are structurally zero on the legacy path) —
+the benchmark refuses to report a speedup for a kernel that is not
+bit-identical.
+
+Results land in ``BENCH_traversal.json`` next to the repo root (or at
+``--output``).  ``--quick`` shrinks the workload for CI smoke runs;
+``--check`` additionally asserts the acceptance thresholds (>=3x cold,
+>=10x warm), which only make sense at full scale on a quiet machine.
+
+Run with ``PYTHONPATH=src python -m repro.bench.traversal``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import fields, replace
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import COLRTreeConfig
+from repro.core.lookup import QueryAnswer, Region, range_scan
+from repro.core.tree import COLRTree
+from repro.geometry import GeoPoint, Polygon, Rect
+from repro.sensors.sensor import Sensor
+
+KERNEL_ONLY_STATS = ("plan_cache_hits", "plan_cache_misses", "nodes_pruned_vectorized")
+EXTENT = 100.0
+
+
+def make_sensors(n: int, seed: int) -> list[Sensor]:
+    """A uniform random population over the benchmark extent."""
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0.0, EXTENT, n)
+    ys = rng.uniform(0.0, EXTENT, n)
+    expiries = rng.uniform(120.0, 600.0, n)
+    return [
+        Sensor(
+            sensor_id=i,
+            location=GeoPoint(float(xs[i]), float(ys[i])),
+            expiry_seconds=float(expiries[i]),
+        )
+        for i in range(n)
+    ]
+
+
+def make_regions(
+    n: int, seed: int, polygon_every: int = 0
+) -> list[Region]:
+    """A mixed-selectivity viewport workload: rectangles across three
+    size classes (the portal's map-viewport query shape).  With
+    ``polygon_every`` > 0, every that-many-th region is a convex-ish
+    polygon instead, exercising the generic classification path."""
+    rng = np.random.default_rng(seed)
+    regions: list[Region] = []
+    for i in range(n):
+        cx = float(rng.uniform(0.0, EXTENT))
+        cy = float(rng.uniform(0.0, EXTENT))
+        half = float(rng.choice([2.0, 8.0, 25.0]) * rng.uniform(0.5, 1.5))
+        if polygon_every and i % polygon_every == polygon_every - 1:
+            k = int(rng.integers(3, 7))
+            angles = np.sort(rng.uniform(0.0, 2 * np.pi, k))
+            verts = [
+                GeoPoint(
+                    min(EXTENT, max(0.0, cx + half * float(np.cos(a)))),
+                    min(EXTENT, max(0.0, cy + half * float(np.sin(a)))),
+                )
+                for a in angles
+            ]
+            regions.append(Polygon(verts))
+        else:
+            regions.append(
+                Rect(
+                    max(0.0, cx - half),
+                    max(0.0, cy - half),
+                    min(EXTENT, cx + half),
+                    min(EXTENT, cy + half),
+                )
+            )
+    return regions
+
+
+def answer_key(answer: QueryAnswer, probes: list[int]) -> tuple:
+    """Everything a caller can observe from ``range_scan``, with the
+    kernel-only stats counters masked out."""
+    stats = {
+        f.name: getattr(answer.stats, f.name)
+        for f in fields(answer.stats)
+        if f.name not in KERNEL_ONLY_STATS
+    }
+    return (
+        answer.probed_readings,
+        answer.cached_readings,
+        answer.cached_sketches,
+        answer.cached_sketch_nodes,
+        answer.terminals,
+        stats,
+        probes,
+    )
+
+
+def check_parity(
+    legacy: COLRTree, kernel: COLRTree, regions: Sequence[Region], now: float,
+    staleness: float,
+) -> None:
+    """Every region, twice (second pass goes through the plan cache)."""
+    for _ in range(2):
+        for region in regions:
+            a_legacy, p_legacy = range_scan(legacy, region, now, staleness)
+            a_kernel, p_kernel = range_scan(kernel, region, now, staleness)
+            if answer_key(a_legacy, p_legacy) != answer_key(a_kernel, p_kernel):
+                raise AssertionError(
+                    f"kernel/legacy answers diverge on region {region!r}"
+                )
+
+
+def time_pass(
+    tree: COLRTree, regions: Sequence[Region], now: float, staleness: float
+) -> float:
+    start = time.perf_counter()
+    for region in regions:
+        range_scan(tree, region, now, staleness)
+    return time.perf_counter() - start
+
+
+def run_traversal_bench(
+    n_sensors: int = 40_000,
+    n_regions: int = 200,
+    warm_passes: int = 5,
+    seed: int = 0,
+    quick: bool = False,
+) -> dict:
+    if quick:
+        n_sensors, n_regions, warm_passes = 2_500, 60, 3
+    sensors = make_sensors(n_sensors, seed)
+    # Timed workload: rectangular viewports (the portal's query shape).
+    # Parity additionally covers polygonal regions, which exercise the
+    # generic classification path; they are timed as a secondary series
+    # because both configurations bottom out in the same exact polygon
+    # predicates, so the kernel's win there is plan-cache reuse only.
+    regions = make_regions(n_regions, seed + 1)
+    n_poly = max(10, n_regions // 10)
+    poly_regions = [
+        r
+        for r in make_regions(3 * n_poly, seed + 2, polygon_every=1)
+        if isinstance(r, Polygon)
+    ][:n_poly]
+    base = COLRTreeConfig(
+        fanout=8,
+        leaf_capacity=32,
+        max_expiry_seconds=600.0,
+        slot_seconds=120.0,
+        seed=seed,
+        plan_cache_size=max(256, 2 * (n_regions + n_poly)),
+    )
+    legacy = COLRTree(sensors, replace(base, flat_kernel_enabled=False))
+    kernel = COLRTree(sensors, base)
+    now, staleness = 1_000.0, 240.0
+
+    check_parity(legacy, kernel, regions + poly_regions, now, staleness)
+
+    # Parity ran every region through both trees; reset the plan cache so
+    # the first timed kernel pass is genuinely cold.
+    legacy_times = []
+    cold_times = []
+    for _ in range(3):
+        legacy_times.append(time_pass(legacy, regions, now, staleness))
+        kernel.plan_cache.clear()
+        cold_times.append(time_pass(kernel, regions, now, staleness))
+    warm_times = [
+        time_pass(kernel, regions, now, staleness) for _ in range(warm_passes)
+    ]
+    poly_legacy_s = time_pass(legacy, poly_regions, now, staleness)
+    kernel.plan_cache.clear()
+    poly_cold_s = time_pass(kernel, poly_regions, now, staleness)
+    poly_warm_s = time_pass(kernel, poly_regions, now, staleness)
+
+    legacy_s = min(legacy_times)
+    cold_s = min(cold_times)
+    warm_s = min(warm_times)
+    result = {
+        "benchmark": "traversal",
+        "unix_time": time.time(),
+        "workload": {
+            "n_sensors": n_sensors,
+            "n_regions": n_regions,
+            "warm_passes": warm_passes,
+            "seed": seed,
+            "quick": quick,
+            "tree_nodes": len(kernel.kernel.nodes),
+            "tree_height": int(kernel.root.level),
+        },
+        "parity": "identical",
+        "seconds_per_pass": {
+            "legacy": legacy_s,
+            "kernel_cold": cold_s,
+            "kernel_warm": warm_s,
+        },
+        "microseconds_per_query": {
+            "legacy": 1e6 * legacy_s / n_regions,
+            "kernel_cold": 1e6 * cold_s / n_regions,
+            "kernel_warm": 1e6 * warm_s / n_regions,
+        },
+        "speedup": {
+            "cold": legacy_s / cold_s,
+            "warm": legacy_s / warm_s,
+        },
+        "polygon_secondary": {
+            "n_regions": len(poly_regions),
+            "seconds_per_pass": {
+                "legacy": poly_legacy_s,
+                "kernel_cold": poly_cold_s,
+                "kernel_warm": poly_warm_s,
+            },
+            "speedup": {
+                "cold": poly_legacy_s / poly_cold_s,
+                "warm": poly_legacy_s / poly_warm_s,
+            },
+        },
+        "plan_cache": {
+            "hits": kernel.plan_cache.hits,
+            "misses": kernel.plan_cache.misses,
+            "entries": len(kernel.plan_cache),
+        },
+    }
+    return result
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sensors", type=int, default=40_000)
+    parser.add_argument("--regions", type=int, default=200)
+    parser.add_argument("--warm-passes", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke scale (parity still asserted)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the acceptance thresholds (>=3x cold, >=10x warm)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_traversal.json"),
+        help="where to write the JSON result",
+    )
+    args = parser.parse_args(argv)
+    result = run_traversal_bench(
+        n_sensors=args.sensors,
+        n_regions=args.regions,
+        warm_passes=args.warm_passes,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    per_query = result["microseconds_per_query"]
+    print(
+        f"traversal bench ({result['workload']['n_sensors']} sensors, "
+        f"{result['workload']['n_regions']} regions): "
+        f"legacy {per_query['legacy']:.0f}us/q, "
+        f"kernel cold {per_query['kernel_cold']:.0f}us/q "
+        f"({result['speedup']['cold']:.1f}x), "
+        f"warm {per_query['kernel_warm']:.0f}us/q "
+        f"({result['speedup']['warm']:.1f}x) -> {args.output}"
+    )
+    if args.check:
+        if result["speedup"]["cold"] < 3.0:
+            print(f"FAIL: cold speedup {result['speedup']['cold']:.2f}x < 3x")
+            return 1
+        if result["speedup"]["warm"] < 10.0:
+            print(f"FAIL: warm speedup {result['speedup']['warm']:.2f}x < 10x")
+            return 1
+        print("acceptance thresholds met")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

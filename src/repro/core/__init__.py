@@ -20,6 +20,9 @@ The package splits the index into small, separately testable pieces:
     Algorithm 1 + Algorithm 2 (Section V).
 ``optimal_slot_size``
     The Section IV-C utility/cost model.
+``FlatKernel`` / ``SpatialPlanCache``
+    The flattened struct-of-arrays traversal kernel and the LRU plan
+    cache memoizing per-region classification results.
 """
 
 from repro.core.config import COLRTreeConfig
@@ -29,7 +32,9 @@ from repro.core.node import COLRNode
 from repro.core.build import build_colr_tree, kmeans_cluster
 from repro.core.tree import COLRTree
 from repro.core.explain import PlanTerminal, QueryPlan, explain_query
+from repro.core.flat import CONTAINED, DISJOINT, PARTIAL, FlatKernel
 from repro.core.lookup import QueryAnswer, TerminalRecord
+from repro.core.plancache import SpatialPlan, SpatialPlanCache, region_fingerprint
 from repro.core.sampling import layered_sample
 from repro.core.slot_sizing import SlotSizeModel, optimal_slot_size
 from repro.core.stats import QueryStats, TreeStats
@@ -43,6 +48,13 @@ __all__ = [
     "build_colr_tree",
     "kmeans_cluster",
     "COLRTree",
+    "FlatKernel",
+    "CONTAINED",
+    "DISJOINT",
+    "PARTIAL",
+    "SpatialPlan",
+    "SpatialPlanCache",
+    "region_fingerprint",
     "PlanTerminal",
     "QueryAnswer",
     "QueryPlan",

@@ -67,6 +67,22 @@ class COLRTreeConfig:
         target, reducing the cache-induced spatial bias (probe
         discretization error).  Off by default to match the paper's
         evaluated system.
+    flat_kernel_enabled:
+        When true (the default) the tree freezes its hierarchy into the
+        flattened struct-of-arrays kernel (:mod:`repro.core.flat`) after
+        bulk load and both query paths consume vectorized node
+        classification instead of per-node geometry predicates.  The
+        answers are bit-identical either way; the knob exists for
+        differential testing and benchmarking against the legacy
+        recursive traversal.
+    plan_cache_enabled:
+        When true (and the kernel is enabled) classification results are
+        memoized in an LRU spatial plan cache
+        (:mod:`repro.core.plancache`) keyed by region fingerprint and
+        terminal level.  Safe because the spatial structure is immutable
+        after bulk load; only temporal/slot-cache state stays per-query.
+    plan_cache_size:
+        Maximum number of cached spatial plans (LRU evicted).
     availability_refresh_seconds:
         How often per-node mean availability estimates are recomputed
         from the historical model.
@@ -89,6 +105,9 @@ class COLRTreeConfig:
     oversampling_enabled: bool = True
     redistribution_enabled: bool = True
     reversible_aggregates: bool = False
+    flat_kernel_enabled: bool = True
+    plan_cache_enabled: bool = True
+    plan_cache_size: int = 256
     availability_refresh_seconds: float = 600.0
     seed: int = 0
 
@@ -112,6 +131,8 @@ class COLRTreeConfig:
             raise ValueError("cache_capacity must be non-negative or None")
         if self.default_sample_size < 0:
             raise ValueError("default_sample_size must be non-negative")
+        if self.plan_cache_size < 1:
+            raise ValueError("plan_cache_size must be at least 1")
 
     @property
     def n_slots(self) -> int:

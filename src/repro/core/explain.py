@@ -8,6 +8,11 @@ deterministically (no randomized rounding, no network), so EXPLAIN is
 side-effect-free and repeatable — the operational tool a portal
 operator uses to understand a slow or probe-heavy query before running
 it.
+
+When the tree carries a flattened kernel, EXPLAIN reads the same
+memoized spatial plan (node classification, overlap fractions, leaf
+membership) the executing query would, so explaining a query also
+warms the plan cache entry that query will hit.
 """
 
 from __future__ import annotations
@@ -15,10 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.core.flat import CONTAINED, DISJOINT
 from repro.core.lookup import Region, region_overlap_fraction
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.flat import FlatKernel
     from repro.core.node import COLRNode
+    from repro.core.plancache import SpatialPlan
     from repro.core.tree import COLRTree
 
 
@@ -88,13 +96,17 @@ def explain_query(
         raise ValueError("max_staleness must be non-negative")
     if sample_size is None:
         sample_size = tree.config.default_sample_size
-    relevant = _relevant_sensor_count(tree, tree.root, region)
     sampled = tree.config.sampling_enabled and sample_size > 0
-    if not sampled:
-        return _explain_exact(tree, region, now, max_staleness, relevant)
     t_level = (
         terminal_level if terminal_level is not None else tree.config.terminal_level
     )
+    # Key the plan exactly as the executing query would, so EXPLAIN
+    # warms the cache entry the real query will then hit.
+    spatial = tree.spatial_plan(region, t_level if sampled else None)
+    kernel = tree.kernel if spatial is not None else None
+    relevant = _relevant_sensor_count(tree, region, kernel, spatial)
+    if not sampled:
+        return _explain_exact(tree, region, now, max_staleness, relevant, kernel, spatial)
     plan = QueryPlan(
         access_path="layered_sampling",
         target_size=sample_size,
@@ -102,24 +114,70 @@ def explain_query(
         cached_weight=0,
         expected_probes=0.0,
     )
-    _walk_sampled(tree, tree.root, region, now, max_staleness, float(sample_size), t_level, plan)
+    _walk_sampled(
+        tree, tree.root, region, now, max_staleness, float(sample_size), t_level,
+        plan, kernel, spatial, 0 if kernel is not None else None,
+    )
     plan.cached_weight = sum(t.cached_weight for t in plan.terminals)
     plan.expected_probes = sum(t.expected_probes for t in plan.terminals)
     return plan
 
 
-def _relevant_sensor_count(tree: "COLRTree", node: "COLRNode", region: Region) -> int:
+def _relevant_sensor_count(
+    tree: "COLRTree",
+    region: Region,
+    kernel: "FlatKernel | None" = None,
+    plan: "SpatialPlan | None" = None,
+) -> int:
+    if kernel is not None and plan is not None:
+        if plan._relevant_count is None:
+            plan._relevant_count = _relevant_count_flat(tree, region, kernel, plan)
+        return plan._relevant_count
+    return _relevant_count_node(tree, tree.root, region)
+
+
+def _relevant_count_flat(
+    tree: "COLRTree", region: Region, kernel: "FlatKernel", plan: "SpatialPlan"
+) -> int:
+    labels = plan.labels_list
+    child_start = kernel._child_start_list
+    total = 0
+    stack = [0]
+    while stack:
+        i = stack.pop()
+        label = labels[i]
+        if label == DISJOINT:
+            continue
+        node = kernel.nodes[i]
+        if label == CONTAINED:
+            total += node.weight
+            continue
+        if node.is_leaf:
+            total += len(plan.leaf_matching(kernel, i, region))
+            continue
+        start = child_start[i]
+        stack.extend(range(start, start + len(node.children)))
+    return total
+
+
+def _relevant_count_node(tree: "COLRTree", node: "COLRNode", region: Region) -> int:
     if not region.intersects_rect(node.bbox):
         return 0
     if region.contains_rect(node.bbox):
         return node.weight
     if node.is_leaf:
         return sum(1 for s in node.sensors if region.contains_point(s.location))
-    return sum(_relevant_sensor_count(tree, c, region) for c in node.children)
+    return sum(_relevant_count_node(tree, c, region) for c in node.children)
 
 
 def _explain_exact(
-    tree: "COLRTree", region: Region, now: float, max_staleness: float, relevant: int
+    tree: "COLRTree",
+    region: Region,
+    now: float,
+    max_staleness: float,
+    relevant: int,
+    kernel: "FlatKernel | None" = None,
+    spatial: "SpatialPlan | None" = None,
 ) -> QueryPlan:
     plan = QueryPlan(
         access_path="range_lookup",
@@ -128,16 +186,27 @@ def _explain_exact(
         cached_weight=0,
         expected_probes=0.0,
     )
-    _walk_exact(tree, tree.root, region, now, max_staleness, plan)
+    _walk_exact(
+        tree, tree.root, region, now, max_staleness, plan, kernel, spatial,
+        0 if kernel is not None else None,
+    )
     plan.cached_weight = sum(t.cached_weight for t in plan.terminals)
     plan.expected_probes = sum(t.expected_probes for t in plan.terminals)
     return plan
 
 
-def _walk_exact(tree, node, region, now, max_staleness, plan) -> None:
-    if not region.intersects_rect(node.bbox):
-        return
-    fully_inside = region.contains_rect(node.bbox)
+def _walk_exact(
+    tree, node, region, now, max_staleness, plan, kernel=None, spatial=None, idx=None
+) -> None:
+    if spatial is not None and idx is not None:
+        label = spatial.labels_list[idx]
+        if label == DISJOINT:
+            return
+        fully_inside = label == CONTAINED
+    else:
+        if not region.intersects_rect(node.bbox):
+            return
+        fully_inside = region.contains_rect(node.bbox)
     caching = tree.config.caching_enabled
     if (
         caching
@@ -160,11 +229,12 @@ def _walk_exact(tree, node, region, now, max_staleness, plan) -> None:
             )
             return
     if node.is_leaf:
-        matching = (
-            node.sensors
-            if fully_inside
-            else [s for s in node.sensors if region.contains_point(s.location)]
-        )
+        if fully_inside:
+            matching = node.sensors
+        elif spatial is not None and idx is not None:
+            matching = spatial.leaf_matching(kernel, idx, region)
+        else:
+            matching = [s for s in node.sensors if region.contains_point(s.location)]
         if not matching:
             return
         cached_ids = (
@@ -184,11 +254,18 @@ def _walk_exact(tree, node, region, now, max_staleness, plan) -> None:
             )
         )
         return
-    for child in node.children:
-        _walk_exact(tree, child, region, now, max_staleness, plan)
+    start = kernel._child_start_list[idx] if idx is not None else None
+    for offset, child in enumerate(node.children):
+        _walk_exact(
+            tree, child, region, now, max_staleness, plan, kernel, spatial,
+            start + offset if start is not None else None,
+        )
 
 
-def _walk_sampled(tree, node, region, now, max_staleness, r, t_level, plan) -> None:
+def _walk_sampled(
+    tree, node, region, now, max_staleness, r, t_level, plan,
+    kernel=None, spatial=None, idx=None,
+) -> None:
     """Deterministic mirror of Algorithm 1: expectations only."""
     config = tree.config
     if r <= 0:
@@ -198,18 +275,35 @@ def _walk_sampled(tree, node, region, now, max_staleness, r, t_level, plan) -> N
         return
     weighted = []
     total = 0.0
-    for child in node.children:
-        overlap = region_overlap_fraction(child.bbox, region)
-        if overlap <= 0.0 and not region.intersects_rect(child.bbox):
-            continue
-        w = child.weight * max(overlap, 1e-12)
-        weighted.append((child, w))
-        total += w
+    if spatial is not None and idx is not None:
+        overlaps = spatial.overlaps(kernel, region)
+        labels = spatial.labels_list
+        start = kernel._child_start_list[idx]
+        for offset, child in enumerate(node.children):
+            child_idx = start + offset
+            overlap = overlaps[child_idx]
+            if overlap <= 0.0 and labels[child_idx] == DISJOINT:
+                continue
+            w = child.weight * max(overlap, 1e-12)
+            weighted.append((child, w, child_idx))
+            total += w
+    else:
+        for child in node.children:
+            overlap = region_overlap_fraction(child.bbox, region)
+            if overlap <= 0.0 and not region.intersects_rect(child.bbox):
+                continue
+            w = child.weight * max(overlap, 1e-12)
+            weighted.append((child, w, None))
+            total += w
     if total <= 0:
         return
-    for child, w in weighted:
+    labels = spatial.labels_list if spatial is not None else None
+    for child, w, child_idx in weighted:
         r_i = r * w / total
-        inside = region.contains_rect(child.bbox)
+        if labels is not None and child_idx is not None:
+            inside = labels[child_idx] == CONTAINED
+        else:
+            inside = region.contains_rect(child.bbox)
         if inside and node.level > t_level:
             _plan_terminal(tree, child, region, now, max_staleness, r_i, plan)
         else:
@@ -227,7 +321,10 @@ def _walk_sampled(tree, node, region, now, max_staleness, r, t_level, plan) -> N
                         )
                     )
                     continue
-            _walk_sampled(tree, child, region, now, max_staleness, r_i, t_level, plan)
+            _walk_sampled(
+                tree, child, region, now, max_staleness, r_i, t_level, plan,
+                kernel, spatial, child_idx,
+            )
 
 
 def _plan_terminal(tree, node, region, now, max_staleness, r_i, plan) -> None:

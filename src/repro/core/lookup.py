@@ -6,6 +6,18 @@ non-overlapping nodes, terminates early at internal nodes whose slot
 cache fully covers the subtree for the query's freshness bound, and at
 leaves serves fresh cached readings before probing the remainder.
 
+Two traversal engines produce identical answers:
+
+* the legacy pointer-chasing recursion (``_descend``), kept as the
+  differential-testing reference and for trees built with
+  ``flat_kernel_enabled=False``; and
+* the flattened-kernel paths, which consume a vectorized node
+  classification (:mod:`repro.core.flat`) — optionally memoized in the
+  spatial plan cache (:mod:`repro.core.plancache`) — instead of calling
+  geometry predicates node by node.  When every slot cache is empty
+  (cold tree, or caching disabled) the whole scan collapses to a few
+  array operations plus terminal emission.
+
 Layered sampling — the other access path — lives in
 :mod:`repro.core.sampling`; both paths return the same
 :class:`QueryAnswer` type.
@@ -14,52 +26,44 @@ Layered sampling — the other access path — lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from itertools import repeat
+from typing import TYPE_CHECKING, NamedTuple
+
+import numpy as np
 
 from repro.core.aggregates import AggregateSketch, combine
+from repro.core.flat import CONTAINED, DISJOINT
+from repro.core.region import Region, region_bbox, region_overlap_fraction
 from repro.core.stats import QueryStats
-from repro.geometry import GeoPoint, Rect
+from repro.geometry import Rect
 from repro.sensors.sensor import Reading, Sensor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.flat import FlatKernel
     from repro.core.node import COLRNode
+    from repro.core.plancache import SpatialPlan
     from repro.core.tree import COLRTree
 
-
-@runtime_checkable
-class Region(Protocol):
-    """The spatial-region protocol: satisfied by both :class:`Rect` and
-    :class:`~repro.geometry.Polygon`."""
-
-    def intersects_rect(self, rect: Rect) -> bool: ...
-
-    def contains_rect(self, rect: Rect) -> bool: ...
-
-    def contains_point(self, p: GeoPoint) -> bool: ...
+__all__ = [
+    "QueryAnswer",
+    "Region",
+    "TerminalRecord",
+    "range_lookup",
+    "range_scan",
+    "region_bbox",
+    "region_overlap_fraction",
+]
 
 
-def region_bbox(region: Region) -> Rect:
-    """Bounding box of a region (identity for rectangles)."""
-    if isinstance(region, Rect):
-        return region
-    bbox = getattr(region, "bounding_box", None)
-    if bbox is None:
-        raise TypeError(f"region {region!r} exposes no bounding box")
-    return bbox
-
-
-def region_overlap_fraction(bbox: Rect, region: Region) -> float:
-    """``Overlap(BB(i), A)`` — exact for rectangular regions; polygonal
-    regions are approximated by their bounding box, which only skews
-    sample-share weights (never correctness of membership tests)."""
-    return bbox.overlap_fraction(region_bbox(region))
-
-
-@dataclass(frozen=True, slots=True)
-class TerminalRecord:
+class TerminalRecord(NamedTuple):
     """Per-terminal accounting used by Figure 6's probe discretization
     error: the pre-oversampling target assigned to a terminal point of
-    index access, and the results it produced."""
+    index access, and the results it produced.
+
+    A ``NamedTuple`` rather than a frozen dataclass: exact range scans
+    emit one record per matching leaf, which makes construction cost a
+    measurable slice of the vectorized scan's floor — tuple construction
+    is several times cheaper than a frozen dataclass ``__init__``."""
 
     node_id: int
     level: int
@@ -136,15 +140,43 @@ def range_lookup(
     cover the whole subtree, and leaves serve fresh readings from cache
     before probing the remainder.
     """
-    answer = QueryAnswer()
-    to_probe: list[int] = []
-    _descend(tree, tree.root, region, now, max_staleness, answer, to_probe)
+    answer, to_probe = range_scan(tree, region, now, max_staleness)
     if to_probe:
         readings = tree.probe_and_cache(to_probe, now, answer.stats)
         answer.probed_readings.extend(readings)
     return answer
 
 
+def range_scan(
+    tree: "COLRTree",
+    region: Region,
+    now: float,
+    max_staleness: float,
+) -> tuple[QueryAnswer, list[int]]:
+    """The traversal half of :func:`range_lookup`: serve what the slot
+    caches cover and return the sensor ids still needing live probes.
+
+    Exposed separately so the traversal microbenchmark (and tests) can
+    meter index work without paying for (identical) network probes.
+    """
+    answer = QueryAnswer()
+    to_probe: list[int] = []
+    plan = tree.spatial_plan(region, None, answer.stats)
+    if plan is None:
+        _descend(tree, tree.root, region, now, max_staleness, answer, to_probe)
+        return answer, to_probe
+    kernel = tree.kernel
+    assert kernel is not None
+    if not tree.config.caching_enabled or tree.cached_reading_count == 0:
+        _scan_empty_cache(tree, kernel, plan, region, answer, to_probe)
+    else:
+        _descend_flat(tree, kernel, plan, region, now, max_staleness, answer, to_probe)
+    return answer, to_probe
+
+
+# ----------------------------------------------------------------------
+# Legacy pointer-based traversal (differential reference)
+# ----------------------------------------------------------------------
 def _descend(
     tree: "COLRTree",
     node: "COLRNode",
@@ -160,60 +192,255 @@ def _descend(
     fully_inside = region.contains_rect(node.bbox)
 
     if node.is_leaf:
-        _leaf_lookup(tree, node, region, now, max_staleness, fully_inside, answer, to_probe)
+        matching: list[Sensor] = (
+            node.sensors
+            if fully_inside
+            else [s for s in node.sensors if region.contains_point(s.location)]
+        )
+        _serve_leaf(tree, node, matching, now, max_staleness, answer, to_probe)
         return
 
-    if (
-        tree.config.caching_enabled
-        and tree.config.aggregate_caching_enabled
-        and fully_inside
-    ):
-        cache = node.agg_cache
-        if cache is not None:
-            # The consultation itself is the metered cache access: the
-            # hierarchical cache pays it at every fully-covered node it
-            # meets, which is the extra cache-lookup work Figure 3's
-            # nested plot charges it with.
-            answer.stats.cached_nodes_accessed += 1
-            sketches = cache.usable_sketches(now, max_staleness)
-            covered = sum(s.count for s in sketches)
-            if covered >= node.weight:
-                # Early termination: the whole subtree is answerable
-                # from this node's cached aggregates.
-                answer.cached_sketches.extend(s.copy() for s in sketches)
-                answer.cached_sketch_nodes.extend(node.node_id for _ in sketches)
-                answer.stats.slots_combined += len(sketches)
-                answer.terminals.append(
-                    TerminalRecord(
-                        node_id=node.node_id,
-                        level=node.level,
-                        target=float(node.weight),
-                        results=covered,
-                        used_cache=True,
-                    )
-                )
-                return
+    if _try_aggregate_termination(tree, node, fully_inside, now, max_staleness, answer):
+        return
     for child in node.children:
         _descend(tree, child, region, now, max_staleness, answer, to_probe)
 
 
-def _leaf_lookup(
+# ----------------------------------------------------------------------
+# Flattened-kernel traversal
+# ----------------------------------------------------------------------
+def _descend_flat(
     tree: "COLRTree",
-    leaf: "COLRNode",
+    kernel: "FlatKernel",
+    plan: "SpatialPlan",
     region: Region,
     now: float,
     max_staleness: float,
-    fully_inside: bool,
     answer: QueryAnswer,
     to_probe: list[int],
 ) -> None:
-    """Serve a leaf: cached fresh readings for matching sensors, probes
-    for the rest."""
-    matching: list[Sensor] = (
-        leaf.sensors
-        if fully_inside
-        else [s for s in leaf.sensors if region.contains_point(s.location)]
+    """Per-node traversal driven by precomputed classification labels.
+
+    Visit order, counters and cache consultations replicate ``_descend``
+    exactly; only the geometry predicates are replaced by label lookups.
+    """
+    labels = plan.labels_list
+    child_start = kernel._child_start_list
+    child_count = kernel._child_count_list
+    is_leaf = kernel._is_leaf_list
+    nodes = kernel.nodes
+    stats = answer.stats
+    stack = [0]
+    while stack:
+        i = stack.pop()
+        stats.nodes_traversed += 1
+        label = labels[i]
+        if label == DISJOINT:
+            continue
+        node = nodes[i]
+        fully_inside = label == CONTAINED
+        if is_leaf[i]:
+            matching = (
+                node.sensors if fully_inside else plan.leaf_matching(kernel, i, region)
+            )
+            _serve_leaf(tree, node, matching, now, max_staleness, answer, to_probe)
+            continue
+        if _try_aggregate_termination(
+            tree, node, fully_inside, now, max_staleness, answer
+        ):
+            continue
+        start = child_start[i]
+        # Children pushed in reverse so the pop order matches the
+        # recursive child-list order (preorder parity).
+        stack.extend(range(start + child_count[i] - 1, start - 1, -1))
+
+
+def _scan_empty_cache(
+    tree: "COLRTree",
+    kernel: "FlatKernel",
+    plan: "SpatialPlan",
+    region: Region,
+    answer: QueryAnswer,
+    to_probe: list[int],
+) -> None:
+    """Fully vectorized scan for trees whose slot caches hold nothing
+    (caching disabled, or simply nothing cached yet).
+
+    With no cached readings anywhere, no aggregate termination can fire
+    and no leaf can serve from cache, so the whole recursive outcome —
+    visit counts, cache consultations, terminals, probe list — is a
+    pure function of the classification.  It is computed with array
+    operations once and memoized on the plan: a warm repeat costs two
+    list copies and three counter bumps.
+    """
+    memo = plan._empty_scan
+    if memo is None:
+        labels = plan.labels
+        visited = kernel.visited_mask(labels)
+        nodes_traversed = int(visited.sum())
+        caching = tree.config.caching_enabled
+        cache_consults = 0
+        if caching and tree.config.aggregate_caching_enabled:
+            cache_consults = int(
+                (visited & ~kernel.is_leaf & (labels == CONTAINED)).sum()
+            )
+        terminals: list[TerminalRecord] = []
+        probe_ids: list[int] = []
+        leaf_accesses = 0
+        if isinstance(region, Rect):
+            # Rectangular region: the whole leaf stage is a handful of
+            # array ops, restricted to the preorder span between the
+            # first and last candidate (visited, non-disjoint) leaf so
+            # per-query cost scales with the answer's neighbourhood, not
+            # the sensor population.  A candidate leaf's matching set is
+            # exactly its in-rect sensors — for CONTAINED leaves the
+            # rect covers the leaf bbox and hence every sensor, so one
+            # point-in-rect test serves both label cases.
+            pl = kernel.preorder_leaves
+            candidate = visited[pl] & (labels[pl] != DISJOINT)
+            cand_pos = np.flatnonzero(candidate)
+            if len(cand_pos):
+                first = int(cand_pos[0])
+                last = int(cand_pos[-1])
+                bounds = kernel.pre_leaf_bounds
+                blo = int(bounds[first])
+                bhi = int(bounds[last + 1])
+                x = kernel.pre_sensor_x[blo:bhi]
+                y = kernel.pre_sensor_y[blo:bhi]
+                selected = (
+                    (region.min_x <= x)
+                    & (x <= region.max_x)
+                    & (region.min_y <= y)
+                    & (y <= region.max_y)
+                ) & np.repeat(
+                    candidate[first : last + 1],
+                    kernel.pre_leaf_sizes[first : last + 1],
+                )
+                probe_ids = kernel.pre_sensor_ids[blo:bhi][selected].tolist()
+                counts = np.add.reduceat(
+                    selected, bounds[first : last + 1] - blo, dtype=np.int64
+                )
+                hit = np.flatnonzero(counts > 0)
+                matched = counts[hit]
+                hit += first
+                # Field columns extracted with array indexing, records
+                # built by ``tuple.__new__`` via ``_make`` — no
+                # Python-level loop.
+                terminals = list(
+                    map(
+                        TerminalRecord._make,
+                        zip(
+                            kernel._pre_leaf_node_ids[hit].tolist(),
+                            kernel._pre_leaf_levels[hit].tolist(),
+                            matched.astype(np.float64).tolist(),
+                            matched.tolist(),
+                            repeat(False),
+                        ),
+                    )
+                )
+            leaf_accesses = len(terminals)
+        else:
+            sensor_ids = kernel.sensor_ids
+            visited_list = visited.tolist()
+            labels_list = plan.labels_list
+            for i in kernel.preorder_leaves.tolist():
+                if not visited_list[i]:
+                    continue
+                label = labels_list[i]
+                if label == DISJOINT:
+                    continue
+                node = kernel.nodes[i]
+                if label == CONTAINED:
+                    ids = sensor_ids[
+                        kernel.leaf_start[i] : kernel.leaf_end[i]
+                    ].tolist()
+                else:
+                    ids = [
+                        s.sensor_id for s in plan.leaf_matching(kernel, i, region)
+                    ]
+                if not ids:
+                    continue
+                leaf_accesses += 1
+                probe_ids.extend(ids)
+                terminals.append(
+                    TerminalRecord(
+                        node_id=node.node_id,
+                        level=node.level,
+                        target=float(len(ids)),
+                        results=len(ids),
+                        used_cache=False,
+                    )
+                )
+        if caching:
+            cache_consults += leaf_accesses
+        memo = (nodes_traversed, cache_consults, tuple(terminals), probe_ids)
+        plan._empty_scan = memo
+    nodes_traversed, cache_consults, terminals, probe_ids = memo
+    answer.stats.nodes_traversed += nodes_traversed
+    answer.stats.cached_nodes_accessed += cache_consults
+    answer.terminals.extend(terminals)
+    to_probe.extend(probe_ids)
+
+
+# ----------------------------------------------------------------------
+# Shared serve logic
+# ----------------------------------------------------------------------
+def _try_aggregate_termination(
+    tree: "COLRTree",
+    node: "COLRNode",
+    fully_inside: bool,
+    now: float,
+    max_staleness: float,
+    answer: QueryAnswer,
+) -> bool:
+    """Early termination at a fully covered internal node (Section
+    IV-B).  Returns True when the subtree was answered from cache."""
+    if not (
+        tree.config.caching_enabled
+        and tree.config.aggregate_caching_enabled
+        and fully_inside
+    ):
+        return False
+    cache = node.agg_cache
+    if cache is None:
+        return False
+    # The consultation itself is the metered cache access: the
+    # hierarchical cache pays it at every fully-covered node it
+    # meets, which is the extra cache-lookup work Figure 3's
+    # nested plot charges it with.
+    answer.stats.cached_nodes_accessed += 1
+    sketches = cache.usable_sketches(now, max_staleness)
+    covered = sum(s.count for s in sketches)
+    if covered < node.weight:
+        return False
+    # Early termination: the whole subtree is answerable from this
+    # node's cached aggregates.
+    answer.cached_sketches.extend(s.copy() for s in sketches)
+    answer.cached_sketch_nodes.extend(node.node_id for _ in sketches)
+    answer.stats.slots_combined += len(sketches)
+    answer.terminals.append(
+        TerminalRecord(
+            node_id=node.node_id,
+            level=node.level,
+            target=float(node.weight),
+            results=covered,
+            used_cache=True,
+        )
     )
+    return True
+
+
+def _serve_leaf(
+    tree: "COLRTree",
+    leaf: "COLRNode",
+    matching: list[Sensor],
+    now: float,
+    max_staleness: float,
+    answer: QueryAnswer,
+    to_probe: list[int],
+) -> None:
+    """Serve a leaf's in-region sensors: cached fresh readings first,
+    probes for the rest."""
     if not matching:
         return
     served = 0

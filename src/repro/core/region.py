@@ -1,0 +1,41 @@
+"""The spatial-region protocol shared by the query paths.
+
+Kept in a leaf module (no intra-``core`` imports) so both the
+pointer-based traversal (:mod:`repro.core.lookup`) and the flattened
+kernel (:mod:`repro.core.flat`) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.geometry import GeoPoint, Rect
+
+
+@runtime_checkable
+class Region(Protocol):
+    """The spatial-region protocol: satisfied by both :class:`Rect` and
+    :class:`~repro.geometry.Polygon`."""
+
+    def intersects_rect(self, rect: Rect) -> bool: ...
+
+    def contains_rect(self, rect: Rect) -> bool: ...
+
+    def contains_point(self, p: GeoPoint) -> bool: ...
+
+
+def region_bbox(region: Region) -> Rect:
+    """Bounding box of a region (identity for rectangles)."""
+    if isinstance(region, Rect):
+        return region
+    bbox = getattr(region, "bounding_box", None)
+    if bbox is None:
+        raise TypeError(f"region {region!r} exposes no bounding box")
+    return bbox
+
+
+def region_overlap_fraction(bbox: Rect, region: Region) -> float:
+    """``Overlap(BB(i), A)`` — exact for rectangular regions; polygonal
+    regions are approximated by their bounding box, which only skews
+    sample-share weights (never correctness of membership tests)."""
+    return bbox.overlap_fraction(region_bbox(region))

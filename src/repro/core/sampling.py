@@ -19,6 +19,14 @@ to their current targets (Algorithm 2's intent).
 Fractional targets are resolved with randomized rounding
 (``floor(x) + Bernoulli(frac(x))``), which preserves the expected-size
 invariant of Theorem 1 exactly.
+
+When the tree carries a flattened kernel (:mod:`repro.core.flat`), the
+spatial inputs of the algorithm — per-child overlap fractions, the
+containment tests, and each terminal leaf's in-region sensor pool —
+come from one vectorized classification (memoized in the spatial plan
+cache) instead of per-node geometry calls.  The control flow, and
+therefore the RNG draw sequence, is identical either way, so sampled
+answers are bit-for-bit the same with the kernel on or off.
 """
 
 from __future__ import annotations
@@ -30,10 +38,13 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.flat import CONTAINED, DISJOINT
 from repro.core.lookup import QueryAnswer, Region, TerminalRecord, region_overlap_fraction
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.flat import FlatKernel
     from repro.core.node import COLRNode
+    from repro.core.plancache import SpatialPlan
     from repro.core.tree import COLRTree
 
 
@@ -41,11 +52,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class _Entry:
     """A queued (target size, node) pair; ``scaled`` marks whether the
     1/a oversampling factor has been applied on this path (the node is
-    in the proof's class S)."""
+    in the proof's class S).  ``idx`` is the node's flattened-kernel
+    index (``None`` on the legacy path)."""
 
     priority: float
     node: "COLRNode"
     scaled: bool
+    idx: int | None = None
 
 
 class _TargetQueue:
@@ -111,8 +124,18 @@ def layered_sample(
     # The oversampling level must stay at or below the terminal level so
     # the 1/a factor is applied exactly once per path.
     o_level = max(config.oversample_level, t_level)
+    plan = tree.spatial_plan(region, t_level, answer.stats)
+    kernel = tree.kernel if plan is not None else None
+    labels = plan.labels_list if plan is not None else None
     queue = _TargetQueue()
-    queue.push(_Entry(priority=float(target_size), node=tree.root, scaled=False))
+    queue.push(
+        _Entry(
+            priority=float(target_size),
+            node=tree.root,
+            scaled=False,
+            idx=0 if kernel is not None else None,
+        )
+    )
     rng = tree.rng
 
     while len(queue) > 0:
@@ -123,24 +146,31 @@ def layered_sample(
         if r <= 0:
             continue
         if node.is_leaf:
-            fetched = _probe_node(tree, node, region, now, max_staleness, r, entry.scaled, answer, rng)
+            fetched = _probe_node(
+                tree, node, region, now, max_staleness, r, entry.scaled, answer, rng,
+                kernel=kernel, plan=plan, idx=entry.idx,
+            )
             if fetched < r and config.redistribution_enabled:
                 queue.redistribute(r - fetched)
             continue
 
-        shares = _child_shares(node, region)
+        shares = _child_shares(node, region, kernel=kernel, plan=plan, idx=entry.idx)
         if not shares:
             if config.redistribution_enabled:
                 queue.redistribute(r)
             continue
         total_fetched = 0.0
-        for child, share in shares:
+        for child, share, child_idx in shares:
             answer.stats.nodes_traversed += 1
             r_i = r * share
-            inside = region.contains_rect(child.bbox)
+            if labels is not None:
+                inside = labels[child_idx] == CONTAINED
+            else:
+                inside = region.contains_rect(child.bbox)
             if inside and node.level > t_level:
                 total_fetched += _probe_node(
-                    tree, child, region, now, max_staleness, r_i, entry.scaled, answer, rng
+                    tree, child, region, now, max_staleness, r_i, entry.scaled, answer,
+                    rng, kernel=kernel, plan=plan, idx=child_idx,
                 )
             else:
                 child_scaled = entry.scaled
@@ -185,32 +215,67 @@ def layered_sample(
                     # which would otherwise rectify into inflation.
                     total_fetched += r_i
                     if rng.random() < r_i:
-                        queue.push(_Entry(priority=1.0, node=child, scaled=child_scaled))
+                        queue.push(
+                            _Entry(
+                                priority=1.0, node=child, scaled=child_scaled,
+                                idx=child_idx,
+                            )
+                        )
                     continue
                 total_fetched += r_i
-                queue.push(_Entry(priority=r_i, node=child, scaled=child_scaled))
+                queue.push(
+                    _Entry(
+                        priority=r_i, node=child, scaled=child_scaled, idx=child_idx
+                    )
+                )
         if total_fetched < r and config.redistribution_enabled:
             queue.redistribute(r - total_fetched)
     return answer
 
 
-def _child_shares(node: "COLRNode", region: Region) -> list[tuple["COLRNode", float]]:
+def _child_shares(
+    node: "COLRNode",
+    region: Region,
+    kernel: "FlatKernel | None" = None,
+    plan: "SpatialPlan | None" = None,
+    idx: int | None = None,
+) -> list[tuple["COLRNode", float, int | None]]:
     """Overlap-weighted share of the parent's target for each relevant
-    child (line 9 / 17 of Algorithm 1)."""
-    weighted: list[tuple["COLRNode", float]] = []
+    child (line 9 / 17 of Algorithm 1), as ``(child, share, child_idx)``
+    tuples (``child_idx`` is ``None`` on the legacy path).
+
+    With a kernel, overlap fractions come from one memoized vectorized
+    pass and the relevance test reads the classification labels; the
+    share arithmetic runs in the same sequential order either way, so
+    the resulting floats are bit-identical.
+    """
+    weighted: list[tuple["COLRNode", float, int | None]] = []
     total = 0.0
-    for child in node.children:
-        overlap = region_overlap_fraction(child.bbox, region)
-        if overlap <= 0.0 and not region.intersects_rect(child.bbox):
-            continue
-        # A degenerate overlap fraction of 0 on a touching box still
-        # deserves a vanishing share so redistribution can reach it.
-        w = child.weight * max(overlap, 1e-12)
-        weighted.append((child, w))
-        total += w
+    if kernel is not None and plan is not None and idx is not None:
+        overlaps = plan.overlaps(kernel, region)
+        labels = plan.labels_list
+        start = kernel._child_start_list[idx]
+        for offset, child in enumerate(node.children):
+            child_idx = start + offset
+            overlap = overlaps[child_idx]
+            if overlap <= 0.0 and labels[child_idx] == DISJOINT:
+                continue
+            # A degenerate overlap fraction of 0 on a touching box still
+            # deserves a vanishing share so redistribution can reach it.
+            w = child.weight * max(overlap, 1e-12)
+            weighted.append((child, w, child_idx))
+            total += w
+    else:
+        for child in node.children:
+            overlap = region_overlap_fraction(child.bbox, region)
+            if overlap <= 0.0 and not region.intersects_rect(child.bbox):
+                continue
+            w = child.weight * max(overlap, 1e-12)
+            weighted.append((child, w, None))
+            total += w
     if total <= 0.0:
         return []
-    return [(child, w / total) for child, w in weighted]
+    return [(child, w / total, child_idx) for child, w, child_idx in weighted]
 
 
 def _probe_node(
@@ -223,6 +288,9 @@ def _probe_node(
     scaled: bool,
     answer: QueryAnswer,
     rng: np.random.Generator,
+    kernel: "FlatKernel | None" = None,
+    plan: "SpatialPlan | None" = None,
+    idx: int | None = None,
 ) -> float:
     """Terminal handling: use the node's cache, then probe randomly
     chosen descendant sensors to make up the remaining target.
@@ -243,7 +311,9 @@ def _probe_node(
     if not scaled and config.oversampling_enabled and need > 0:
         need = need / tree.node_availability(node, now)
     k = _randomized_round(max(0.0, need), rng)
-    probed_ids = _choose_sensors(tree, node, region, cached_ids, k, rng)
+    probed_ids = _choose_sensors(
+        tree, node, region, cached_ids, k, rng, kernel=kernel, plan=plan, idx=idx
+    )
     if probed_ids:
         readings = tree.probe_and_cache(probed_ids, now, answer.stats)
         answer.probed_readings.extend(readings)
@@ -403,17 +473,29 @@ def _choose_sensors(
     exclude: set[int],
     k: int,
     rng: np.random.Generator,
+    kernel: "FlatKernel | None" = None,
+    plan: "SpatialPlan | None" = None,
+    idx: int | None = None,
 ) -> list[int]:
     """Uniformly choose up to ``k`` distinct descendant sensors of a
     terminal node, excluding already-cached leaf sensors."""
     if k <= 0:
         return []
     if node.is_leaf:
-        pool = [
-            s.sensor_id
-            for s in node.sensors
-            if s.sensor_id not in exclude and region.contains_point(s.location)
-        ]
+        if plan is not None and kernel is not None and idx is not None:
+            # Memoized in-region membership (same sensors, same order
+            # as the legacy filter below).
+            pool = [
+                s.sensor_id
+                for s in plan.leaf_matching(kernel, idx, region)
+                if s.sensor_id not in exclude
+            ]
+        else:
+            pool = [
+                s.sensor_id
+                for s in node.sensors
+                if s.sensor_id not in exclude and region.contains_point(s.location)
+            ]
     else:
         pool = [sid for sid in node.descendant_ids.tolist() if sid not in exclude]
     if not pool:

@@ -27,6 +27,14 @@ class QueryStats:
     probe_batches: int = 0
     maintenance_ops: int = 0
     collection_latency_seconds: float = 0.0
+    # Flattened-kernel instrumentation.  These meter the spatial plan
+    # cache and the vectorized classification, and deliberately do not
+    # feed the cost model: the kernel changes *how fast* traversal runs,
+    # never *what work* the query logically performs, so the modeled
+    # latency counters above stay comparable across kernel on/off runs.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    nodes_pruned_vectorized: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another stats record into this one."""

@@ -23,6 +23,7 @@ Cache maintenance invariants
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -30,8 +31,10 @@ import numpy as np
 from repro.core.aggregates import AggregateSketch
 from repro.core.build import build_colr_tree
 from repro.core.config import COLRTreeConfig
+from repro.core.flat import DISJOINT, FlatKernel
 from repro.core.lookup import QueryAnswer, Region, range_lookup
 from repro.core.node import COLRNode
+from repro.core.plancache import SpatialPlan, SpatialPlanCache, region_fingerprint
 from repro.core.sampling import layered_sample
 from repro.core.slots import slot_of
 from repro.core.stats import ProcessingCostModel, QueryStats, TreeStats
@@ -96,8 +99,23 @@ class COLRTree:
                     self._leaf_of[sensor.sensor_id] = node
         # Global cache accounting: slot id -> sensor id -> fetched_at.
         self._cache_registry: dict[int, dict[int, float]] = {}
+        # Min-heap over occupied slot ids (lazy deletion: entries whose
+        # slot has vanished from the registry are skipped on pop), so
+        # capacity eviction finds the oldest slot in O(log slots)
+        # instead of rescanning the registry every iteration.
+        self._slot_heap: list[int] = []
         self._cached_count = 0
         self.stats = TreeStats()
+        # The flattened traversal kernel + spatial plan cache.  Both are
+        # pure accelerators: answers are bit-identical with them off.
+        self.kernel: FlatKernel | None = (
+            FlatKernel(self.root) if self.config.flat_kernel_enabled else None
+        )
+        self.plan_cache: SpatialPlanCache | None = (
+            SpatialPlanCache(self.config.plan_cache_size)
+            if self.kernel is not None and self.config.plan_cache_enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -185,6 +203,43 @@ class COLRTree:
             self, region, now, max_staleness, sample_size, terminal_level
         )
 
+    def spatial_plan(
+        self,
+        region: Region,
+        terminal_level: int | None,
+        stats: QueryStats | None = None,
+    ) -> SpatialPlan | None:
+        """The memoized spatial half of a query plan, or ``None`` when
+        the flattened kernel is disabled (legacy traversal).
+
+        The classification (and everything derived from it) depends
+        only on the region and the frozen tree structure, so a cached
+        plan is valid indefinitely; ``stats`` receives the hit/miss and
+        pruning meters when provided.
+        """
+        if self.kernel is None:
+            return None
+        key = None
+        if self.plan_cache is not None:
+            fingerprint = region_fingerprint(region)
+            if fingerprint is not None:
+                key = (fingerprint, terminal_level)
+                plan = self.plan_cache.get(key)
+                if plan is not None:
+                    if stats is not None:
+                        stats.plan_cache_hits += 1
+                        stats.nodes_pruned_vectorized += plan.n_disjoint
+                    return plan
+        labels = self.kernel.classify(region)
+        plan = SpatialPlan(labels=labels, n_disjoint=int((labels == DISJOINT).sum()))
+        if key is not None:
+            self.plan_cache.put(key, plan)
+            if stats is not None:
+                stats.plan_cache_misses += 1
+        if stats is not None:
+            stats.nodes_pruned_vectorized += plan.n_disjoint
+        return plan
+
     def node_availability(self, node: COLRNode, now: float) -> float:
         """Mean historical availability of the node's descendants
         (``a_i``), refreshed at most every
@@ -251,6 +306,8 @@ class COLRTree:
             self._registry_remove(old_slot, displaced.sensor_id)
         leaf.leaf_cache.insert(reading, fetched_at)
         new_slot = slot_of(reading.expires_at, self.config.slot_seconds)
+        if new_slot not in self._cache_registry:
+            heapq.heappush(self._slot_heap, new_slot)
         self._cache_registry.setdefault(new_slot, {})[reading.sensor_id] = fetched_at
         self._cached_count += 1
         # Roll-forward + per-slot increment up the tree (the slot-insert
@@ -354,6 +411,20 @@ class COLRTree:
                 pruned_nodes.add(node.node_id)
                 node = node.parent
 
+    def _oldest_slot(self) -> int | None:
+        """Smallest occupied slot id, via the lazy-deletion heap.
+
+        Slots leave the registry through expiry, displacement and
+        eviction without touching the heap; stale heap entries are
+        simply skipped here, keeping each eviction pass O(log slots)
+        instead of the former O(slots) registry rescan."""
+        while self._slot_heap:
+            slot = self._slot_heap[0]
+            if slot in self._cache_registry:
+                return slot
+            heapq.heappop(self._slot_heap)
+        return None
+
     def _enforce_capacity(self) -> int:
         """Evict least-recently-fetched readings from the oldest slot
         until the global cache constraint holds (Section IV-A's policy).
@@ -363,7 +434,8 @@ class COLRTree:
             return 0
         ops = 0
         while self._cached_count > capacity and self._cache_registry:
-            oldest = min(self._cache_registry)
+            oldest = self._oldest_slot()
+            assert oldest is not None  # registry non-empty => heap has it
             members = self._cache_registry[oldest]
             overflow = self._cached_count - capacity
             victims = sorted(members.items(), key=lambda kv: kv[1])[:overflow]

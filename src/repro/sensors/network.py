@@ -157,27 +157,32 @@ class SensorNetwork:
         future oversampling decisions improve.
         """
         ids = list(sensor_ids)
+        sensors: list[Sensor] = []
+        for sid in ids:
+            sensor = self._sensors.get(sid)
+            if sensor is None:
+                raise KeyError(f"unknown sensor id {sid}")
+            sensors.append(sensor)
         readings: dict[int, Reading] = {}
         failed: list[int] = []
         draws = self._rng.random(len(ids))
         latencies = self._sample_latencies(len(ids))
-        for i, (sid, draw) in enumerate(zip(ids, draws)):
-            sensor = self._sensors.get(sid)
-            if sensor is None:
-                raise KeyError(f"unknown sensor id {sid}")
-            timed_out = (
-                self.timeout_seconds is not None and latencies[i] > self.timeout_seconds
-            )
-            if timed_out:
-                # A timed-out probe occupies its connection for the full
-                # timeout and is indistinguishable from a dead sensor.
-                latencies[i] = self.timeout_seconds
+        if self.timeout_seconds is not None:
+            # A timed-out probe occupies its connection for the full
+            # timeout and is indistinguishable from a dead sensor.
+            timeouts = latencies > self.timeout_seconds
+            np.minimum(latencies, self.timeout_seconds, out=latencies)
+        else:
+            timeouts = np.zeros(len(ids), dtype=bool)
+        per_sensor = self.stats.per_sensor_probes
+        for sid in ids:
+            per_sensor[sid] = per_sensor.get(sid, 0) + 1
+        for sid, sensor, draw, timed_out in zip(
+            ids, sensors, draws.tolist(), timeouts.tolist()
+        ):
             success = (draw < sensor.availability) and not timed_out
             if self.availability_model is not None:
                 self.availability_model.record(sid, success)
-            self.stats.per_sensor_probes[sid] = (
-                self.stats.per_sensor_probes.get(sid, 0) + 1
-            )
             if success:
                 value = self._value_fn(sensor, now)
                 readings[sid] = Reading(
@@ -217,12 +222,16 @@ class SensorNetwork:
         """Batch latency: probes run in rounds of ``parallelism``
         concurrent connections; each round lasts as long as its slowest
         probe."""
-        if latencies.size == 0:
+        n = latencies.size
+        if n == 0:
             return 0.0
-        total = 0.0
-        for start in range(0, latencies.size, self.parallelism):
-            total += float(latencies[start : start + self.parallelism].max())
-        return total
+        rounds = -(-n // self.parallelism)
+        # Pad the final round with zeros (latencies are non-negative, so
+        # padding never changes a round's max) and reduce in two
+        # vectorized steps instead of a Python loop over rounds.
+        padded = np.zeros(rounds * self.parallelism)
+        padded[:n] = latencies
+        return float(padded.reshape(rounds, self.parallelism).max(axis=1).sum())
 
 
 def _default_value(sensor: Sensor, now: float) -> float:
