@@ -1,0 +1,299 @@
+"""Batch executor benchmark: coalesced ticks vs sequential execution.
+
+Drives the same concurrent-viewport workload through two portals:
+
+``sequential``
+    ``portal.execute(q)`` per query, in arrival order — every query
+    pays its own probe round trip and its own cache maintenance.
+``batch``
+    One ``portal.execute_batch(queries)`` tick — shared traversal
+    plans, each sensor contacted at most once, one grouped ingestion
+    pass, one probe round trip per tree.
+
+Workloads model a portal under load: N concurrent map viewports drawn
+from a small pool of hotspots (many users staring at the same few
+places), at 1/8/64/256 concurrent queries over >=40k sensors.
+
+Throughput is measured in the repo's end-to-end cost convention (see
+``bench.harness.QueryRecord.end_to_end_seconds``): modeled processing
+seconds plus simulated collection latency.  Sequential execution
+serializes one collection round per query; a batch tick pays one shared
+round per tree.  Host wall-clock per pass is reported as a secondary
+series (it excludes the simulated network, so it only reflects index
+and maintenance work).
+
+Before timing, every level is executed under both modes at
+availability 1.0 and the per-query answers compared (result weight
+exactly, aggregate to float tolerance) — the benchmark refuses to
+report a speedup for a batch path that changes answers.  Timing runs at
+availability 0.85: failed probes are not cached, so sequential execution
+re-contacts flaky sensors once per overlapping query while the batch
+tick asks once — the probe-count series quantifies exactly that.
+
+Results land in ``BENCH_batch.json`` (or ``--output``).  ``--quick``
+shrinks the workload for CI smoke runs (parity still asserted);
+``--check`` additionally asserts the acceptance thresholds (>=3x
+modeled throughput and strictly fewer probes at 64 concurrent).
+
+Run with ``PYTHONPATH=src python -m repro.bench.batch``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry import GeoPoint, Rect
+from repro.portal import SensorMapPortal, SensorQuery
+
+EXTENT = 100.0
+STALENESS = 120.0
+TIMING_AVAILABILITY = 0.85
+
+
+def make_portal(n_sensors: int, availability: float, seed: int) -> SensorMapPortal:
+    rng = np.random.default_rng(seed)
+    portal = SensorMapPortal(max_sensors_per_query=None)
+    xs = rng.uniform(0.0, EXTENT, n_sensors)
+    ys = rng.uniform(0.0, EXTENT, n_sensors)
+    expiries = rng.uniform(120.0, 600.0, n_sensors)
+    for i in range(n_sensors):
+        portal.register_sensor(
+            GeoPoint(float(xs[i]), float(ys[i])),
+            expiry_seconds=float(expiries[i]),
+            availability=availability,
+        )
+    portal.rebuild_index()
+    return portal
+
+
+def make_viewports(level: int, seed: int) -> list[SensorQuery]:
+    """``level`` concurrent viewport queries drawn round-robin from a
+    pool of distinct hotspots — the many-users-same-map-tile shape that
+    makes coalescing matter.  Pool size grows sublinearly with the
+    level so higher concurrency means more sharing, not just more
+    regions.  Viewports are zoomed-in tiles (a few dozen sensors each):
+    the regime where sequential execution pays one collector round trip
+    per query while a batch tick packs the union into a few."""
+    pool_size = max(1, level // 4)
+    rng = np.random.default_rng(seed)
+    pool = []
+    for _ in range(pool_size):
+        cx = float(rng.uniform(15.0, EXTENT - 15.0))
+        cy = float(rng.uniform(15.0, EXTENT - 15.0))
+        half = float(rng.uniform(1.0, 2.0))
+        pool.append(
+            Rect(
+                max(0.0, cx - half),
+                max(0.0, cy - half),
+                min(EXTENT, cx + half),
+                min(EXTENT, cy + half),
+            )
+        )
+    return [
+        SensorQuery(region=pool[i % pool_size], staleness_seconds=STALENESS)
+        for i in range(level)
+    ]
+
+
+def check_parity(
+    n_sensors: int, levels: Sequence[int], seed: int
+) -> None:
+    """Every level's workload, once through each mode on fresh portals
+    at availability 1.0: identical result weights, aggregates equal to
+    float tolerance."""
+    seq_portal = make_portal(n_sensors, availability=1.0, seed=seed)
+    batch_portal = make_portal(n_sensors, availability=1.0, seed=seed)
+    for level in levels:
+        queries = make_viewports(level, seed + level)
+        seq_results = [seq_portal.execute(q) for q in queries]
+        batch = batch_portal.execute_batch(queries)
+        for i, (s, b) in enumerate(zip(seq_results, batch.results)):
+            if s.result_weight != b.result_weight:
+                raise AssertionError(
+                    f"parity: level {level} query {i} weight "
+                    f"{s.result_weight} != {b.result_weight}"
+                )
+            if s.result_weight == 0:  # aggregate of nothing is undefined
+                continue
+            sa, ba = s.aggregate(), b.aggregate()
+            if abs(sa - ba) > 1e-9 * max(1.0, abs(sa)):
+                raise AssertionError(
+                    f"parity: level {level} query {i} aggregate {sa} != {ba}"
+                )
+        seq_portal.tree("generic").clear_caches()
+        batch_portal.tree("generic").clear_caches()
+
+
+def _modeled_seconds_sequential(results) -> float:
+    # Serial rounds: each query's processing plus its own collection.
+    return sum(r.processing_seconds + r.collection_seconds for r in results)
+
+
+def _modeled_seconds_batch(batch) -> float:
+    # One shared collection round per tree (BatchStats.collection_seconds
+    # already sums the per-tree rounds exactly once).
+    return (
+        sum(r.processing_seconds for r in batch.results)
+        + batch.stats.collection_seconds
+    )
+
+
+def time_level(
+    seq_portal: SensorMapPortal,
+    batch_portal: SensorMapPortal,
+    queries: Sequence[SensorQuery],
+    reps: int,
+) -> dict:
+    seq_wall, seq_modeled, seq_probes = [], [], []
+    bat_wall, bat_modeled, bat_probes = [], [], []
+    last_batch_stats = None
+    for _ in range(reps):
+        seq_portal.tree("generic").clear_caches()
+        probes_before = seq_portal.network.stats.probes_attempted
+        start = time.perf_counter()
+        results = [seq_portal.execute(q) for q in queries]
+        seq_wall.append(time.perf_counter() - start)
+        seq_modeled.append(_modeled_seconds_sequential(results))
+        seq_probes.append(
+            seq_portal.network.stats.probes_attempted - probes_before
+        )
+
+        batch_portal.tree("generic").clear_caches()
+        probes_before = batch_portal.network.stats.probes_attempted
+        start = time.perf_counter()
+        batch = batch_portal.execute_batch(queries)
+        bat_wall.append(time.perf_counter() - start)
+        bat_modeled.append(_modeled_seconds_batch(batch))
+        bat_probes.append(
+            batch_portal.network.stats.probes_attempted - probes_before
+        )
+        last_batch_stats = batch.stats
+
+    n = len(queries)
+    seq_s, bat_s = min(seq_modeled), min(bat_modeled)
+    seq_w, bat_w = min(seq_wall), min(bat_wall)
+    return {
+        "concurrency": n,
+        "distinct_viewports": len({q.region for q in queries}),
+        "modeled_seconds": {"sequential": seq_s, "batch": bat_s},
+        "throughput_qps": {"sequential": n / seq_s, "batch": n / bat_s},
+        "throughput_speedup": seq_s / bat_s,
+        "wall_seconds": {"sequential": seq_w, "batch": bat_w},
+        "wall_speedup": seq_w / bat_w,
+        "probes": {
+            "sequential": min(seq_probes),
+            "batch": max(bat_probes),
+        },
+        "probe_ratio": min(seq_probes) / max(1, max(bat_probes)),
+        "batch_stats": {
+            "probes_requested": last_batch_stats.probes_requested,
+            "probes_issued": last_batch_stats.probes_issued,
+            "probes_coalesced": last_batch_stats.probes_coalesced,
+            "batch_shared_plans": last_batch_stats.batch_shared_plans,
+        },
+    }
+
+
+def run_batch_bench(
+    n_sensors: int = 40_000,
+    levels: Sequence[int] = (1, 8, 64, 256),
+    reps: int = 3,
+    seed: int = 0,
+    quick: bool = False,
+) -> dict:
+    if quick:
+        n_sensors, levels, reps = 2_500, (1, 8, 64), 2
+
+    check_parity(n_sensors, levels, seed)
+
+    seq_portal = make_portal(n_sensors, TIMING_AVAILABILITY, seed)
+    batch_portal = make_portal(n_sensors, TIMING_AVAILABILITY, seed)
+    per_level = [
+        time_level(
+            seq_portal, batch_portal, make_viewports(level, seed + level), reps
+        )
+        for level in levels
+    ]
+    return {
+        "benchmark": "batch_executor",
+        "unix_time": time.time(),
+        "workload": {
+            "n_sensors": n_sensors,
+            "levels": list(levels),
+            "reps": reps,
+            "seed": seed,
+            "quick": quick,
+            "staleness_seconds": STALENESS,
+            "timing_availability": TIMING_AVAILABILITY,
+        },
+        "parity": "identical",
+        "levels": per_level,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sensors", type=int, default=40_000)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke scale (parity still asserted)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the acceptance thresholds "
+        "(>=3x throughput, strictly fewer probes at 64 concurrent)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_batch.json"),
+        help="where to write the JSON result",
+    )
+    args = parser.parse_args(argv)
+    result = run_batch_bench(
+        n_sensors=args.sensors, reps=args.reps, seed=args.seed, quick=args.quick
+    )
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    for row in result["levels"]:
+        print(
+            f"  {row['concurrency']:>4} viewports "
+            f"({row['distinct_viewports']:>2} distinct): "
+            f"{row['throughput_qps']['sequential']:8.1f} -> "
+            f"{row['throughput_qps']['batch']:8.1f} q/s "
+            f"({row['throughput_speedup']:.1f}x), probes "
+            f"{row['probes']['sequential']} -> {row['probes']['batch']} "
+            f"({row['probe_ratio']:.2f}x)"
+        )
+    print(f"batch bench -> {args.output}")
+    if args.check:
+        checked = [r for r in result["levels"] if r["concurrency"] >= 64]
+        if not checked:
+            print("FAIL: no level with >=64 concurrent viewports")
+            return 1
+        for row in checked:
+            if row["throughput_speedup"] < 3.0:
+                print(
+                    f"FAIL: {row['concurrency']} concurrent throughput "
+                    f"{row['throughput_speedup']:.2f}x < 3x"
+                )
+                return 1
+            if row["probes"]["batch"] >= row["probes"]["sequential"]:
+                print(
+                    f"FAIL: {row['concurrency']} concurrent probes not reduced "
+                    f"({row['probes']['batch']} >= {row['probes']['sequential']})"
+                )
+                return 1
+        print("acceptance thresholds met")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

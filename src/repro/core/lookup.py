@@ -50,6 +50,7 @@ __all__ = [
     "TerminalRecord",
     "range_lookup",
     "range_scan",
+    "scan_with_plan",
     "region_bbox",
     "region_overlap_fraction",
 ]
@@ -160,8 +161,27 @@ def range_scan(
     meter index work without paying for (identical) network probes.
     """
     answer = QueryAnswer()
-    to_probe: list[int] = []
     plan = tree.spatial_plan(region, None, answer.stats)
+    return scan_with_plan(tree, region, now, max_staleness, plan, answer)
+
+
+def scan_with_plan(
+    tree: "COLRTree",
+    region: Region,
+    now: float,
+    max_staleness: float,
+    plan: "SpatialPlan | None",
+    answer: QueryAnswer,
+) -> tuple[QueryAnswer, list[int]]:
+    """Traversal with an already-resolved spatial plan.
+
+    The batch executor resolves plans itself (so queries sharing a
+    region reuse one classification per batch) and injects them here;
+    ``plan=None`` means the flattened kernel is off and traversal falls
+    back to the recursive reference.  The caller owns the plan-lookup
+    accounting — this function never touches the plan cache.
+    """
+    to_probe: list[int] = []
     if plan is None:
         _descend(tree, tree.root, region, now, max_staleness, answer, to_probe)
         return answer, to_probe

@@ -40,17 +40,28 @@ def slot_of(instant: float, slot_seconds: float) -> int:
     return int(math.floor(instant / slot_seconds))
 
 
-def usable_slot_range(now: float, slot_seconds: float) -> tuple[int, int]:
-    """Inclusive range of slot ids usable *without* entry inspection.
+def usable_slot_range(now: float, slot_seconds: float) -> tuple[int, int | None]:
+    """Usable slot ids as ``(low, high)`` with an inclusive lower bound
+    and an *open-ended* upper bound.
 
     Slots strictly after the one containing ``now`` hold only unexpired
     entries.  The boundary slot (``slot_of(now)``) mixes expired and
     live entries and therefore needs per-entry checks (leaf level) or is
-    skipped (aggregate level).  The upper end is unbounded in principle;
-    we return ``slot_of(now) + 2**31`` as a practical infinity.
+    skipped (aggregate level).  The upper end is genuinely unbounded —
+    any slot id at or above ``low`` is usable — so ``high`` is ``None``
+    rather than a fake "practical infinity" (the old ``low + 2**31``
+    sentinel silently excluded far-future expiries and broke integer
+    comparisons near the sentinel).  Use :func:`slot_usable` for
+    membership tests.
     """
     low = slot_of(now, slot_seconds) + 1
-    return (low, low + (1 << 31))
+    return (low, None)
+
+
+def slot_usable(slot: int, now: float, slot_seconds: float) -> bool:
+    """Whether a slot id is usable without entry inspection at ``now``
+    (it lies strictly after the boundary slot)."""
+    return slot >= slot_of(now, slot_seconds) + 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -211,6 +222,39 @@ class SlotCache:
     # ------------------------------------------------------------------
     def add(self, slot: int, value: float, timestamp: float) -> None:
         self._slots.setdefault(slot, AggregateSketch()).add(value, timestamp)
+
+    def add_sketch(self, slot: int, delta: AggregateSketch) -> None:
+        """Fold a pre-merged delta sketch into a slot in one operation
+        (the batched-ingestion analogue of repeated :meth:`add` calls:
+        final state is identical, cost is one merge per slot)."""
+        if delta.is_empty:
+            return
+        self._slots.setdefault(slot, AggregateSketch()).merge(delta)
+
+    def remove_bulk(self, slot: int, values: list[float]) -> bool:
+        """Decrement many values out of a slot as one grouped delta.
+
+        Equivalent in final state to calling :meth:`remove` once per
+        value: count/sum decrement exactly, and the slot goes dirty when
+        any removed value may have defined the current min/max (min/max
+        cannot tighten between grouped removals, so checking each value
+        against the pre-removal extremes matches the sequential
+        outcome).  Returns True when the slot needs recomputation.
+        """
+        sketch = self._slots.get(slot)
+        if sketch is None:
+            raise KeyError(f"slot {slot} has no cached aggregate")
+        if len(values) > sketch.count:
+            raise ValueError("cannot remove more values than the sketch holds")
+        dirty = any(v <= sketch.minimum or v >= sketch.maximum for v in values)
+        sketch.count -= len(values)
+        sketch.total -= sum(values)
+        if sketch.count == 0:
+            del self._slots[slot]
+            return False
+        if dirty:
+            sketch.minmax_dirty = True
+        return sketch.minmax_dirty
 
     def remove(self, slot: int, value: float) -> bool:
         """Decrement a value out of a slot.  Returns True when the slot's

@@ -35,6 +35,14 @@ class QueryStats:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     nodes_pruned_vectorized: int = 0
+    # Batch-executor instrumentation (same contract as the kernel
+    # counters above: purely observational, never fed to the cost model).
+    # ``probes_coalesced`` counts probe requests this query did not have
+    # to issue because a peer in the same batch already contacted the
+    # sensor; ``batch_shared_nodes`` counts node classifications this
+    # query inherited from a batch peer's spatial plan.
+    probes_coalesced: int = 0
+    batch_shared_nodes: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another stats record into this one."""

@@ -277,9 +277,7 @@ class COLRTree:
         stats.collection_latency_seconds += result.latency_seconds
         readings = list(result.readings.values())
         if self.config.caching_enabled:
-            for reading in readings:
-                stats.maintenance_ops += self.insert_reading(reading, fetched_at=now)
-            stats.maintenance_ops += self._enforce_capacity()
+            stats.maintenance_ops += self.insert_readings_batch(readings, fetched_at=now)
         return readings
 
     def insert_reading(self, reading: Reading, fetched_at: float) -> int:
@@ -321,6 +319,136 @@ class COLRTree:
             ops += 1
             node = node.parent
         return ops
+
+    def insert_readings_batch(self, readings: Iterable[Reading], fetched_at: float) -> int:
+        """Cache many readings with grouped delta propagation.
+
+        The batch analogue of :meth:`insert_reading` (Section VI-B's
+        triggers, amortized): one pass applies every reading to its
+        leaf, collecting per-(leaf, slot) add deltas and displaced
+        values; then each distinct ancestor receives a *single merged*
+        :class:`AggregateSketch` delta per touched slot instead of one
+        walk per reading.  Ancestors are applied deepest-first so a slot
+        whose min/max goes dirty is recomputed (at most once) from
+        already-corrected children.
+
+        Equivalence with the one-by-one loop: leaf contents, registry
+        accounting and per-slot count/min/max come out identical;
+        ``total`` agrees up to float summation order (the grouped delta
+        sums the same values in a different association); and
+        ``oldest_timestamp`` is equal or *conservatively older* — a
+        grouped removal recomputes a slot when any of its values was
+        extremal, which can refresh a stale timestamp the interleaved
+        loop (or vice versa) would have kept as a valid older bound.
+        The trigger-work count — the returned maintenance op count —
+        is smaller, which is exactly the processing saving batched
+        ingestion exists to provide.  Capacity is enforced once at the
+        end, like the per-probe-batch pass.
+        """
+        if not self.config.caching_enabled:
+            return 0
+        batch = list(readings)
+        if not batch:
+            return 0
+        slot_seconds = self.config.slot_seconds
+        ops = 0
+        # Phase 1: leaf-level application, grouped by leaf.
+        touched_leaves: dict[int, COLRNode] = {}
+        leaf_adds: dict[int, dict[int, AggregateSketch]] = {}
+        leaf_removes: dict[int, dict[int, list[float]]] = {}
+        aggregating = self.config.aggregate_caching_enabled
+        for reading in batch:
+            leaf = self._leaf_of.get(reading.sensor_id)
+            if leaf is None:
+                raise KeyError(
+                    f"sensor {reading.sensor_id} is not indexed by this tree"
+                )
+            assert leaf.leaf_cache is not None
+            ops += 1
+            displaced = leaf.leaf_cache.remove(reading.sensor_id)
+            if displaced is not None:
+                old_slot = slot_of(displaced.expires_at, slot_seconds)
+                if aggregating:
+                    leaf_removes.setdefault(leaf.node_id, {}).setdefault(
+                        old_slot, []
+                    ).append(displaced.value)
+                self._registry_remove(old_slot, displaced.sensor_id)
+            leaf.leaf_cache.insert(reading, fetched_at)
+            new_slot = slot_of(reading.expires_at, slot_seconds)
+            if new_slot not in self._cache_registry:
+                heapq.heappush(self._slot_heap, new_slot)
+            self._cache_registry.setdefault(new_slot, {})[
+                reading.sensor_id
+            ] = fetched_at
+            self._cached_count += 1
+            touched_leaves[leaf.node_id] = leaf
+            if aggregating:
+                leaf_adds.setdefault(leaf.node_id, {}).setdefault(
+                    new_slot, AggregateSketch()
+                ).add(reading.value, reading.timestamp)
+        if not aggregating:
+            return ops + self._enforce_capacity()
+        # Phase 2: merge each touched leaf's deltas into its ancestor
+        # chain, so every ancestor sees one delta per slot regardless of
+        # how many readings (or leaves) contributed.
+        anc_adds: dict[int, dict[int, AggregateSketch]] = {}
+        anc_removes: dict[int, dict[int, list[float]]] = {}
+        ancestors: dict[int, COLRNode] = {}
+        for leaf_id, leaf in touched_leaves.items():
+            adds = leaf_adds.get(leaf_id, {})
+            removes = leaf_removes.get(leaf_id, {})
+            # Removals propagate the whole chain: a reading present in a
+            # leaf has its value folded into *every* ancestor's slot
+            # (inserts add it everywhere; displacement and eviction
+            # decrement everywhere), and a displaced reading inserted
+            # earlier in this same batch has its slot created by the add
+            # deltas, which phase 3 applies first.
+            node = leaf.parent
+            while node is not None:
+                assert node.agg_cache is not None
+                ancestors[node.node_id] = node
+                n_adds = anc_adds.setdefault(node.node_id, {})
+                for slot, delta in adds.items():
+                    got = n_adds.get(slot)
+                    if got is None:
+                        n_adds[slot] = delta.copy()
+                    else:
+                        got.merge(delta)
+                if removes:
+                    n_removes = anc_removes.setdefault(node.node_id, {})
+                    for slot, values in removes.items():
+                        n_removes.setdefault(slot, []).extend(values)
+                node = node.parent
+        # Phase 3: apply deepest-first (adds before removes per node) so
+        # a dirty min/max recomputation always reads fully corrected
+        # children and runs at most once per (ancestor, slot).
+        for node in sorted(ancestors.values(), key=lambda n: n.level, reverse=True):
+            cache = node.agg_cache
+            assert cache is not None
+            for slot, delta in sorted(anc_adds.get(node.node_id, {}).items()):
+                cache.add_sketch(slot, delta)
+                ops += 1
+            for slot, values in sorted(anc_removes.get(node.node_id, {}).items()):
+                if cache.sketch(slot) is None:
+                    continue
+                ops += 1
+                if cache.remove_bulk(slot, values):
+                    cache.replace(slot, self._recompute_slot(node, slot))
+                    ops += len(node.children)
+        return ops + self._enforce_capacity()
+
+    def clear_caches(self) -> None:
+        """Drop every cached reading and aggregate (leaf and internal),
+        resetting the tree to its cold post-build state.  Spatial plans
+        stay valid (they depend only on the frozen structure); only the
+        temporal state is cleared.  Used by benchmarks to re-run a
+        workload from cold without paying a rebuild."""
+        if self.config.caching_enabled:
+            for node in self._nodes.values():
+                node.attach_caches(self.config.slot_seconds)
+        self._cache_registry.clear()
+        self._slot_heap.clear()
+        self._cached_count = 0
 
     def touch_cached(self, leaf: COLRNode, sensor_ids: set[int], now: float) -> None:
         """Hook invoked when cached readings answer a query.
@@ -455,9 +583,6 @@ class COLRTree:
     # Bulk cache priming (used by experiments to warm caches)
     # ------------------------------------------------------------------
     def prime_cache(self, readings: Iterable[Reading], fetched_at: float) -> int:
-        """Insert a batch of readings directly (no probe accounting)."""
-        ops = 0
-        for reading in readings:
-            ops += self.insert_reading(reading, fetched_at)
-        ops += self._enforce_capacity()
-        return ops
+        """Insert a batch of readings directly (no probe accounting),
+        via the grouped-delta ingestion path."""
+        return self.insert_readings_batch(readings, fetched_at)

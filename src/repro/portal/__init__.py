@@ -17,12 +17,16 @@ queries with a ``CLUSTER`` distance (viewport grouping) and a
 ``SensorMapPortal``
     The end-to-end facade: registration, index (re)builds, query
     execution with latency accounting.
+``execute_batch`` (``SensorMapPortal.execute_batch``)
+    One tick's in-flight queries as a batch: shared traversals,
+    coalesced sensor probes, grouped cache ingestion.
 """
 
 from repro.portal.query import SensorQuery
 from repro.portal.parser import QueryParseError, parse_query
 from repro.portal.grouping import DisplayGroup, group_answer, group_by_terminal
 from repro.portal.portal import PortalResult, SensorMapPortal
+from repro.portal.batch import BatchResult, BatchStats
 from repro.portal.continuous import (
     ContinuousQueryManager,
     ResultDelta,
@@ -30,6 +34,8 @@ from repro.portal.continuous import (
 )
 
 __all__ = [
+    "BatchResult",
+    "BatchStats",
     "ContinuousQueryManager",
     "DisplayGroup",
     "PortalResult",

@@ -113,17 +113,28 @@ class ContinuousQueryManager:
     def tick(self) -> list[tuple[Subscription, ResultDelta]]:
         """Execute every subscription due at the portal's current time.
 
+        The due subscriptions form a natural batch — one tick, one
+        clock instant, many overlapping viewports — so two or more run
+        through :meth:`SensorMapPortal.execute_batch` (shared
+        traversals, each sensor probed at most once this tick); a lone
+        due subscription takes the single-query path, which is
+        bit-identical anyway.
+
         Returns the (subscription, delta) pairs that ran, in
         subscription order.  Callbacks fire after each run.
         """
         now = self.portal.clock.now()
-        ran: list[tuple[Subscription, ResultDelta]] = []
-        for subscription in self.subscriptions():
-            if subscription.due_at() > now:
-                continue
-            delta = self._execute(subscription)
-            ran.append((subscription, delta))
-        return ran
+        due = [s for s in self.subscriptions() if s.due_at() <= now]
+        if not due:
+            return []
+        if len(due) == 1:
+            subscription = due[0]
+            return [(subscription, self._execute(subscription))]
+        batch = self.portal.execute_batch([s.query for s in due])
+        return [
+            (subscription, self._apply_result(subscription, result))
+            for subscription, result in zip(due, batch.results)
+        ]
 
     def run_for(self, duration: float, step: float) -> int:
         """Advance the clock in ``step`` increments for ``duration``
@@ -139,7 +150,14 @@ class ContinuousQueryManager:
         return executed
 
     def _execute(self, subscription: Subscription) -> ResultDelta:
-        result = self.portal.execute(subscription.query)
+        return self._apply_result(subscription, self.portal.execute(subscription.query))
+
+    def _apply_result(
+        self, subscription: Subscription, result: PortalResult
+    ) -> ResultDelta:
+        """Fold one execution's result into the subscription: compute
+        the delta against the previous run, update the baseline, and
+        fire the callback."""
         new_values: dict[int, float] = {}
         for answer in result.answers:
             for reading in list(answer.probed_readings) + list(answer.cached_readings):

@@ -13,6 +13,7 @@ latency accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.config import COLRTreeConfig
 from repro.core.lookup import QueryAnswer
@@ -27,6 +28,9 @@ from repro.sensors.clock import SimClock
 from repro.sensors.network import SensorNetwork
 from repro.sensors.registry import SensorRegistry
 from repro.sensors.sensor import Sensor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.portal.batch import BatchResult
 
 
 @dataclass
@@ -202,6 +206,19 @@ class SensorMapPortal:
             processing_seconds=processing,
             collection_seconds=collection,
         )
+
+    def execute_batch(self, queries: "Sequence[SensorQuery]") -> "BatchResult":
+        """Execute a set of in-flight queries as one batch tick.
+
+        Distinct regions classify once per batch, each live sensor is
+        probed at most once (readings fan out to every requesting
+        query), and probed readings enter the caches as grouped deltas.
+        ``execute_batch([q])`` is bit-identical to ``execute(q)``; see
+        :mod:`repro.portal.batch`.
+        """
+        from repro.portal.batch import execute_batch
+
+        return execute_batch(self, queries)
 
     def stats(self) -> dict[str, object]:
         """Operational summary: per-type index shape, cache occupancy,

@@ -47,6 +47,10 @@ class NetworkStats:
     probes_succeeded: int = 0
     batches: int = 0
     total_latency_seconds: float = 0.0
+    # Probe requests that never reached a sensor because a concurrent
+    # query in the same batch tick already contacted it (the batch
+    # executor's coalescing); the communication the portal *saved*.
+    probes_coalesced: int = 0
     per_sensor_probes: dict[int, int] = field(default_factory=dict)
 
     def snapshot(self) -> "NetworkStats":
@@ -56,6 +60,7 @@ class NetworkStats:
             probes_succeeded=self.probes_succeeded,
             batches=self.batches,
             total_latency_seconds=self.total_latency_seconds,
+            probes_coalesced=self.probes_coalesced,
         )
         clone.per_sensor_probes = dict(self.per_sensor_probes)
         return clone
@@ -199,6 +204,13 @@ class SensorNetwork:
         self.stats.batches += 1 if ids else 0
         self.stats.total_latency_seconds += latency
         return ProbeResult(readings=readings, failed=tuple(failed), latency_seconds=latency)
+
+    def record_coalesced(self, n: int) -> None:
+        """Meter probe requests satisfied by a batch peer's probe
+        (no network traffic occurred; accounting only)."""
+        if n < 0:
+            raise ValueError("coalesced count must be non-negative")
+        self.stats.probes_coalesced += n
 
     def batch_latency(self, n_probes: int) -> float:
         """Deterministic (no-jitter) latency of probing ``n_probes``

@@ -135,3 +135,131 @@ class TestDeltas:
         [(_, delta)] = manager.tick()
         assert delta.aggregate_before is not None
         assert delta.aggregate_after is not None
+
+
+EXACT_A = SensorQuery(region=Rect(0, 0, 60, 60), staleness_seconds=120.0)
+EXACT_B = SensorQuery(region=Rect(30, 30, 90, 90), staleness_seconds=120.0)
+
+
+class TestDeltaSemanticsUnderBatching:
+    """Delta correctness when a tick batches several due subscriptions
+    (the batch-executor rewiring's safety net)."""
+
+    def test_overlapping_subscriptions_each_get_full_results(self, portal):
+        manager = ContinuousQueryManager(portal)
+        a = manager.subscribe(EXACT_A, refresh_seconds=60.0)
+        b = manager.subscribe(EXACT_B, refresh_seconds=60.0)
+        same_as_a = manager.subscribe(EXACT_A, refresh_seconds=60.0)
+        ran = manager.tick()
+        assert [s.subscription_id for s, _ in ran] == [0, 1, 2]
+        deltas = {s.subscription_id: d for s, d in ran}
+        # First run: everything appears, nothing departed/changed.
+        for d in deltas.values():
+            assert d.appeared and not d.departed and not d.changed
+        # Identical standing queries see identical deltas even though
+        # only one of them paid for the probes.
+        assert deltas[a.subscription_id].appeared == deltas[
+            same_as_a.subscription_id
+        ].appeared
+        assert b.last_result.result_weight == len(
+            deltas[b.subscription_id].appeared
+        )
+
+    def test_batched_tick_matches_sequential_tick(self):
+        """Two portals, same subscriptions: one ticked via the batch
+        path, one executed subscription-by-subscription; the deltas
+        must agree (availability 1, shared clock instant)."""
+
+        def build():
+            p = SensorMapPortal(
+                COLRTreeConfig(max_expiry_seconds=600.0, slot_seconds=120.0),
+                value_fn=lambda s, t: float(s.sensor_id % 7) + t / 1000.0,
+                max_sensors_per_query=None,
+            )
+            p.register_all(make_registry(n=300, seed=41).all())
+            return p
+
+        batch_portal, seq_portal = build(), build()
+        manager = ContinuousQueryManager(batch_portal)
+        manager.subscribe(EXACT_A, refresh_seconds=60.0)
+        manager.subscribe(EXACT_B, refresh_seconds=60.0)
+        for tick in range(3):
+            ran = manager.tick()
+            seq_results = [
+                seq_portal.execute(q) for q in (EXACT_A, EXACT_B)
+            ]
+            for (_, delta), seq_result in zip(ran, seq_results):
+                batch_ids = set(delta.appeared) | set(delta.changed)
+                seq_ids = {
+                    r.sensor_id
+                    for a in seq_result.answers
+                    for r in list(a.probed_readings) + list(a.cached_readings)
+                }
+                # Every sensor the sequential run sees is in the batch
+                # run's cumulative view, and first tick they are equal.
+                if tick == 0:
+                    assert set(delta.appeared) == seq_ids
+            batch_portal.clock.advance(61.0)
+            seq_portal.clock.advance(61.0)
+
+    def test_subscribe_mid_run_joins_next_tick(self, portal):
+        manager = ContinuousQueryManager(portal)
+        manager.subscribe(EXACT_A, refresh_seconds=60.0)
+        manager.tick()
+        late = manager.subscribe(EXACT_B, refresh_seconds=60.0)
+        portal.clock.advance(30.0)
+        ran = manager.tick()  # only the late one is due
+        assert [s.subscription_id for s, _ in ran] == [late.subscription_id]
+        assert late.executions == 1
+        d = ran[0][1]
+        assert d.appeared and not d.departed
+
+    def test_unsubscribe_mid_run_stops_execution(self, portal):
+        manager = ContinuousQueryManager(portal)
+        keep = manager.subscribe(EXACT_A, refresh_seconds=60.0)
+        drop = manager.subscribe(EXACT_B, refresh_seconds=60.0)
+        manager.tick()
+        manager.unsubscribe(drop.subscription_id)
+        portal.clock.advance(61.0)
+        ran = manager.tick()
+        assert [s.subscription_id for s, _ in ran] == [keep.subscription_id]
+        assert drop.executions == 1
+        assert keep.executions == 2
+
+    def test_resubscribe_fresh_baseline(self, portal):
+        """A new subscription over the same region starts from scratch:
+        everything its own run sees appears, regardless of what a
+        previous (removed) subscription had seen.  The id universe may
+        shrink on the warm run — subtrees fully covered by cached
+        aggregates answer as sketches, which carry no sensor ids — but
+        the total result weight is preserved."""
+        manager = ContinuousQueryManager(portal)
+        old = manager.subscribe(EXACT_A, refresh_seconds=60.0)
+        manager.tick()
+        seen_before = set(old._last_values)
+        old_weight = old.last_result.result_weight
+        manager.unsubscribe(old.subscription_id)
+        fresh = manager.subscribe(EXACT_A, refresh_seconds=60.0)
+        ran = manager.tick()
+        appeared = set(ran[0][1].appeared)
+        assert appeared == set(fresh._last_values)
+        assert appeared <= seen_before
+        assert not ran[0][1].departed and not ran[0][1].changed
+        assert fresh.last_result.result_weight == old_weight
+        assert fresh.executions == 1
+
+    def test_values_change_across_batched_ticks(self, portal):
+        """value_fn depends on t, so advancing past the staleness bound
+        re-probes and every sensor reports `changed`."""
+        manager = ContinuousQueryManager(portal)
+        a = manager.subscribe(EXACT_A, refresh_seconds=130.0)
+        b = manager.subscribe(EXACT_A, refresh_seconds=130.0)
+        first = manager.tick()
+        portal.clock.advance(131.0)
+        second = manager.tick()
+        assert len(first) == len(second) == 2
+        for (_, d1), (_, d2) in zip(first, second):
+            assert d1.appeared and not d1.changed
+            assert set(d2.changed) == set(d1.appeared)
+            assert not d2.departed
+        assert a.executions == b.executions == 2

@@ -1,0 +1,87 @@
+"""Regression: a spatial plan cached before ``rebuild_index()`` must
+never serve the rebuilt tree.
+
+Audit result (kept as executable documentation): ``rebuild_index``
+constructs *fresh* ``COLRTree`` objects, and the ``FlatKernel`` and
+``SpatialPlanCache`` are per-tree instance attributes created in
+``COLRTree.__init__`` — so the old plan cache is unreachable from the
+new index by construction.  A plan keyed by a region fingerprint is
+only ever looked up through ``tree.plan_cache`` of the tree it was
+classified against.  These tests pin that invariant down so a future
+refactor that hoists the plan cache to the portal (or makes trees
+mutable in place) cannot silently serve stale classifications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import GeoPoint, Rect
+from repro.portal import SensorMapPortal, SensorQuery
+
+
+def _portal(n: int = 200, seed: int = 13) -> SensorMapPortal:
+    rng = np.random.default_rng(seed)
+    portal = SensorMapPortal(max_sensors_per_query=None)
+    for x, y in rng.random((n, 2)) * 100:
+        portal.register_sensor(
+            GeoPoint(float(x), float(y)), expiry_seconds=300.0
+        )
+    portal.rebuild_index()
+    return portal
+
+
+VIEWPORT = SensorQuery(region=Rect(40.0, 40.0, 50.0, 50.0), staleness_seconds=120.0)
+
+
+class TestPlanCacheInvalidationOnRebuild:
+    def test_rebuild_replaces_tree_kernel_and_plan_cache(self):
+        portal = _portal()
+        portal.execute(VIEWPORT)  # warm the plan cache
+        old_tree = portal.tree("generic")
+        old_cache = old_tree.plan_cache
+        assert old_cache is not None and len(old_cache) > 0
+        portal.rebuild_index()
+        new_tree = portal.tree("generic")
+        assert new_tree is not old_tree
+        assert new_tree.kernel is not old_tree.kernel
+        assert new_tree.plan_cache is not old_cache
+        assert len(new_tree.plan_cache) == 0
+
+    def test_warm_plan_cannot_hide_a_new_sensor(self):
+        """End-to-end: register a sensor inside a viewport whose plan is
+        warm, rebuild, re-query — the new sensor must appear.  A stale
+        plan (classified against the old tree) would misroute or drop
+        it."""
+        portal = _portal()
+        before = portal.execute(VIEWPORT)
+        # Re-run so the second execution is served via a plan-cache hit.
+        again = portal.execute(VIEWPORT)
+        assert again.answers[0].stats.plan_cache_hits == 1
+        added = portal.register_sensor(
+            GeoPoint(45.0, 45.0), expiry_seconds=300.0
+        )
+        after = portal.execute(VIEWPORT)  # lazy rebuild happens here
+        result_ids = {
+            r.sensor_id
+            for a in after.answers
+            for r in list(a.probed_readings) + list(a.cached_readings)
+        }
+        assert added.sensor_id in result_ids
+        assert after.result_weight == before.result_weight + 1
+        # The rebuilt tree classified from scratch: miss, not hit.
+        assert after.answers[0].stats.plan_cache_hits == 0
+        assert after.answers[0].stats.plan_cache_misses == 1
+
+    def test_batch_executor_sees_rebuilt_tree(self):
+        portal = _portal()
+        portal.execute_batch([VIEWPORT, VIEWPORT])
+        added = portal.register_sensor(GeoPoint(45.0, 45.0), expiry_seconds=300.0)
+        batch = portal.execute_batch([VIEWPORT, VIEWPORT])
+        for result in batch.results:
+            ids = {
+                r.sensor_id
+                for a in result.answers
+                for r in list(a.probed_readings) + list(a.cached_readings)
+            }
+            assert added.sensor_id in ids

@@ -1,0 +1,117 @@
+"""Bit-identity of ``execute_batch([q])`` with ``execute(q)``.
+
+The acceptance contract of the batch executor: a singleton batch takes
+exactly the sequential path's decisions — same plan-cache interaction,
+same probe order (hence the same network RNG draws), same ingestion,
+same stats — for every query shape: rect/polygon region,
+exact/sampled access path, cold/warmed cache.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro.geometry import GeoPoint, Polygon, Rect
+from repro.portal import SensorMapPortal, SensorQuery
+
+
+def _build_portal(availability: float = 1.0, n: int = 150) -> SensorMapPortal:
+    rng = np.random.default_rng(5)
+    portal = SensorMapPortal(max_sensors_per_query=None)
+    for x, y in rng.random((n, 2)) * 100:
+        portal.register_sensor(
+            GeoPoint(float(x), float(y)),
+            expiry_seconds=300.0,
+            availability=availability,
+        )
+    portal.rebuild_index()
+    return portal
+
+
+def _assert_identical(seq_result, batch_result):
+    assert len(seq_result.answers) == len(batch_result.answers)
+    for a, b in zip(seq_result.answers, batch_result.answers):
+        assert a.probed_readings == b.probed_readings
+        assert a.cached_readings == b.cached_readings
+        assert a.cached_sketches == b.cached_sketches
+        assert a.cached_sketch_nodes == b.cached_sketch_nodes
+        assert a.terminals == b.terminals
+        assert a.stats == b.stats
+        # A singleton batch never coalesces nor inherits a plan.
+        assert b.stats.probes_coalesced == 0
+        assert b.stats.batch_shared_nodes == 0
+    assert seq_result.groups == batch_result.groups
+    assert seq_result.processing_seconds == batch_result.processing_seconds
+    assert seq_result.collection_seconds == batch_result.collection_seconds
+
+
+RECTS = st.tuples(
+    st.floats(0, 80, allow_nan=False),
+    st.floats(0, 80, allow_nan=False),
+    st.floats(5, 60, allow_nan=False),
+    st.floats(5, 60, allow_nan=False),
+).map(lambda t: Rect(t[0], t[1], t[0] + t[2], t[1] + t[3]))
+
+TRIANGLES = st.tuples(
+    st.floats(0, 100, allow_nan=False),
+    st.floats(0, 100, allow_nan=False),
+    st.floats(0, 100, allow_nan=False),
+    st.floats(0, 100, allow_nan=False),
+    st.floats(0, 100, allow_nan=False),
+    st.floats(0, 100, allow_nan=False),
+).filter(
+    lambda t: len({(t[0], t[1]), (t[2], t[3]), (t[4], t[5])}) == 3
+).map(
+    lambda t: Polygon(
+        [GeoPoint(t[0], t[1]), GeoPoint(t[2], t[3]), GeoPoint(t[4], t[5])]
+    )
+)
+
+
+class TestSingletonBitIdentity:
+    @settings(max_examples=12, deadline=None)
+    @given(region=RECTS, sampled=st.booleans(), warmed=st.booleans())
+    def test_rect_queries(self, region, sampled, warmed):
+        self._check(region, sampled, warmed)
+
+    @settings(max_examples=12, deadline=None)
+    @given(region=TRIANGLES, sampled=st.booleans(), warmed=st.booleans())
+    def test_polygon_queries(self, region, sampled, warmed):
+        self._check(region, sampled, warmed)
+
+    @settings(max_examples=8, deadline=None)
+    @given(region=RECTS, sampled=st.booleans())
+    def test_flaky_network(self, region, sampled):
+        self._check(region, sampled, warmed=False, availability=0.8)
+
+    def _check(self, region, sampled, warmed, availability=1.0):
+        query = SensorQuery(
+            region=region,
+            staleness_seconds=120.0,
+            sample_size=20 if sampled else None,
+        )
+        seq_portal = _build_portal(availability)
+        batch_portal = _build_portal(availability)
+        if warmed:
+            warm = SensorQuery(
+                region=Rect(20.0, 20.0, 70.0, 70.0), staleness_seconds=120.0
+            )
+            seq_portal.execute(warm)
+            batch_portal.execute(warm)
+        seq = seq_portal.execute(query)
+        batch = batch_portal.execute_batch([query])
+        assert len(batch.results) == 1
+        _assert_identical(seq, batch.results[0])
+
+    def test_zoom_level_grouping(self):
+        query = SensorQuery(
+            region=Rect(10.0, 10.0, 80.0, 80.0),
+            staleness_seconds=120.0,
+            zoom_level=1,
+        )
+        seq = _build_portal().execute(query)
+        batch = _build_portal().execute_batch([query])
+        _assert_identical(seq, batch.results[0])

@@ -150,3 +150,81 @@ class TestAggregateSlotCacheProperties:
         cache.add(boundary + 1, 1.0, now)
         usable = cache.usable_sketches(now, max_staleness=1e9)
         assert len(usable) == 1
+
+
+class TestSlotBoundaryProperties:
+    """Boundary behaviour of the global slotting scheme: negative
+    instants, exact slot edges, and the open-ended usable range."""
+
+    @given(
+        st.integers(min_value=-10_000, max_value=10_000),
+        # Exactly representable widths so k*Δ carries no rounding —
+        # the edge being tested is the slotting scheme's, not floats'.
+        st.sampled_from([1.0, 0.5, 7.25, 30.0, 60.0, 120.0, 600.0]),
+    )
+    def test_exact_edges_start_their_slot(self, k, slot_seconds):
+        from repro.core.slots import usable_slot_range
+
+        assert slot_of(k * slot_seconds, slot_seconds) == k
+        low, high = usable_slot_range(k * slot_seconds, slot_seconds)
+        assert low == k + 1
+        assert high is None
+
+    @given(
+        st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        st.floats(min_value=1, max_value=600, allow_nan=False),
+    )
+    def test_negative_instants_floor_not_truncate(self, instant, slot_seconds):
+        slot = slot_of(instant, slot_seconds)
+        # Floor semantics, not int() truncation: negative instants round
+        # *down*.  The midpoint of the computed slot must map back to it,
+        # and the slot below/above must bracket it.
+        assert slot_of(slot * slot_seconds + slot_seconds / 2, slot_seconds) == slot
+        assert slot_of((slot - 1) * slot_seconds + slot_seconds / 2, slot_seconds) < slot
+        if instant < 0:
+            assert slot <= 0
+
+    def test_negative_instant_examples(self):
+        assert slot_of(-0.5, 120.0) == -1
+        assert slot_of(-120.0, 120.0) == -1
+        assert slot_of(-120.1, 120.0) == -2
+        assert slot_of(-1e-9, 120.0) == -1
+
+    @given(
+        st.integers(min_value=-10_000, max_value=10_000),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=1, max_value=600, allow_nan=False),
+    )
+    def test_slot_usable_matches_range(self, slot, now, slot_seconds):
+        from repro.core.slots import slot_usable, usable_slot_range
+
+        low, high = usable_slot_range(now, slot_seconds)
+        assert high is None
+        assert slot_usable(slot, now, slot_seconds) == (slot >= low)
+
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=1, max_value=600, allow_nan=False),
+    )
+    def test_far_future_slots_always_usable(self, now, slot_seconds):
+        """The fix for the old ``low + (1 << 31)`` sentinel: no finite
+        upper bound may exclude a genuinely future expiry slot."""
+        from repro.core.slots import slot_usable, usable_slot_range
+
+        low, _ = usable_slot_range(now, slot_seconds)
+        for offset in (0, 1, 2**31, 2**31 + 1, 2**40):
+            assert slot_usable(low + offset, now, slot_seconds)
+
+    @given(
+        st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+        st.floats(min_value=1, max_value=600, allow_nan=False),
+    )
+    def test_boundary_slot_never_usable(self, now, slot_seconds):
+        from repro.core.slots import slot_usable
+
+        boundary = slot_of(now, slot_seconds)
+        assert not slot_usable(boundary, now, slot_seconds)
+        assert not slot_usable(boundary - 1, now, slot_seconds)
+        assert slot_usable(boundary + 1, now, slot_seconds)
