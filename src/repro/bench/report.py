@@ -31,6 +31,51 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_counters(
+    counters: dict[str, object], title: str | None = None
+) -> str:
+    """One name/value row per counter, in insertion order — the shape
+    used for NetworkStats / TransportStats surfaces in bench output and
+    the CLI."""
+    return format_table(
+        ("counter", "value"), [(k, v) for k, v in counters.items()], title=title
+    )
+
+
+def network_counters(stats) -> dict[str, object]:
+    """The reportable slice of a ``NetworkStats``, transport meters
+    included (they stay zero on purely synchronous runs)."""
+    return {
+        "probes_attempted": stats.probes_attempted,
+        "probes_succeeded": stats.probes_succeeded,
+        "probes_unavailable": stats.probes_unavailable,
+        "probes_timed_out": stats.probes_timed_out,
+        "probes_retried": stats.probes_retried,
+        "probes_deduped": stats.probes_deduped,
+        "probes_cooldown_skipped": stats.probes_cooldown_skipped,
+        "batches": stats.batches,
+        "total_collection_seconds": stats.total_latency_seconds,
+    }
+
+
+def transport_counters(stats) -> dict[str, object]:
+    """The reportable slice of a dispatcher's ``TransportStats``."""
+    return {
+        "rounds": stats.rounds,
+        "overlapped_rounds": stats.overlapped_rounds,
+        "attempts": stats.attempts,
+        "retries": stats.retries,
+        "timeouts": stats.timeouts,
+        "unavailable": stats.unavailable,
+        "dedup_inflight": stats.dedup_inflight,
+        "dedup_recent": stats.dedup_recent,
+        "cooldown_skips": stats.cooldown_skips,
+        "streamed_readings": stats.streamed_readings,
+        "stream_flushes": stats.stream_flushes,
+        "maintenance_ops": stats.maintenance_ops,
+    }
+
+
 def _fmt(cell: object) -> str:
     if isinstance(cell, bool):
         return str(cell)

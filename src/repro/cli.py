@@ -45,6 +45,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_scale(all_cmd)
     demo = sub.add_parser("demo", help="tiny end-to-end portal demo")
     demo.add_argument("--sensors", type=int, default=2_000)
+    demo.add_argument(
+        "--transport",
+        action="store_true",
+        help="route probes through the async dispatcher and print its counters",
+    )
+    transport = sub.add_parser(
+        "transport", help="async transport vs sync probing benchmark"
+    )
+    transport.add_argument("--sensors", type=int, default=40_000)
+    transport.add_argument("--quick", action="store_true")
     return parser
 
 
@@ -114,11 +124,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(run_all_ablations().format_table())
         return 0
     if command == "demo":
-        return _demo(args.sensors)
+        return _demo(args.sensors, transport=args.transport)
+    if command == "transport":
+        from repro.bench.transport import main as transport_main
+
+        argv = ["--sensors", str(args.sensors)]
+        if args.quick:
+            argv.append("--quick")
+        return transport_main(argv)
     raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
 
 
-def _demo(n_sensors: int) -> int:
+def _demo(n_sensors: int, transport: bool = False) -> int:
     """A tiny scripted tour of the index (see examples/ for more)."""
     import numpy as np
 
@@ -148,6 +165,10 @@ def _demo(n_sensors: int) -> int:
         network=network,
         availability_model=model,
     )
+    if transport:
+        from repro.transport import ProbeDispatcher, TransportConfig
+
+        tree.transport = ProbeDispatcher(network, TransportConfig())
     print(f"indexed {len(tree)} sensors (height {tree.height()})")
     region = Rect(20, 20, 70, 70)
     for label, t in (("cold", 0.0), ("warm", 5.0), ("expired", 10_000.0)):
@@ -156,6 +177,17 @@ def _demo(n_sensors: int) -> int:
             f"{label:>8}: probed {answer.stats.sensors_probed:>4} sensors, "
             f"answer weight {answer.result_weight:>4}, "
             f"count estimate {answer.estimate('count') if answer.result_weight else 0:.0f}"
+        )
+    if transport:
+        from repro.bench.report import format_counters, network_counters, transport_counters
+
+        print()
+        print(format_counters(network_counters(network.stats), title="network"))
+        print()
+        print(
+            format_counters(
+                transport_counters(tree.transport.stats), title="transport"
+            )
         )
     return 0
 

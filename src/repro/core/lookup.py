@@ -143,7 +143,9 @@ def range_lookup(
     """
     answer, to_probe = range_scan(tree, region, now, max_staleness)
     if to_probe:
-        readings = tree.probe_and_cache(to_probe, now, answer.stats)
+        readings = tree.probe_and_cache(
+            to_probe, now, answer.stats, max_staleness=max_staleness
+        )
         answer.probed_readings.extend(readings)
     return answer
 

@@ -315,7 +315,9 @@ def _probe_node(
         tree, node, region, cached_ids, k, rng, kernel=kernel, plan=plan, idx=idx
     )
     if probed_ids:
-        readings = tree.probe_and_cache(probed_ids, now, answer.stats)
+        readings = tree.probe_and_cache(
+            probed_ids, now, answer.stats, max_staleness=max_staleness
+        )
         answer.probed_readings.extend(readings)
     answer.terminals.append(
         TerminalRecord(

@@ -43,6 +43,19 @@ class QueryStats:
     # query inherited from a batch peer's spatial plan.
     probes_coalesced: int = 0
     batch_shared_nodes: int = 0
+    # Transport-dispatcher instrumentation (observational, like the two
+    # groups above — the dispatcher changes how probes are *delivered*,
+    # not the logical work a query performs).  ``probes_retried`` counts
+    # extra wire contacts within this query's logical probes,
+    # ``probes_timed_out`` the attempts abandoned at the collector
+    # timeout, ``probes_deduped`` requests served from the in-flight /
+    # recently-probed table without network traffic, and
+    # ``probes_cooldown_skipped`` requests dropped because the sensor was
+    # in failure cooldown.
+    probes_retried: int = 0
+    probes_timed_out: int = 0
+    probes_deduped: int = 0
+    probes_cooldown_skipped: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another stats record into this one."""

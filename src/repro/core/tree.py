@@ -24,7 +24,8 @@ Cache maintenance invariants
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Sequence
+import math
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -41,6 +42,9 @@ from repro.core.stats import ProcessingCostModel, QueryStats, TreeStats
 from repro.sensors.availability import AvailabilityModel
 from repro.sensors.network import SensorNetwork
 from repro.sensors.sensor import Reading, Sensor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.transport.dispatcher import ProbeDispatcher
 
 
 class COLRTree:
@@ -70,9 +74,14 @@ class COLRTree:
         availability_model: AvailabilityModel | None = None,
         cost_model: ProcessingCostModel | None = None,
         build_method: str = "kmeans",
+        transport: "ProbeDispatcher | None" = None,
     ) -> None:
         self.config = config if config is not None else COLRTreeConfig()
         self.network = network
+        # Optional probe-transport dispatcher; when attached (by the
+        # portal, or directly) probe_and_cache routes through it instead
+        # of calling network.probe synchronously.
+        self.transport = transport
         self.availability_model = (
             availability_model
             if availability_model is not None
@@ -262,14 +271,52 @@ class COLRTree:
     # Probing + cache population
     # ------------------------------------------------------------------
     def probe_and_cache(
-        self, sensor_ids: Iterable[int], now: float, stats: QueryStats
+        self,
+        sensor_ids: Iterable[int],
+        now: float,
+        stats: QueryStats,
+        max_staleness: float | None = None,
     ) -> list[Reading]:
-        """Probe live sensors, record work, and cache the successes."""
+        """Probe live sensors, record work, and cache the successes.
+
+        When a transport dispatcher is attached the probe is routed
+        through it (dedup/cooldown/retry apply, and the dispatcher
+        streams the readings into the cache itself); otherwise the
+        direct synchronous ``network.probe`` path runs.  The optional
+        ``max_staleness`` bounds how old a dedup-served reading may be.
+        """
         ids = list(sensor_ids)
         if not ids:
             return []
         if self.network is None:
             raise RuntimeError("this tree has no sensor network attached")
+        if self.transport is not None:
+            rnd = self.transport.collect(
+                ids,
+                now,
+                tree=self,
+                max_staleness=math.inf if max_staleness is None else max_staleness,
+            )
+            stats.sensors_probed += len(ids)
+            stats.probe_successes += len(rnd.readings)
+            stats.probe_batches += 1
+            stats.collection_latency_seconds += rnd.latency_seconds
+            stats.probes_retried += rnd.retries
+            stats.probes_timed_out += len(rnd.timed_out)
+            stats.probes_deduped += len(rnd.deduped)
+            stats.probes_cooldown_skipped += len(rnd.cooldown_skipped)
+            if self.config.caching_enabled:
+                if self.transport.streams_ingestion:
+                    stats.maintenance_ops += rnd.maintenance_ops
+                else:
+                    served = rnd.deduped_set
+                    fresh = [
+                        r for sid, r in rnd.readings.items() if sid not in served
+                    ]
+                    stats.maintenance_ops += self.insert_readings_batch(
+                        fresh, fetched_at=now
+                    )
+            return list(rnd.readings.values())
         result = self.network.probe(ids, now)
         stats.sensors_probed += len(ids)
         stats.probe_successes += len(result.readings)

@@ -53,13 +53,27 @@ class BatchStats:
     sequential execution would have issued from the same cache state);
     ``probes_issued`` is what actually went over the network after
     coalescing; the difference is ``probes_coalesced``.
+
+    With the transport dispatcher attached, ``probes_contacted`` is what
+    actually hit the wire after the dispatcher's dedup/cooldown tables
+    (≤ ``probes_issued``), the transport counters break the difference
+    down, ``maintenance_ops`` carries the streamed-ingestion trigger
+    work (not attributed to individual queries), and
+    ``collection_seconds`` becomes the tick's *makespan* (rounds
+    overlap) instead of a sequential per-tree sum.
     """
 
     queries: int = 0
     probes_requested: int = 0
     probes_issued: int = 0
+    probes_contacted: int = 0
     probes_coalesced: int = 0
+    probes_deduped: int = 0
+    probes_cooldown_skipped: int = 0
+    probes_retried: int = 0
+    probes_timed_out: int = 0
     batch_shared_plans: int = 0
+    maintenance_ops: int = 0
     collection_seconds: float = 0.0
 
 
@@ -119,6 +133,14 @@ def execute_batch(
     # can emit them in each query's own tree order.
     answers: list[dict[int, "QueryAnswer"]] = [{} for _ in queries]
 
+    # Pass 1 — per tree: prune, classify (shared scans), coalesce, and
+    # *issue* the probe round.  Without a dispatcher the synchronous
+    # network.probe runs inline, exactly where it always did (same
+    # network-RNG order); with one, the round is submitted and all trees'
+    # rounds are drained together below, which is what lets them overlap
+    # in simulated wall time.
+    dispatcher = portal.dispatcher
+    tree_work: list[tuple] = []
     for tree, query_indices in exact_by_tree.values():
         tree._prune_expired(now)
         scans = shared_range_scan(
@@ -131,15 +153,59 @@ def execute_batch(
         )
         union, owner = coalesce_probes([to_probe for _, to_probe in scans])
         stats.probes_issued += len(union)
-        readings: Mapping[int, "Reading"] = {}
-        latency = 0.0
+        rnd = None
+        probe_result = None
         if union:
             if tree.network is None:
                 raise RuntimeError("this tree has no sensor network attached")
-            probe_result = tree.network.probe(union, now)
+            if dispatcher is not None:
+                staleness = min(
+                    queries[qi].staleness_seconds for qi in query_indices
+                )
+                rnd = dispatcher.submit(
+                    union, now, tree=tree, max_staleness=staleness
+                )
+            else:
+                probe_result = tree.network.probe(union, now)
+        tree_work.append((tree, query_indices, scans, union, owner, rnd, probe_result))
+
+    # Pass 2 — drain every submitted round to resolution (in overlap
+    # mode the rounds share the connection pool and event queue; in
+    # parity mode they resolve one at a time in submission order, which
+    # is bit-identical to the inline probes above).
+    if dispatcher is not None:
+        dispatcher.drain([w[5] for w in tree_work if w[5] is not None])
+
+    # Pass 3 — per-query attribution, identical to the sequential
+    # executor's accounting.
+    streaming = dispatcher is not None and dispatcher.streams_ingestion
+    round_latencies: list[float] = []
+    for tree, query_indices, scans, union, owner, rnd, probe_result in tree_work:
+        readings: Mapping[int, "Reading"] = {}
+        latency = 0.0
+        deduped_set: frozenset[int] = frozenset()
+        cooldown_set: frozenset[int] = frozenset()
+        timed_set: frozenset[int] = frozenset()
+        retries_by_sensor: dict[int, int] = {}
+        if rnd is not None:
+            readings = rnd.readings
+            latency = rnd.latency_seconds
+            deduped_set = rnd.deduped_set
+            cooldown_set = rnd.cooldown_set
+            timed_set = frozenset(rnd.timed_out)
+            retries_by_sensor = rnd.retries_by_sensor
+            stats.probes_contacted += len(rnd.contacted)
+            stats.probes_deduped += len(rnd.deduped)
+            stats.probes_cooldown_skipped += len(rnd.cooldown_skipped)
+            stats.probes_retried += rnd.retries
+            stats.probes_timed_out += len(rnd.timed_out)
+            stats.maintenance_ops += rnd.maintenance_ops
+            round_latencies.append(latency)
+        elif probe_result is not None:
             readings = probe_result.readings
             latency = probe_result.latency_seconds
-            stats.collection_seconds += latency
+            stats.probes_contacted += len(union)
+            round_latencies.append(latency)
         for local, (qi, (answer, to_probe)) in enumerate(zip(query_indices, scans)):
             qstats = answer.stats
             if qstats.batch_shared_nodes:
@@ -151,6 +217,15 @@ def execute_batch(
             qstats.probe_successes += sum(1 for sid in owned if sid in readings)
             qstats.probes_coalesced += coalesced
             stats.probes_coalesced += coalesced
+            if rnd is not None and owned:
+                qstats.probes_deduped += sum(1 for sid in owned if sid in deduped_set)
+                qstats.probes_cooldown_skipped += sum(
+                    1 for sid in owned if sid in cooldown_set
+                )
+                qstats.probes_timed_out += sum(1 for sid in owned if sid in timed_set)
+                qstats.probes_retried += sum(
+                    retries_by_sensor.get(sid, 0) for sid in owned
+                )
             if to_probe:
                 # The per-query view of the shared network batch: each
                 # participant waited out the one collection round.
@@ -159,17 +234,29 @@ def execute_batch(
             answer.probed_readings.extend(
                 readings[sid] for sid in to_probe if sid in readings
             )
-            owned_readings = [readings[sid] for sid in owned if sid in readings]
-            if owned_readings:
-                qstats.maintenance_ops += tree.insert_readings_batch(
-                    owned_readings, fetched_at=now
-                )
+            if not streaming:
+                owned_readings = [
+                    readings[sid]
+                    for sid in owned
+                    if sid in readings and sid not in deduped_set
+                ]
+                if owned_readings:
+                    qstats.maintenance_ops += tree.insert_readings_batch(
+                        owned_readings, fetched_at=now
+                    )
             tree.stats.record(qstats)
             answers[qi][id(tree)] = answer
         if coalesced_total := sum(
             len(to_probe) for _, to_probe in scans
         ) - len(union):
             tree.network.record_coalesced(coalesced_total)
+
+    # Collection accounting: sequential rounds sum; overlapping rounds
+    # cost the tick their makespan.
+    if dispatcher is not None and dispatcher.config.overlap_enabled:
+        stats.collection_seconds += max(round_latencies, default=0.0)
+    else:
+        stats.collection_seconds += sum(round_latencies)
 
     for qi, tree in sampled_pairs:
         query = queries[qi]

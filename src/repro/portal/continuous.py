@@ -127,9 +127,12 @@ class ContinuousQueryManager:
         due = [s for s in self.subscriptions() if s.due_at() <= now]
         if not due:
             return []
-        if len(due) == 1:
+        if len(due) == 1 and not self.portal.transport_enabled:
             subscription = due[0]
             return [(subscription, self._execute(subscription))]
+        # With the transport dispatcher on, even a lone subscription runs
+        # through the batch path so a type-less query's per-tree probe
+        # rounds overlap (answers are identical either way).
         batch = self.portal.execute_batch([s.query for s in due])
         return [
             (subscription, self._apply_result(subscription, result))

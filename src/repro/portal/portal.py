@@ -31,6 +31,8 @@ from repro.sensors.sensor import Sensor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.portal.batch import BatchResult
+    from repro.transport.config import TransportConfig
+    from repro.transport.dispatcher import ProbeDispatcher
 
 
 @dataclass
@@ -70,11 +72,23 @@ class SensorMapPortal:
         network_seed: int = 0,
         clock: SimClock | None = None,
         max_sensors_per_query: int | None = 1000,
+        transport: "TransportConfig | None" = None,
+        network_options: dict[str, object] | None = None,
     ) -> None:
         """``max_sensors_per_query`` is the portal-wide collection cap of
         Section III-B: a whole-world query is answered from at most this
         many sensors, roughly uniformly distributed, instead of trying
-        to contact everything.  ``None`` disables the cap."""
+        to contact everything.  ``None`` disables the cap.
+
+        ``transport`` opts the portal into the probe-transport
+        dispatcher (``repro.transport``): all probing is routed through
+        one shared ``ProbeDispatcher`` with in-flight dedup,
+        retry/backoff/cooldown and overlapping rounds.  ``None`` (or a
+        config with ``enabled=False``) keeps the direct synchronous
+        ``network.probe`` path.  ``network_options`` forwards extra
+        keyword arguments (``rtt_seconds``, ``parallelism``,
+        ``latency_jitter``, ``timeout_seconds``) to the
+        ``SensorNetwork`` built on each index rebuild."""
         if max_sensors_per_query is not None and max_sensors_per_query < 1:
             raise ValueError("max_sensors_per_query must be positive or None")
         self.config = config if config is not None else COLRTreeConfig()
@@ -85,9 +99,23 @@ class SensorMapPortal:
         self.clock = clock if clock is not None else SimClock()
         self._value_fn = value_fn
         self._network_seed = network_seed
+        self._network_options = dict(network_options) if network_options else {}
+        self.transport_config = transport
+        self._dispatcher: "ProbeDispatcher | None" = None
         self._network: SensorNetwork | None = None
         self._trees: dict[str, COLRTree] = {}
         self._index_dirty = True
+
+    @property
+    def transport_enabled(self) -> bool:
+        """True when probing routes through the transport dispatcher."""
+        return self.transport_config is not None and self.transport_config.enabled
+
+    @property
+    def dispatcher(self) -> "ProbeDispatcher | None":
+        """The portal-wide probe dispatcher (None when transport is
+        disabled or the index is not built yet)."""
+        return self._dispatcher
 
     # ------------------------------------------------------------------
     # Publisher side
@@ -128,7 +156,14 @@ class SensorMapPortal:
             value_fn=self._value_fn,
             availability_model=self.availability,
             seed=self._network_seed,
+            **self._network_options,
         )
+        if self.transport_enabled:
+            from repro.transport.dispatcher import ProbeDispatcher
+
+            self._dispatcher = ProbeDispatcher(self._network, self.transport_config)
+        else:
+            self._dispatcher = None
         self._trees = {}
         by_type: dict[str, list[Sensor]] = {}
         for sensor in self.registry:
@@ -140,6 +175,7 @@ class SensorMapPortal:
                 network=self._network,
                 availability_model=self.availability,
                 cost_model=self.cost_model,
+                transport=self._dispatcher,
             )
         self._index_dirty = False
 
@@ -235,16 +271,31 @@ class SensorMapPortal:
                 "cached_nodes_accessed": tree.stats.totals.cached_nodes_accessed,
             }
         net = self.network.stats
-        return {
+        summary: dict[str, object] = {
             "types": per_type,
             "total_sensors": len(self.registry),
             "network": {
                 "probes_attempted": net.probes_attempted,
                 "probes_succeeded": net.probes_succeeded,
+                "probes_unavailable": net.probes_unavailable,
+                "probes_timed_out": net.probes_timed_out,
                 "batches": net.batches,
                 "total_collection_seconds": net.total_latency_seconds,
             },
         }
+        if self._dispatcher is not None:
+            t = self._dispatcher.stats
+            summary["transport"] = {
+                "rounds": t.rounds,
+                "attempts": t.attempts,
+                "retries": t.retries,
+                "timeouts": t.timeouts,
+                "dedup_hits": t.dedup_hits,
+                "cooldown_skips": t.cooldown_skips,
+                "overlapped_rounds": t.overlapped_rounds,
+                "streamed_readings": t.streamed_readings,
+            }
+        return summary
 
     def explain(self, query: SensorQuery) -> dict[str, object]:
         """EXPLAIN for a portal query: per-type plans plus totals,

@@ -66,7 +66,7 @@ class RelCOLRTree:
         self.root_id = root.node_id
         self.n_levels = tree_depth(root)
         load_tree(self.db, root, self.names)
-        install_triggers(
+        self.maintenance = install_triggers(
             self.db,
             self.names,
             MaintenanceConfig(
@@ -129,6 +129,47 @@ class RelCOLRTree:
                     "expires_at": reading.expires_at,
                     "fetched_at": fetched_at,
                 }
+            ],
+        )
+
+    def insert_readings_batch(self, readings: Sequence[Reading], fetched_at: float) -> None:
+        """Cache a batch of probed readings as two statements.
+
+        The statement-trigger analogue of
+        ``COLRTree.insert_readings_batch``: one DELETE expunges every
+        displaced row (firing the grouped slot-delete decrement — one
+        merged statement per (ancestor, slot)), then one multi-row
+        INSERT adds the batch (firing roll + grouped slot-insert).  A
+        sensor appearing more than once keeps its last reading, matching
+        the sequential loop's final state.
+        """
+        batch: dict[int, tuple[Reading, int]] = {}
+        sensors_table = self.db.table(self.names.sensors)
+        for reading in readings:
+            sensor_row = sensors_table.get((reading.sensor_id,))
+            if sensor_row is None:
+                raise KeyError(f"sensor {reading.sensor_id} is not indexed")
+            batch[reading.sensor_id] = (reading, int(sensor_row["leaf_id"]))
+        if not batch:
+            return
+        leaf_cache = self.names.leaf_cache
+        leaf_table = self.db.table(leaf_cache)
+        displaced = [sid for sid in batch if leaf_table.contains_key((sid,))]
+        if displaced:
+            self.db.delete(leaf_cache, col("sensor_id").in_(displaced))
+        self.db.insert(
+            leaf_cache,
+            [
+                {
+                    "sensor_id": sid,
+                    "leaf_id": leaf_id,
+                    "slot_id": slot_of(reading.expires_at, self.config.slot_seconds),
+                    "value": reading.value,
+                    "timestamp": reading.timestamp,
+                    "expires_at": reading.expires_at,
+                    "fetched_at": fetched_at,
+                }
+                for sid, (reading, leaf_id) in batch.items()
             ],
         )
 
@@ -421,9 +462,11 @@ class RelCOLRTree:
             answer.stats.probe_successes += len(result.readings)
             answer.stats.probe_batches += 1
             answer.stats.collection_latency_seconds += result.latency_seconds
-            for reading in result.readings.values():
-                self.insert_reading(reading, fetched_at=now)
-                answer.probed_readings.append(reading)
+            # Batched ingestion: the probe round enters the cache as one
+            # DELETE + one multi-row INSERT, so the grouped triggers
+            # issue one statement per (ancestor, slot) for the round.
+            self.insert_readings_batch(list(result.readings.values()), fetched_at=now)
+            answer.probed_readings.extend(result.readings.values())
         sketches, cached = self.cache_read(
             region, now, max_staleness, stats=answer.stats
         )

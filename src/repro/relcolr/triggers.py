@@ -52,8 +52,9 @@ def install_triggers(
     names: SchemaNames,
     config: MaintenanceConfig,
     n_levels: int,
-) -> None:
-    """Register the four triggers for a loaded tree."""
+) -> "_Maintenance":
+    """Register the four triggers for a loaded tree.  Returns the shared
+    maintenance object (window state + grouped-propagation counters)."""
     maint = _Maintenance(names, config, n_levels)
     db.create_trigger(
         Trigger(
@@ -91,6 +92,7 @@ def install_triggers(
                     body=maint.make_slot_update_trigger(level),
                 )
             )
+    return maint
 
 
 class _Maintenance:
@@ -101,6 +103,16 @@ class _Maintenance:
         self.config = config
         self.n_levels = n_levels
         self.newest_slot: int | None = None
+        # Non-zero while a grouped (multi-row) propagation is applying
+        # merged ancestor deltas directly: the per-level slot-update
+        # cascade is suppressed so each (ancestor, slot) receives exactly
+        # one statement instead of one per touched child row.
+        self._grouped_depth = 0
+        # Observational: grouped statements issued vs. the per-row
+        # statements the cascade would have needed (for the parity test
+        # and the bench report).
+        self.grouped_statements = 0
+        self.grouped_rows = 0
 
     # ------------------------------------------------------------------
     # Trigger bodies
@@ -121,7 +133,17 @@ class _Maintenance:
 
     def slot_insert_trigger(self, db: Database, inv: TriggerInvocation) -> None:
         """Bump the parent-layer aggregate for each new reading, then
-        enforce the cache-size constraint."""
+        enforce the cache-size constraint.
+
+        Multi-row statements take the grouped path: one merged delta per
+        (ancestor, slot) applied deepest-first with the per-level cascade
+        suppressed — the batch-trigger analogue of
+        ``COLRTree.insert_readings_batch``.  Single-row statements keep
+        the original per-row cascade byte-for-byte."""
+        if len(inv.inserted) > 1:
+            self._grouped_insert(db, inv.inserted)
+            self._enforce_capacity(db)
+            return
         for row in inv.inserted:
             if self.newest_slot is not None and int(row["slot_id"]) < (
                 self.newest_slot - self.config.n_slots
@@ -144,7 +166,15 @@ class _Maintenance:
         self._enforce_capacity(db)
 
     def slot_delete_trigger(self, db: Database, inv: TriggerInvocation) -> None:
-        """Decrement the parent layer for each expunged/evicted reading."""
+        """Decrement the parent layer for each expunged/evicted reading.
+
+        Multi-row deletions (window rolls, capacity eviction, batch
+        displacement) take the grouped path: one merged decrement per
+        (ancestor, slot), dirty min/max recomputed at most once per row,
+        deepest-first so recomputation reads corrected children."""
+        if len(inv.deleted) > 1:
+            self._grouped_delete(db, inv.deleted)
+            return
         for row in inv.deleted:
             parent_id, parent_level = self._parent_of(db, int(row["leaf_id"]))
             if parent_id is None:
@@ -164,6 +194,11 @@ class _Maintenance:
         affected row's delta to the parent layer."""
 
         def body(db: Database, inv: TriggerInvocation) -> None:
+            if self._grouped_depth:
+                # A grouped propagation is writing merged ancestor deltas
+                # directly (full chains, deepest-first); cascading here
+                # would double-apply them.
+                return
             old_by_key = {
                 (r["node_id"], r["slot_id"]): r for r in inv.deleted
             }
@@ -212,6 +247,136 @@ class _Maintenance:
                 )
 
         return body
+
+    # ------------------------------------------------------------------
+    # Grouped (multi-row) propagation
+    # ------------------------------------------------------------------
+    def _grouped_insert(self, db: Database, rows: list[dict]) -> None:
+        """One merged add-delta per (ancestor, slot) for a batch of new
+        leaf rows, applied deepest-first with the cascade suppressed."""
+        deltas: dict[tuple[int, int, int], list] = {}
+        for row in rows:
+            if self.newest_slot is not None and int(row["slot_id"]) < (
+                self.newest_slot - self.config.n_slots
+            ):
+                continue  # the roll trigger already expunged this row
+            slot = int(row["slot_id"])
+            value = float(row["value"])
+            ts = float(row["timestamp"])
+            for anc_id, anc_level in self._ancestors_of(db, int(row["leaf_id"])):
+                d = deltas.get((anc_id, anc_level, slot))
+                if d is None:
+                    deltas[(anc_id, anc_level, slot)] = [1, value, value, value, ts]
+                else:
+                    d[0] += 1
+                    d[1] += value
+                    if value < d[2]:
+                        d[2] = value
+                    if value > d[3]:
+                        d[3] = value
+                    if ts < d[4]:
+                        d[4] = ts
+        self._grouped_depth += 1
+        try:
+            # Deepest level first (larger level number = deeper), so any
+            # min/max recomputation triggered later reads corrected rows.
+            for (anc_id, anc_level, slot), d in sorted(
+                deltas.items(), key=lambda kv: -kv[0][1]
+            ):
+                self._apply_delta(
+                    db,
+                    level=anc_level,
+                    node_id=anc_id,
+                    slot=slot,
+                    d_count=d[0],
+                    d_sum=d[1],
+                    merge_min=d[2],
+                    merge_max=d[3],
+                    merge_oldest=d[4],
+                )
+                self.grouped_statements += 1
+        finally:
+            self._grouped_depth -= 1
+        self.grouped_rows += len(rows)
+
+    def _grouped_delete(self, db: Database, rows: list[dict]) -> None:
+        """One merged decrement per (ancestor, slot) for a batch of
+        expunged leaf rows; a slot whose removed values may have defined
+        its min/max is recomputed from the (already-corrected, because
+        deepest-first) children — at most once per (ancestor, slot)."""
+        removals: dict[tuple[int, int, int], list] = {}
+        for row in rows:
+            slot = int(row["slot_id"])
+            value = float(row["value"])
+            for anc_id, anc_level in self._ancestors_of(db, int(row["leaf_id"])):
+                d = removals.get((anc_id, anc_level, slot))
+                if d is None:
+                    removals[(anc_id, anc_level, slot)] = [1, value, value, value]
+                else:
+                    d[0] += 1
+                    d[1] += value
+                    if value < d[2]:
+                        d[2] = value
+                    if value > d[3]:
+                        d[3] = value
+        self._grouped_depth += 1
+        try:
+            for (anc_id, anc_level, slot), (n, total, rmin, rmax) in sorted(
+                removals.items(), key=lambda kv: -kv[0][1]
+            ):
+                self._apply_bulk_removal(db, anc_level, anc_id, slot, n, total, rmin, rmax)
+                self.grouped_statements += 1
+        finally:
+            self._grouped_depth -= 1
+        self.grouped_rows += len(rows)
+
+    def _apply_bulk_removal(
+        self,
+        db: Database,
+        level: int,
+        node_id: int,
+        slot: int,
+        n: int,
+        total: float,
+        rmin: float,
+        rmax: float,
+    ) -> None:
+        """Grouped analogue of ``_apply_delta`` with ``removed_value``:
+        count/sum decrement exactly; min/max recompute when any removed
+        value touched the pre-removal extremes (``SlotCache.remove_bulk``'s
+        criterion — extremes cannot tighten between grouped removals, so
+        checking against the pre-removal row matches the sequential
+        outcome)."""
+        cache_name = self.names.cache(level)
+        existing = db.table(cache_name).get((node_id, slot))
+        if existing is None:
+            return  # decrement against an already-expired slot
+        new_count = int(existing["value_count"]) - n
+        where = (col("node_id") == node_id) & (col("slot_id") == slot)
+        if new_count <= 0:
+            db.delete(cache_name, where)
+            return
+        changes: dict[str, object] = {
+            "value_count": new_count,
+            "value_sum": float(existing["value_sum"]) - total,
+        }
+        if rmin <= float(existing["value_min"]) or rmax >= float(existing["value_max"]):
+            low, high, oldest = self._recompute_extremes(db, level, node_id, slot)
+            changes["value_min"] = low
+            changes["value_max"] = high
+            changes["oldest_ts"] = oldest
+        db.update(cache_name, changes, where)
+
+    def _ancestors_of(self, db: Database, leaf_id: int) -> list[tuple[int, int]]:
+        """The (node_id, level) ancestor chain of a leaf, nearest first."""
+        chain: list[tuple[int, int]] = []
+        node_id = leaf_id
+        while True:
+            parent_id, parent_level = self._parent_of(db, node_id)
+            if parent_id is None:
+                return chain
+            chain.append((parent_id, parent_level))
+            node_id = parent_id
 
     # ------------------------------------------------------------------
     # Helpers

@@ -11,7 +11,7 @@ collector would).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Mapping
 
 import numpy as np
@@ -21,22 +21,50 @@ from repro.sensors.sensor import Reading, Sensor
 
 
 @dataclass(frozen=True, slots=True)
+class ProbeAttempt:
+    """One wire-level contact with one sensor, before any accounting.
+
+    ``ok`` is the joint outcome (available *and* within the timeout);
+    ``timed_out`` distinguishes the two failure modes; ``latency_seconds``
+    is the sampled per-connection latency (capped at the timeout when one
+    is configured — a timed-out probe occupies its connection for the full
+    timeout).  Attempts carry no reading: the transport layer decides when
+    a contact becomes a delivered reading.
+    """
+
+    sensor_id: int
+    ok: bool
+    timed_out: bool
+    latency_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
 class ProbeResult:
     """Outcome of one batch probe.
 
     ``readings`` maps sensor id to the fresh reading for every sensor
-    that answered; ``failed`` lists the sensors that were probed but
-    unavailable.  ``latency_seconds`` is the simulated wall-clock cost of
-    the batch under the parallel collection model.
+    that answered; ``unavailable`` lists sensors that were contacted but
+    did not answer, ``timed_out`` those whose connection exceeded the
+    collector's timeout (previously both were lumped into ``failed``,
+    which survives as a deprecated combined property).
+    ``latency_seconds`` is the simulated wall-clock cost of the batch
+    under the parallel collection model.
     """
 
     readings: Mapping[int, Reading]
-    failed: tuple[int, ...]
+    unavailable: tuple[int, ...]
+    timed_out: tuple[int, ...]
     latency_seconds: float
 
     @property
+    def failed(self) -> tuple[int, ...]:
+        """Deprecated: combined failure list; prefer ``unavailable`` /
+        ``timed_out``, which meter the two modes separately."""
+        return self.unavailable + self.timed_out
+
+    @property
     def attempted(self) -> int:
-        return len(self.readings) + len(self.failed)
+        return len(self.readings) + len(self.unavailable) + len(self.timed_out)
 
 
 @dataclass
@@ -45,23 +73,28 @@ class NetworkStats:
 
     probes_attempted: int = 0
     probes_succeeded: int = 0
+    # Failure breakdown: sensors that answered "no" vs. connections the
+    # collector abandoned at its timeout.  Counted per wire attempt.
+    probes_unavailable: int = 0
+    probes_timed_out: int = 0
     batches: int = 0
     total_latency_seconds: float = 0.0
     # Probe requests that never reached a sensor because a concurrent
     # query in the same batch tick already contacted it (the batch
     # executor's coalescing); the communication the portal *saved*.
     probes_coalesced: int = 0
+    # Transport-dispatcher accounting (zero on the synchronous path):
+    # re-contacts of the same sensor within one logical probe, requests
+    # served from the in-flight/recently-probed table, and requests
+    # skipped because the sensor was in failure cooldown.
+    probes_retried: int = 0
+    probes_deduped: int = 0
+    probes_cooldown_skipped: int = 0
     per_sensor_probes: dict[int, int] = field(default_factory=dict)
 
     def snapshot(self) -> "NetworkStats":
         """A copy safe to keep while the run continues."""
-        clone = NetworkStats(
-            probes_attempted=self.probes_attempted,
-            probes_succeeded=self.probes_succeeded,
-            batches=self.batches,
-            total_latency_seconds=self.total_latency_seconds,
-            probes_coalesced=self.probes_coalesced,
-        )
+        clone = replace(self)
         clone.per_sensor_probes = dict(self.per_sensor_probes)
         return clone
 
@@ -160,6 +193,21 @@ class SensorNetwork:
         ``now`` that expires after the sensor's published expiry
         duration.  Outcomes are recorded in the availability model so
         future oversampling decisions improve.
+
+        Equivalent by construction to ``complete_batch(ids,
+        sample_attempts(ids), now)`` — the transport dispatcher uses the
+        two halves separately to schedule attempts on an event queue.
+        """
+        ids = list(sensor_ids)
+        return self.complete_batch(ids, self.sample_attempts(ids), now)
+
+    def sample_attempts(self, sensor_ids: Iterable[int]) -> list[ProbeAttempt]:
+        """Sample wire outcomes for a batch of contacts.
+
+        Consumes the network RNG exactly as :meth:`probe` does (one
+        availability draw per id, then one latency draw per id), performs
+        no accounting and records nothing — the caller decides how the
+        attempts aggregate into logical probes.
         """
         ids = list(sensor_ids)
         sensors: list[Sensor] = []
@@ -168,8 +216,6 @@ class SensorNetwork:
             if sensor is None:
                 raise KeyError(f"unknown sensor id {sid}")
             sensors.append(sensor)
-        readings: dict[int, Reading] = {}
-        failed: list[int] = []
         draws = self._rng.random(len(ids))
         latencies = self._sample_latencies(len(ids))
         if self.timeout_seconds is not None:
@@ -179,31 +225,80 @@ class SensorNetwork:
             np.minimum(latencies, self.timeout_seconds, out=latencies)
         else:
             timeouts = np.zeros(len(ids), dtype=bool)
+        return [
+            ProbeAttempt(
+                sensor_id=sid,
+                ok=(draw < sensor.availability) and not timed_out,
+                timed_out=bool(timed_out),
+                latency_seconds=float(latency),
+            )
+            for sid, sensor, draw, timed_out, latency in zip(
+                ids, sensors, draws.tolist(), timeouts.tolist(), latencies.tolist()
+            )
+        ]
+
+    def build_reading(self, sensor_id: int, now: float) -> Reading:
+        """Materialize the reading a successful contact delivers."""
+        sensor = self._sensors[sensor_id]
+        return Reading(
+            sensor_id=sensor_id,
+            value=self._value_fn(sensor, now),
+            timestamp=now,
+            expires_at=now + sensor.expiry_seconds,
+        )
+
+    def record_outcome(self, sensor_id: int, success: bool) -> None:
+        """Record one *logical* probe outcome in the availability model.
+
+        The dispatcher calls this once per logical probe (after retries
+        resolve), never once per attempt, so retrying does not multiply a
+        sensor's history."""
+        if self.availability_model is not None:
+            self.availability_model.record(sensor_id, success)
+
+    def complete_batch(
+        self,
+        sensor_ids: list[int],
+        attempts: list[ProbeAttempt],
+        now: float,
+    ) -> ProbeResult:
+        """Turn sampled attempts into a fully-accounted ``ProbeResult``.
+
+        ``attempts`` must be in ``sensor_ids`` order (as returned by
+        :meth:`sample_attempts`): availability recording and value
+        generation happen in that order, which is what keeps
+        ``probe() == complete_batch(sample_attempts())`` bit-identical.
+        """
+        ids = sensor_ids
+        readings: dict[int, Reading] = {}
+        unavailable: list[int] = []
+        timed: list[int] = []
         per_sensor = self.stats.per_sensor_probes
         for sid in ids:
             per_sensor[sid] = per_sensor.get(sid, 0) + 1
-        for sid, sensor, draw, timed_out in zip(
-            ids, sensors, draws.tolist(), timeouts.tolist()
-        ):
-            success = (draw < sensor.availability) and not timed_out
-            if self.availability_model is not None:
-                self.availability_model.record(sid, success)
-            if success:
-                value = self._value_fn(sensor, now)
-                readings[sid] = Reading(
-                    sensor_id=sid,
-                    value=value,
-                    timestamp=now,
-                    expires_at=now + sensor.expiry_seconds,
-                )
+        for attempt in attempts:
+            self.record_outcome(attempt.sensor_id, attempt.ok)
+            if attempt.ok:
+                readings[attempt.sensor_id] = self.build_reading(attempt.sensor_id, now)
+            elif attempt.timed_out:
+                timed.append(attempt.sensor_id)
             else:
-                failed.append(sid)
-        latency = self._batch_latency_from(latencies)
+                unavailable.append(attempt.sensor_id)
+        latency = self._batch_latency_from(
+            np.array([a.latency_seconds for a in attempts])
+        )
         self.stats.probes_attempted += len(ids)
         self.stats.probes_succeeded += len(readings)
+        self.stats.probes_unavailable += len(unavailable)
+        self.stats.probes_timed_out += len(timed)
         self.stats.batches += 1 if ids else 0
         self.stats.total_latency_seconds += latency
-        return ProbeResult(readings=readings, failed=tuple(failed), latency_seconds=latency)
+        return ProbeResult(
+            readings=readings,
+            unavailable=tuple(unavailable),
+            timed_out=tuple(timed),
+            latency_seconds=latency,
+        )
 
     def record_coalesced(self, n: int) -> None:
         """Meter probe requests satisfied by a batch peer's probe

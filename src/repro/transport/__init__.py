@@ -1,0 +1,9 @@
+"""Probe-transport subsystem: the dispatcher that sits between the
+portal/tree layers and ``SensorNetwork``, providing in-flight dedup,
+retry/backoff/cooldown, overlapping probe rounds and streaming ingestion
+(see ``docs/architecture.md`` §6)."""
+
+from repro.transport.config import TransportConfig
+from repro.transport.dispatcher import ProbeDispatcher, ProbeRound, TransportStats
+
+__all__ = ["TransportConfig", "ProbeDispatcher", "ProbeRound", "TransportStats"]

@@ -1,0 +1,81 @@
+"""The transport-facing split of ``SensorNetwork.probe``.
+
+``probe()`` must be bit-identical to ``complete_batch(ids,
+sample_attempts(ids), now)`` (the dispatcher builds on the two halves),
+and ``ProbeResult`` must meter unavailable vs timed-out failures
+separately while keeping the deprecated combined ``failed`` property.
+"""
+
+from __future__ import annotations
+
+from repro import AvailabilityModel, SensorNetwork
+from tests.conftest import make_registry
+
+
+def _network(availability=0.6, seed=3, **kw):
+    registry = make_registry(n=120, availability=availability, seed=11)
+    return SensorNetwork(
+        registry.all(), availability_model=AvailabilityModel(), seed=seed, **kw
+    )
+
+
+def test_probe_equals_sample_plus_complete():
+    a = _network(latency_jitter=0.4, timeout_seconds=0.5)
+    b = _network(latency_jitter=0.4, timeout_seconds=0.5)
+    ids = [s.sensor_id for s in a.sensors()][:80]
+    ra = a.probe(ids, now=100.0)
+    attempts = b.sample_attempts(ids)
+    rb = b.complete_batch(ids, attempts, now=100.0)
+    assert ra.readings == rb.readings
+    assert ra.unavailable == rb.unavailable
+    assert ra.timed_out == rb.timed_out
+    assert ra.latency_seconds == rb.latency_seconds
+    assert a.stats == b.stats
+    for sid in ids:
+        assert a.availability_model.estimate(sid) == b.availability_model.estimate(sid)
+
+
+def test_failure_modes_metered_separately():
+    net = _network(availability=0.5, latency_jitter=0.8, timeout_seconds=0.25)
+    ids = [s.sensor_id for s in net.sensors()]
+    result = net.probe(ids, now=0.0)
+    assert result.timed_out, "jittered latencies above the timeout expected"
+    assert result.unavailable, "availability 0.5 failures expected"
+    assert result.failed == result.unavailable + result.timed_out
+    assert result.attempted == len(ids)
+    assert net.stats.probes_unavailable == len(result.unavailable)
+    assert net.stats.probes_timed_out == len(result.timed_out)
+    assert (
+        net.stats.probes_succeeded
+        + net.stats.probes_unavailable
+        + net.stats.probes_timed_out
+        == net.stats.probes_attempted
+    )
+
+
+def test_no_timeout_means_no_timed_out():
+    net = _network(availability=0.0, latency_jitter=0.0)
+    ids = [s.sensor_id for s in net.sensors()][:10]
+    result = net.probe(ids, now=0.0)
+    assert result.timed_out == ()
+    assert len(result.unavailable) == 10
+
+
+def test_sample_attempts_records_nothing():
+    net = _network()
+    ids = [s.sensor_id for s in net.sensors()][:20]
+    attempts = net.sample_attempts(ids)
+    assert len(attempts) == 20
+    assert net.stats.probes_attempted == 0
+    assert all(net.availability_model.observed_probes(sid) == 0 for sid in ids)
+
+
+def test_snapshot_carries_new_counters():
+    net = _network(availability=0.5)
+    ids = [s.sensor_id for s in net.sensors()][:40]
+    net.probe(ids, now=0.0)
+    snap = net.stats.snapshot()
+    assert snap == net.stats
+    net.probe(ids, now=1.0)
+    assert snap.probes_attempted == 40
+    assert net.stats.probes_attempted == 80

@@ -1,0 +1,107 @@
+"""Bit-identity of the dispatcher's parity mode with the sync paths.
+
+``TransportConfig.parity()`` (no retries, no overlap, no dedup tables,
+no cooldown) routes every probe through the dispatcher but must leave
+zero observable trace: answers, stats, network counters and availability
+estimates all match a portal with no transport at all — across multiple
+ticks, flaky networks, and both ``execute`` and ``execute_batch``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import GeoPoint, Rect
+from repro.portal import SensorMapPortal, SensorQuery
+from repro.transport import TransportConfig
+
+
+def _build_portal(transport=None, availability=1.0, n=150):
+    rng = np.random.default_rng(5)
+    portal = SensorMapPortal(max_sensors_per_query=None, transport=transport)
+    for x, y in rng.random((n, 2)) * 100:
+        portal.register_sensor(
+            GeoPoint(float(x), float(y)),
+            expiry_seconds=300.0,
+            availability=availability,
+        )
+    portal.rebuild_index()
+    return portal
+
+
+def _assert_answers_identical(plain, parity):
+    assert len(plain.answers) == len(parity.answers)
+    for a, b in zip(plain.answers, parity.answers):
+        assert a.probed_readings == b.probed_readings
+        assert a.cached_readings == b.cached_readings
+        assert a.cached_sketches == b.cached_sketches
+        assert a.cached_sketch_nodes == b.cached_sketch_nodes
+        assert a.terminals == b.terminals
+        assert a.stats == b.stats
+    assert plain.groups == parity.groups
+    assert plain.processing_seconds == parity.processing_seconds
+    assert plain.collection_seconds == parity.collection_seconds
+
+
+QUERIES = [
+    SensorQuery(region=Rect(10.0, 10.0, 60.0, 60.0), staleness_seconds=120.0),
+    SensorQuery(region=Rect(40.0, 30.0, 90.0, 85.0), staleness_seconds=120.0),
+    SensorQuery(
+        region=Rect(0.0, 0.0, 100.0, 100.0),
+        staleness_seconds=120.0,
+        sample_size=25,
+    ),
+    SensorQuery(region=Rect(55.0, 5.0, 95.0, 45.0), staleness_seconds=60.0),
+]
+
+
+@pytest.mark.parametrize("availability", [1.0, 0.8])
+def test_execute_parity_over_ticks(availability):
+    plain = _build_portal(availability=availability)
+    parity = _build_portal(TransportConfig.parity(), availability=availability)
+    assert parity.transport_enabled
+    assert parity.dispatcher is not None
+    for _ in range(3):
+        for query in QUERIES:
+            _assert_answers_identical(plain.execute(query), parity.execute(query))
+        plain.clock.advance(45.0)
+        parity.clock.advance(45.0)
+    assert plain.network.stats == parity.network.stats
+
+
+@pytest.mark.parametrize("availability", [1.0, 0.8])
+def test_execute_batch_parity_over_ticks(availability):
+    plain = _build_portal(availability=availability)
+    parity = _build_portal(TransportConfig.parity(), availability=availability)
+    for _ in range(3):
+        a = plain.execute_batch(QUERIES)
+        b = parity.execute_batch(QUERIES)
+        assert len(a.results) == len(b.results)
+        for ra, rb in zip(a.results, b.results):
+            _assert_answers_identical(ra, rb)
+        assert a.stats.probes_issued == b.stats.probes_issued
+        assert a.stats.probes_contacted == b.stats.probes_contacted
+        assert a.stats.probes_coalesced == b.stats.probes_coalesced
+        assert a.stats.collection_seconds == b.stats.collection_seconds
+        assert b.stats.probes_deduped == 0
+        assert b.stats.probes_cooldown_skipped == 0
+        assert b.stats.probes_retried == 0
+        plain.clock.advance(45.0)
+        parity.clock.advance(45.0)
+    assert plain.network.stats == parity.network.stats
+
+
+def test_parity_config_is_parity():
+    assert TransportConfig.parity().is_parity
+    assert not TransportConfig().is_parity
+    cfg = TransportConfig(
+        max_retries=0, overlap_enabled=False, inflight_ttl=0.0, cooldown_seconds=0.0
+    )
+    assert cfg.is_parity
+
+
+def test_transport_disabled_means_no_dispatcher():
+    portal = _build_portal(TransportConfig.parity(enabled=False), n=20)
+    assert not portal.transport_enabled
+    assert portal.dispatcher is None
