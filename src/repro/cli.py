@@ -50,11 +50,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="route probes through the async dispatcher and print its counters",
     )
+    demo.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run the demo through a scatter-gather federation of N portal "
+        "shards (0 keeps the single-tree demo)",
+    )
     transport = sub.add_parser(
         "transport", help="async transport vs sync probing benchmark"
     )
     transport.add_argument("--sensors", type=int, default=40_000)
     transport.add_argument("--quick", action="store_true")
+    shard = sub.add_parser(
+        "shard", help="partition a fleet and print the shard directory"
+    )
+    shard.add_argument("--sensors", type=int, default=10_000)
+    shard.add_argument("--shards", type=int, default=4)
+    shard.add_argument("--partitioner", choices=("grid", "kmeans"), default="grid")
+    shard.add_argument("--seed", type=int, default=0)
+    federation = sub.add_parser(
+        "federation", help="sharded scatter-gather throughput benchmark"
+    )
+    federation.add_argument("--sensors", type=int, default=40_000)
+    federation.add_argument(
+        "--partitioner", choices=("grid", "kmeans"), default="grid"
+    )
+    federation.add_argument("--quick", action="store_true")
     return parser
 
 
@@ -124,6 +146,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(run_all_ablations().format_table())
         return 0
     if command == "demo":
+        if args.shards > 0:
+            return _demo_federated(args.sensors, args.shards, transport=args.transport)
         return _demo(args.sensors, transport=args.transport)
     if command == "transport":
         from repro.bench.transport import main as transport_main
@@ -132,6 +156,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.quick:
             argv.append("--quick")
         return transport_main(argv)
+    if command == "shard":
+        return _shard(args.sensors, args.shards, args.partitioner, args.seed)
+    if command == "federation":
+        from repro.bench.federation import main as federation_main
+
+        argv = ["--sensors", str(args.sensors), "--partitioner", args.partitioner]
+        if args.quick:
+            argv.append("--quick")
+        return federation_main(argv)
     raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
 
 
@@ -188,6 +221,112 @@ def _demo(n_sensors: int, transport: bool = False) -> int:
             format_counters(
                 transport_counters(tree.transport.stats), title="transport"
             )
+        )
+    return 0
+
+
+def _demo_federated(n_sensors: int, n_shards: int, transport: bool = False) -> int:
+    """Scripted tour of the scatter-gather federation: directory, a few
+    queries, and graceful degradation with a killed shard."""
+    import numpy as np
+
+    from repro.federation import FederatedPortal
+    from repro.geometry import GeoPoint, Rect
+    from repro.portal import SensorQuery
+    from repro.transport import TransportConfig
+
+    rng = np.random.default_rng(0)
+    portal = FederatedPortal(
+        n_shards=n_shards,
+        transport=TransportConfig() if transport else None,
+    )
+    for _ in range(n_sensors):
+        portal.register_sensor(
+            GeoPoint(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            expiry_seconds=float(rng.uniform(120, 600)),
+            sensor_type=("temperature", "humidity")[int(rng.integers(2))],
+            availability=0.9,
+        )
+    portal.rebuild_index()
+    print(f"federated {len(portal.registry)} sensors across {portal.n_shards} shards")
+    for entry in portal.directory.entries():
+        print(
+            f"  shard {entry.shard_id}: {entry.weight:>5} sensors, mbr "
+            f"({entry.mbr.min_x:.1f}, {entry.mbr.min_y:.1f})-"
+            f"({entry.mbr.max_x:.1f}, {entry.mbr.max_y:.1f})"
+        )
+    query = SensorQuery(
+        region=Rect(20, 20, 70, 70), staleness_seconds=300.0, sample_size=60
+    )
+    result = portal.execute(query)
+    print(
+        f"sampled query: {len(result.shard_results)} shards answered, "
+        f"weight {result.result_weight}, "
+        f"count estimate {result.aggregate():.0f}"
+    )
+    victim = portal.n_shards // 2
+    portal.kill_shard(victim)
+    degraded = portal.execute(query)
+    print(
+        f"shard {victim} killed: partial={degraded.partial} "
+        f"(failed shards {list(degraded.failed_shards)}), "
+        f"weight {degraded.result_weight}, retries {degraded.shard_retries}"
+    )
+    portal.revive_shard(victim)
+    recovered = portal.execute(query)
+    print(f"shard {victim} revived: partial={recovered.partial}")
+    f = portal.stats
+    print(
+        f"coordinator: {f.queries} queries, {f.subqueries_scattered} sub-queries, "
+        f"{f.shard_retries} shard retries, {f.partial_answers} partial answers"
+    )
+    return 0
+
+
+def _shard(n_sensors: int, n_shards: int, partitioner: str, seed: int) -> int:
+    """Partition a synthetic fleet and print the shard directory plus a
+    scatter plan for a sample viewport."""
+    import numpy as np
+
+    from repro.federation import FederatedPortal, ShardDirectory, make_partitioner
+    from repro.geometry import GeoPoint, Rect
+    from repro.portal import SensorQuery
+
+    rng = np.random.default_rng(seed)
+    portal = FederatedPortal(
+        partitioner=make_partitioner(partitioner, n_shards, seed=seed)
+    )
+    for _ in range(n_sensors):
+        portal.register_sensor(
+            GeoPoint(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            expiry_seconds=float(rng.uniform(120, 600)),
+            sensor_type=("temperature", "humidity", "wind")[int(rng.integers(3))],
+        )
+    portal.rebuild_index()
+    print(
+        f"{partitioner} partitioner: {len(portal.registry)} sensors -> "
+        f"{portal.n_shards} shards"
+    )
+    print(f"{'shard':>5} {'sensors':>8} {'mbr':>34}  types")
+    for entry in portal.directory.entries():
+        mbr = (
+            f"({entry.mbr.min_x:6.1f}, {entry.mbr.min_y:6.1f})-"
+            f"({entry.mbr.max_x:6.1f}, {entry.mbr.max_y:6.1f})"
+        )
+        print(
+            f"{entry.shard_id:>5} {entry.weight:>8} {mbr:>34}  "
+            f"{', '.join(sorted(entry.sensor_types))}"
+        )
+    query = SensorQuery(
+        region=Rect(25, 25, 75, 75), staleness_seconds=300.0, sample_size=100
+    )
+    routes = portal.directory.route(query.region)
+    shares = ShardDirectory.split_target(query.sample_size, routes)
+    print(f"\nscatter plan for viewport (25,25)-(75,75), SAMPLESIZE {query.sample_size}:")
+    for route in routes:
+        print(
+            f"  shard {route.shard_id}: overlap {route.overlap:.3f}, "
+            f"share {shares[route.shard_id]}"
         )
     return 0
 

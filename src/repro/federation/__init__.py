@@ -1,0 +1,56 @@
+"""The sharded portal federation (scatter-gather over partitioned COLR-Trees).
+
+A production SensorMap cannot serve millions of users from one portal
+process: the sensor population is partitioned across *shards*, each
+running its own ``SensorMapPortal`` (index + ``SensorNetwork`` +
+``ProbeDispatcher``), and a ``FederatedPortal`` coordinator fronts them:
+
+* a pluggable :mod:`partitioner <repro.federation.partitioner>` (spatial
+  grid or k-means) assigns every sensor to a shard;
+* a :class:`~repro.federation.directory.ShardDirectory` of shard MBRs
+  routes each query's region to the overlapping shards only;
+* sampled queries split their target size across routed shards by
+  overlap-weighted shard weights — Algorithm 1's share rule applied one
+  level above the trees;
+* partial ``AggregateSketch``es / sampled readings gather back into one
+  merged answer with freshness bounds intact; and
+* a shard that is down or too slow degrades the answer (partial flag +
+  per-shard retry budget with transport-style backoff) instead of
+  failing the query.
+
+With one shard the coordinator is a bit-identical pass-through around
+``SensorMapPortal`` — pinned by ``tests/federation`` and re-asserted by
+``repro.bench.federation`` before any timing.
+"""
+
+from repro.federation.config import FederationConfig
+from repro.federation.directory import ShardDirectory, ShardEntry, ShardRoute
+from repro.federation.federated import (
+    FederatedBatchResult,
+    FederatedPortal,
+    FederatedResult,
+    FederationStats,
+    ShardDownError,
+)
+from repro.federation.partitioner import (
+    GridPartitioner,
+    KMeansPartitioner,
+    Partitioner,
+    make_partitioner,
+)
+
+__all__ = [
+    "FederatedBatchResult",
+    "FederatedPortal",
+    "FederatedResult",
+    "FederationConfig",
+    "FederationStats",
+    "GridPartitioner",
+    "KMeansPartitioner",
+    "Partitioner",
+    "ShardDirectory",
+    "ShardDownError",
+    "ShardEntry",
+    "ShardRoute",
+    "make_partitioner",
+]

@@ -1,0 +1,126 @@
+"""The shard directory: where each query decides who to ask.
+
+One :class:`ShardEntry` per shard records the shard's MBR (over its
+sensor locations), its population weight and the sensor types it hosts
+— the same ``(bbox, weight)`` summary a COLR-Tree node keeps for its
+subtree, kept one level above the trees.  Routing intersects the query
+region with the MBRs; target splitting applies Algorithm 1's
+overlap-weighted share rule (``w_i * Overlap(BB(i), A)``) across the
+routed shards, with deterministic largest-remainder rounding so the
+integer shares always sum to the requested target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.region import Region, region_overlap_fraction
+from repro.geometry import Rect
+from repro.sensors.sensor import Sensor
+
+__all__ = ["ShardDirectory", "ShardEntry", "ShardRoute"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardEntry:
+    """Directory row for one shard."""
+
+    shard_id: int
+    mbr: Rect
+    weight: int
+    sensor_types: frozenset[str]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardRoute:
+    """One shard a query scatters to, with its share weight."""
+
+    shard_id: int
+    overlap: float
+    weight: float  # population x overlap — the share numerator
+
+
+class ShardDirectory:
+    """MBR + weight summaries of every shard, built at partition time."""
+
+    def __init__(self, groups: Sequence[Sequence[Sensor]]) -> None:
+        self._entries: list[ShardEntry] = []
+        for shard_id, sensors in enumerate(groups):
+            if not sensors:
+                raise ValueError(f"shard {shard_id} is empty")
+            self._entries.append(
+                ShardEntry(
+                    shard_id=shard_id,
+                    mbr=Rect.from_points(s.location for s in sensors),
+                    weight=len(sensors),
+                    sensor_types=frozenset(s.sensor_type for s in sensors),
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[ShardEntry]:
+        return list(self._entries)
+
+    def entry(self, shard_id: int) -> ShardEntry:
+        return self._entries[shard_id]
+
+    def has_type(self, sensor_type: str) -> bool:
+        return any(sensor_type in e.sensor_types for e in self._entries)
+
+    def route(
+        self, region: Region, sensor_type: str | None = None
+    ) -> list[ShardRoute]:
+        """The shards a query must scatter to, in shard-id order.
+
+        A single-shard federation always routes to its one shard (there
+        is no decision to make, and the pass-through must mirror the
+        unsharded portal even on regions outside the fleet's MBR).
+        Otherwise a shard is routed when its MBR intersects the region
+        and (for typed queries) it hosts the type; the share weight is
+        ``population * max(overlap_fraction, eps)``, mirroring
+        :func:`repro.core.sampling._child_shares` one level up.
+        """
+        if len(self._entries) == 1:
+            e = self._entries[0]
+            if sensor_type is not None and sensor_type not in e.sensor_types:
+                return []
+            return [ShardRoute(e.shard_id, 1.0, float(e.weight))]
+        routes: list[ShardRoute] = []
+        for e in self._entries:
+            if sensor_type is not None and sensor_type not in e.sensor_types:
+                continue
+            overlap = region_overlap_fraction(e.mbr, region)
+            if overlap <= 0.0 and not region.intersects_rect(e.mbr):
+                continue
+            routes.append(
+                ShardRoute(e.shard_id, overlap, e.weight * max(overlap, 1e-12))
+            )
+        return routes
+
+    @staticmethod
+    def split_target(target: int, routes: Sequence[ShardRoute]) -> dict[int, int]:
+        """Split an integer sample target across routes proportionally
+        to their weights (largest-remainder rounding; remainder ties go
+        to the lower shard id so the split is deterministic).  The
+        returned shares sum exactly to ``target``; shards may get 0.
+        """
+        if target < 0:
+            raise ValueError("target must be non-negative")
+        if not routes:
+            return {}
+        total = sum(r.weight for r in routes)
+        if total <= 0:
+            # Degenerate weights: give everything to the first shard.
+            return {routes[0].shard_id: target} | {
+                r.shard_id: 0 for r in routes[1:]
+            }
+        raw = [(r.shard_id, target * r.weight / total) for r in routes]
+        shares = {sid: int(x) for sid, x in raw}
+        remainder = target - sum(shares.values())
+        by_frac = sorted(raw, key=lambda item: (-(item[1] - int(item[1])), item[0]))
+        for sid, _ in by_frac[:remainder]:
+            shares[sid] += 1
+        return shares

@@ -1,0 +1,652 @@
+"""The scatter-gather coordinator over partitioned portal shards.
+
+``FederatedPortal`` mirrors the ``SensorMapPortal`` surface (register /
+rebuild / execute / execute_batch / execute_sql / explain / stats) but
+owns N shards, each a full portal — its own COLR-Trees, its own
+``SensorNetwork``, its own ``ProbeDispatcher`` pool when transport is
+enabled.  One simulated clock is shared so freshness bounds mean the
+same thing everywhere.
+
+Query flow:
+
+1. **Route** — the :class:`~repro.federation.directory.ShardDirectory`
+   intersects the query region with the shard MBRs (typed queries also
+   require the shard to host the type).
+2. **Scatter** — exact queries broadcast unchanged to every routed
+   shard; sampled queries split the target across routed shards by
+   overlap-weighted shard weights (Algorithm 1's share rule one level
+   above the trees), shares summing exactly to the target.  Shards
+   whose share rounds to zero are skipped.
+3. **Gather** — per-shard answers merge in shard-id order: readings and
+   sketches concatenate (each shard already enforced the freshness
+   bound), processing sums, collection is the *makespan* across shards
+   (they collect concurrently).
+4. **Degrade** — a shard that raises :class:`ShardDownError` is retried
+   up to ``FederationConfig.shard_retry_budget`` times with
+   transport-style exponential backoff charged to its gather slot; a
+   shard whose sub-answer blew ``shard_timeout_seconds`` is dropped and
+   charged the timeout.  Either way the merged answer carries the
+   failed/timed-out shard ids and a ``partial`` flag instead of an
+   exception, and a repeatedly failing shard can be put in cooldown.
+
+With one shard every query path is a bit-identical pass-through around
+the wrapped ``SensorMapPortal`` (same network RNG stream, same plan
+cache, same stats) — pinned by ``tests/federation/test_parity.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.core.config import COLRTreeConfig
+from repro.core.stats import ProcessingCostModel
+from repro.federation.config import FederationConfig
+from repro.federation.directory import ShardDirectory, ShardRoute
+from repro.federation.partitioner import GridPartitioner, Partitioner
+from repro.geometry import GeoPoint
+from repro.portal.batch import BatchStats
+from repro.portal.parser import parse_query
+from repro.portal.portal import PortalResult, SensorMapPortal
+from repro.portal.query import SensorQuery
+from repro.sensors.clock import SimClock
+from repro.sensors.registry import SensorRegistry
+from repro.sensors.sensor import Sensor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.portal.batch import BatchResult
+    from repro.transport.config import TransportConfig
+
+__all__ = [
+    "FederatedBatchResult",
+    "FederatedPortal",
+    "FederatedResult",
+    "FederationStats",
+    "ShardDownError",
+]
+
+
+class ShardDownError(RuntimeError):
+    """A shard did not answer (killed, crashed, unreachable)."""
+
+
+@dataclass
+class FederationStats:
+    """Cumulative coordinator accounting (shard-local work is metered by
+    each shard's own portal/network/transport stats)."""
+
+    queries: int = 0
+    batch_ticks: int = 0
+    subqueries_scattered: int = 0
+    exact_broadcasts: int = 0
+    sampled_splits: int = 0
+    shards_routed: int = 0
+    zero_share_skips: int = 0
+    shard_attempts: int = 0
+    shard_retries: int = 0
+    shard_failures: int = 0
+    shard_timeouts: int = 0
+    shard_cooldown_skips: int = 0
+    partial_answers: int = 0
+
+
+@dataclass
+class FederatedResult(PortalResult):
+    """A gathered answer: the ``PortalResult`` surface (so grouping,
+    aggregation and the continuous-query manager work unchanged) plus
+    the federation's provenance and degradation record."""
+
+    shard_results: dict[int, PortalResult] = field(default_factory=dict)
+    failed_shards: tuple[int, ...] = ()
+    timed_out_shards: tuple[int, ...] = ()
+    shard_retries: int = 0
+
+    @property
+    def partial(self) -> bool:
+        """True when at least one routed shard's answer is missing."""
+        return bool(self.failed_shards or self.timed_out_shards)
+
+
+@dataclass
+class FederatedBatchResult:
+    """Per-query gathered results plus merged batch accounting.
+
+    ``stats`` sums the shard-level counters (collection is the makespan
+    across shards, matching the scatter's concurrency); ``shard_stats``
+    keeps each shard's own view; ``shard_seconds`` is the modeled
+    end-to-end seconds each shard spent on its sub-batch (processing +
+    collection + streamed-maintenance charge + retry penalties) — the
+    federation bench's throughput denominator is its max.
+    """
+
+    results: list[FederatedResult] = field(default_factory=list)
+    stats: BatchStats = field(default_factory=BatchStats)
+    shard_stats: dict[int, BatchStats] = field(default_factory=dict)
+    shard_seconds: dict[int, float] = field(default_factory=dict)
+    failed_shards: tuple[int, ...] = ()
+    timed_out_shards: tuple[int, ...] = ()
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.failed_shards or self.timed_out_shards)
+
+
+@dataclass
+class _ShardState:
+    """Coordinator-side health record of one shard."""
+
+    killed: bool = False
+    consecutive_failures: int = 0
+    down_until: float = 0.0
+
+
+class FederatedPortal:
+    """N portal shards behind one scatter-gather front end."""
+
+    def __init__(
+        self,
+        n_shards: int = 1,
+        partitioner: Partitioner | None = None,
+        config: COLRTreeConfig | None = None,
+        cost_model: ProcessingCostModel | None = None,
+        value_fn=None,
+        network_seed: int = 0,
+        clock: SimClock | None = None,
+        max_sensors_per_query: int | None = 1000,
+        transport: "TransportConfig | None" = None,
+        network_options: dict[str, object] | None = None,
+        federation: FederationConfig | None = None,
+    ) -> None:
+        """Constructor arguments mirror ``SensorMapPortal`` (every shard
+        is built with them); ``partitioner`` defaults to a spatial
+        ``GridPartitioner(n_shards)``, and shard ``i``'s network draws
+        from ``network_seed + i`` so shard 0 of a single-shard
+        federation is seed-identical to the unsharded portal."""
+        self.partitioner = (
+            partitioner if partitioner is not None else GridPartitioner(n_shards)
+        )
+        self.config = config if config is not None else COLRTreeConfig()
+        self.cost_model = cost_model if cost_model is not None else ProcessingCostModel()
+        self.max_sensors_per_query = max_sensors_per_query
+        self.transport_config = transport
+        self.federation = federation if federation is not None else FederationConfig()
+        self.clock = clock if clock is not None else SimClock()
+        self.registry = SensorRegistry()
+        self.stats = FederationStats()
+        self._value_fn = value_fn
+        self._network_seed = network_seed
+        self._network_options = dict(network_options) if network_options else {}
+        self._shards: list[SensorMapPortal] = []
+        self._directory: ShardDirectory | None = None
+        self._states: dict[int, _ShardState] = {}
+        self._index_dirty = True
+
+    # ------------------------------------------------------------------
+    # Publisher side
+    # ------------------------------------------------------------------
+    def register_sensor(
+        self,
+        location: GeoPoint,
+        expiry_seconds: float,
+        sensor_type: str = "generic",
+        availability: float = 1.0,
+        metadata: dict[str, str] | None = None,
+    ) -> Sensor:
+        sensor = self.registry.register(
+            location,
+            expiry_seconds,
+            sensor_type=sensor_type,
+            availability=availability,
+            metadata=metadata,
+        )
+        self._index_dirty = True
+        return sensor
+
+    def register_all(self, sensors: list[Sensor]) -> None:
+        self.registry.register_all(sensors)
+        self._index_dirty = True
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+    def rebuild_index(self) -> None:
+        """Partition the fleet and (re)build one portal per shard.
+
+        Kill switches and health state survive a rebuild per shard id
+        (the operator killed "shard 3", not a particular index build);
+        an id that disappears (fewer shards) drops its state.
+        """
+        if len(self.registry) == 0:
+            raise ValueError("no sensors registered")
+        sensors = self.registry.all()
+        assignment = self.partitioner.assign(sensors)
+        if len(assignment) != len(sensors):
+            raise ValueError("partitioner returned a misaligned assignment")
+        n = self.partitioner.n_shards
+        groups: list[list[Sensor]] = [[] for _ in range(n)]
+        for sensor, shard_id in zip(sensors, assignment):
+            if not 0 <= shard_id < n:
+                raise ValueError(f"partitioner assigned shard {shard_id} of {n}")
+            groups[shard_id].append(sensor)
+        # Compact away empty shards (a k-means run on a tiny fleet can
+        # starve a cluster) so every built shard has an index.
+        groups = [g for g in groups if g]
+        self._directory = ShardDirectory(groups)
+        self._shards = []
+        for shard_id, group in enumerate(groups):
+            shard = SensorMapPortal(
+                config=self.config,
+                cost_model=self.cost_model,
+                value_fn=self._value_fn,
+                network_seed=self._network_seed + shard_id,
+                clock=self.clock,
+                max_sensors_per_query=self.max_sensors_per_query,
+                transport=self.transport_config,
+                network_options=dict(self._network_options),
+            )
+            shard.register_all(group)
+            shard.rebuild_index()
+            self._shards.append(shard)
+        self._states = {
+            shard_id: self._states.get(shard_id, _ShardState())
+            for shard_id in range(len(groups))
+        }
+        self._index_dirty = False
+
+    def _ensure_index(self) -> None:
+        if self._index_dirty or not self._shards:
+            self.rebuild_index()
+
+    @property
+    def n_shards(self) -> int:
+        self._ensure_index()
+        return len(self._shards)
+
+    @property
+    def directory(self) -> ShardDirectory:
+        self._ensure_index()
+        assert self._directory is not None
+        return self._directory
+
+    def shard(self, shard_id: int) -> SensorMapPortal:
+        self._ensure_index()
+        return self._shards[shard_id]
+
+    def shards(self) -> list[SensorMapPortal]:
+        self._ensure_index()
+        return list(self._shards)
+
+    def sensor_types(self) -> list[str]:
+        self._ensure_index()
+        types: set[str] = set()
+        for shard in self._shards:
+            types.update(shard.sensor_types())
+        return sorted(types)
+
+    @property
+    def transport_enabled(self) -> bool:
+        return self.transport_config is not None and self.transport_config.enabled
+
+    # ------------------------------------------------------------------
+    # Shard health
+    # ------------------------------------------------------------------
+    def kill_shard(self, shard_id: int) -> None:
+        """Simulate a shard outage: scatters to it raise until revived."""
+        self._ensure_index()
+        self._states[shard_id].killed = True
+
+    def revive_shard(self, shard_id: int) -> None:
+        self._ensure_index()
+        state = self._states[shard_id]
+        state.killed = False
+        state.consecutive_failures = 0
+        state.down_until = 0.0
+
+    def _call_shard(
+        self,
+        shard_id: int,
+        fn: Callable[[SensorMapPortal], object],
+        penalties: dict[int, float],
+    ) -> object | None:
+        """Run one shard call under the retry budget.
+
+        Returns the shard's result, or ``None`` after the budget is
+        exhausted (the shard is then marked failed and, when configured,
+        enters coordinator cooldown).  Backoff delays accumulate into
+        the shard's ``penalties`` slot of the gather makespan.
+        """
+        cfg = self.federation
+        state = self._states[shard_id]
+        now = self.clock.now()
+        if state.down_until > now:
+            self.stats.shard_cooldown_skips += 1
+            return None
+        delay = 0.0
+        for attempt in range(cfg.shard_retry_budget + 1):
+            self.stats.shard_attempts += 1
+            try:
+                if state.killed:
+                    raise ShardDownError(f"shard {shard_id} is down")
+                result = fn(self._shards[shard_id])
+            except ShardDownError:
+                if attempt < cfg.shard_retry_budget:
+                    self.stats.shard_retries += 1
+                    delay += (
+                        cfg.retry_backoff_base
+                        * cfg.retry_backoff_multiplier**attempt
+                    )
+                    penalties[shard_id] = delay
+                continue
+            state.consecutive_failures = 0
+            penalties.setdefault(shard_id, 0.0)
+            penalties[shard_id] = delay
+            return result
+        state.consecutive_failures += 1
+        if cfg.cooldown_seconds > 0:
+            state.down_until = now + cfg.cooldown_seconds
+        self.stats.shard_failures += 1
+        penalties[shard_id] = delay
+        return None
+
+    # ------------------------------------------------------------------
+    # Scatter planning
+    # ------------------------------------------------------------------
+    def _route(self, query: SensorQuery) -> list[ShardRoute]:
+        assert self._directory is not None
+        if query.sensor_type is not None and not self._directory.has_type(
+            query.sensor_type
+        ):
+            raise KeyError(f"no sensors of type {query.sensor_type!r} registered")
+        return self._directory.route(query.region, query.sensor_type)
+
+    def _federated_target(self, query: SensorQuery) -> int | None:
+        """The sample target the federation must split, or ``None`` for
+        an exact broadcast.
+
+        Reproduces ``SensorMapPortal._effective_sample_size``'s cap
+        semantics one level up: on a capped federation a missing (or
+        zero) SAMPLESIZE demotes to sampling at the cap and explicit
+        targets clamp to it, so the scattered shares can never exceed
+        the portal-wide collection cap; on an uncapped federation a
+        missing SAMPLESIZE stays exact everywhere.
+        """
+        cap = self.max_sensors_per_query
+        requested = query.sample_size
+        if requested is None or requested == 0:
+            return None if cap is None else cap
+        return requested if cap is None else min(requested, cap)
+
+    def _scatter_plan(
+        self, query: SensorQuery, routes: Sequence[ShardRoute]
+    ) -> list[tuple[int, SensorQuery]]:
+        """The (shard id, sub-query) pairs one query scatters to, in
+        shard-id order."""
+        if not routes:
+            return []
+        target = self._federated_target(query)
+        self.stats.shards_routed += len(routes)
+        if target is None:
+            self.stats.exact_broadcasts += 1
+            return [(r.shard_id, query) for r in routes]
+        self.stats.sampled_splits += 1
+        shares = ShardDirectory.split_target(target, routes)
+        plan: list[tuple[int, SensorQuery]] = []
+        for route in routes:
+            share = shares[route.shard_id]
+            if share == 0:
+                self.stats.zero_share_skips += 1
+                continue
+            plan.append((route.shard_id, replace(query, sample_size=share)))
+        return plan
+
+    # ------------------------------------------------------------------
+    # User side
+    # ------------------------------------------------------------------
+    def execute_sql(self, sql: str) -> FederatedResult:
+        return self.execute(parse_query(sql))
+
+    def execute(self, query: SensorQuery) -> FederatedResult:
+        """Scatter one query, gather the partial answers."""
+        self._ensure_index()
+        self.stats.queries += 1
+        plan = self._scatter_plan(query, self._route(query))
+        self.stats.subqueries_scattered += len(plan)
+        penalties: dict[int, float] = {}
+        shard_results: dict[int, PortalResult] = {}
+        failed: list[int] = []
+        timed_out: list[int] = []
+        retries_before = self.stats.shard_retries
+        for shard_id, subquery in plan:
+            result = self._call_shard(
+                shard_id, lambda p, q=subquery: p.execute(q), penalties
+            )
+            if result is None:
+                failed.append(shard_id)
+                continue
+            assert isinstance(result, PortalResult)
+            if self._shard_timed_out(result.collection_seconds, penalties, shard_id):
+                timed_out.append(shard_id)
+                continue
+            shard_results[shard_id] = result
+        merged = self._gather(
+            query,
+            shard_results,
+            penalties,
+            failed,
+            timed_out,
+            self.stats.shard_retries - retries_before,
+        )
+        if merged.partial:
+            self.stats.partial_answers += 1
+        return merged
+
+    def _shard_timed_out(
+        self, collection_seconds: float, penalties: dict[int, float], shard_id: int
+    ) -> bool:
+        """Apply the gather deadline: a too-slow shard's answer is
+        dropped and its slot charged exactly the timeout."""
+        timeout = self.federation.shard_timeout_seconds
+        if timeout is None or collection_seconds <= timeout:
+            return False
+        self.stats.shard_timeouts += 1
+        penalties[shard_id] = penalties.get(shard_id, 0.0) + timeout
+        return True
+
+    def _gather(
+        self,
+        query: SensorQuery,
+        shard_results: dict[int, PortalResult],
+        penalties: dict[int, float],
+        failed: list[int],
+        timed_out: list[int],
+        retries: int,
+    ) -> FederatedResult:
+        answers = []
+        groups = []
+        processing = 0.0
+        slot_seconds: list[float] = []
+        for shard_id in sorted(shard_results):
+            result = shard_results[shard_id]
+            answers.extend(result.answers)
+            groups.extend(result.groups)
+            processing += result.processing_seconds
+            slot_seconds.append(
+                result.collection_seconds + penalties.get(shard_id, 0.0)
+            )
+        # Shards that never answered still occupy the gather until their
+        # retries/timeout ran out.
+        for shard_id in list(failed) + list(timed_out):
+            slot_seconds.append(penalties.get(shard_id, 0.0))
+        return FederatedResult(
+            query=query,
+            groups=groups,
+            answers=answers,
+            processing_seconds=processing,
+            collection_seconds=max(slot_seconds, default=0.0),
+            shard_results=shard_results,
+            failed_shards=tuple(failed),
+            timed_out_shards=tuple(timed_out),
+            shard_retries=retries,
+        )
+
+    def execute_batch(self, queries: Sequence[SensorQuery]) -> FederatedBatchResult:
+        """One tick's queries, scattered per shard as *sub-batches*.
+
+        Each shard receives every sub-query routed to it as one
+        ``execute_batch`` call, so shard-local coalescing/dedup applies
+        across the whole tick; the gather reassembles per-query merged
+        results in submission order.  A shard that fails or times out
+        degrades every query that routed to it (those results come back
+        partial) without failing the tick.
+        """
+        self._ensure_index()
+        self.stats.batch_ticks += 1
+        self.stats.queries += len(queries)
+        if not queries:
+            return FederatedBatchResult(stats=BatchStats())
+        plans = [self._scatter_plan(q, self._route(q)) for q in queries]
+        per_shard: dict[int, list[tuple[int, SensorQuery]]] = {}
+        for qi, plan in enumerate(plans):
+            self.stats.subqueries_scattered += len(plan)
+            for shard_id, subquery in plan:
+                per_shard.setdefault(shard_id, []).append((qi, subquery))
+        penalties: dict[int, float] = {}
+        shard_batches: dict[int, "BatchResult"] = {}
+        failed: list[int] = []
+        timed_out: list[int] = []
+        for shard_id in sorted(per_shard):
+            entries = per_shard[shard_id]
+            batch = self._call_shard(
+                shard_id,
+                lambda p, qs=[q for _, q in entries]: p.execute_batch(qs),
+                penalties,
+            )
+            if batch is None:
+                failed.append(shard_id)
+                continue
+            if self._shard_timed_out(
+                batch.stats.collection_seconds, penalties, shard_id
+            ):
+                timed_out.append(shard_id)
+                continue
+            shard_batches[shard_id] = batch
+
+        # Per-query reassembly, in each query's own shard-id order.
+        collected: list[dict[int, PortalResult]] = [{} for _ in queries]
+        for shard_id, batch in shard_batches.items():
+            for (qi, _), result in zip(per_shard[shard_id], batch.results):
+                collected[qi][shard_id] = result
+        results: list[FederatedResult] = []
+        for qi, query in enumerate(queries):
+            routed = {shard_id for shard_id, _ in plans[qi]}
+            q_failed = sorted(routed & set(failed))
+            q_timed = sorted(routed & set(timed_out))
+            merged = self._gather(
+                query, collected[qi], penalties, q_failed, q_timed, retries=0
+            )
+            if merged.partial:
+                self.stats.partial_answers += 1
+            results.append(merged)
+
+        stats = BatchStats(queries=len(queries))
+        shard_seconds: dict[int, float] = {}
+        slot_seconds: list[float] = [0.0]
+        for shard_id, batch in shard_batches.items():
+            s = batch.stats
+            stats.probes_requested += s.probes_requested
+            stats.probes_issued += s.probes_issued
+            stats.probes_contacted += s.probes_contacted
+            stats.probes_coalesced += s.probes_coalesced
+            stats.probes_deduped += s.probes_deduped
+            stats.probes_cooldown_skipped += s.probes_cooldown_skipped
+            stats.probes_retried += s.probes_retried
+            stats.probes_timed_out += s.probes_timed_out
+            stats.batch_shared_plans += s.batch_shared_plans
+            stats.maintenance_ops += s.maintenance_ops
+            slot = s.collection_seconds + penalties.get(shard_id, 0.0)
+            slot_seconds.append(slot)
+            shard_seconds[shard_id] = (
+                sum(r.processing_seconds for r in batch.results)
+                + slot
+                + s.maintenance_ops * self.cost_model.per_maintenance_op
+            )
+        for shard_id in list(failed) + list(timed_out):
+            slot = penalties.get(shard_id, 0.0)
+            slot_seconds.append(slot)
+            shard_seconds[shard_id] = slot
+        stats.collection_seconds = max(slot_seconds)
+        return FederatedBatchResult(
+            results=results,
+            stats=stats,
+            shard_stats={sid: b.stats for sid, b in shard_batches.items()},
+            shard_seconds=shard_seconds,
+            failed_shards=tuple(failed),
+            timed_out_shards=tuple(timed_out),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def explain(self, query: SensorQuery) -> dict[str, object]:
+        """Federated EXPLAIN: the scatter plan plus each routed shard's
+        own EXPLAIN (read-only; no retries, killed shards are skipped
+        and listed)."""
+        self._ensure_index()
+        plan = self._scatter_plan(query, self._route(query))
+        per_shard: dict[int, dict[str, object]] = {}
+        skipped: list[int] = []
+        for shard_id, subquery in plan:
+            if self._states[shard_id].killed:
+                skipped.append(shard_id)
+                continue
+            per_shard[shard_id] = self._shards[shard_id].explain(subquery)
+        coverages = [float(e["cache_coverage"]) for e in per_shard.values()]
+        return {
+            "shards": per_shard,
+            "scatter": [
+                {"shard": shard_id, "sample_size": sub.sample_size}
+                for shard_id, sub in plan
+            ],
+            "skipped_shards": skipped,
+            "expected_probes": sum(
+                float(e["expected_probes"]) for e in per_shard.values()
+            ),
+            "cache_coverage": sum(coverages) / len(coverages) if coverages else 1.0,
+        }
+
+    def stats_summary(self) -> dict[str, object]:
+        """Operational summary: directory, coordinator counters, and
+        each shard's own ``stats()``."""
+        self._ensure_index()
+        assert self._directory is not None
+        f = self.stats
+        return {
+            "total_sensors": len(self.registry),
+            "n_shards": len(self._shards),
+            "directory": [
+                {
+                    "shard": e.shard_id,
+                    "sensors": e.weight,
+                    "mbr": (e.mbr.min_x, e.mbr.min_y, e.mbr.max_x, e.mbr.max_y),
+                    "types": sorted(e.sensor_types),
+                    "killed": self._states[e.shard_id].killed,
+                }
+                for e in self._directory.entries()
+            ],
+            "federation": {
+                "queries": f.queries,
+                "batch_ticks": f.batch_ticks,
+                "subqueries_scattered": f.subqueries_scattered,
+                "exact_broadcasts": f.exact_broadcasts,
+                "sampled_splits": f.sampled_splits,
+                "shards_routed": f.shards_routed,
+                "zero_share_skips": f.zero_share_skips,
+                "shard_attempts": f.shard_attempts,
+                "shard_retries": f.shard_retries,
+                "shard_failures": f.shard_failures,
+                "shard_timeouts": f.shard_timeouts,
+                "shard_cooldown_skips": f.shard_cooldown_skips,
+                "partial_answers": f.partial_answers,
+            },
+            "shards": {i: s.stats() for i, s in enumerate(self._shards)},
+        }

@@ -1,0 +1,128 @@
+"""Fleet partitioners: assign every sensor to a shard.
+
+Two strategies ship, behind one tiny protocol so deployments can plug
+their own:
+
+``GridPartitioner``
+    Sort-tile-recursive spatial grid: the fleet is cut into vertical
+    strips of equal population by x, each strip into cells of equal
+    population by y.  Shards come out population-balanced *and*
+    spatially coherent (compact MBRs), which is what makes MBR routing
+    selective.
+``KMeansPartitioner``
+    Lloyd iterations over sensor locations (numpy, deterministic seed).
+    Produces rounder shards for clustered fleets — cities, highway
+    corridors — at the cost of exact population balance.  Empty
+    clusters are re-seeded with the point farthest from its centroid,
+    so every shard is non-empty whenever the fleet is large enough.
+
+Both are pure functions of the sensor metadata: partitioning happens at
+index (re)build time, exactly where the paper's periodic reconstruction
+already absorbs location changes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.sensors.sensor import Sensor
+
+__all__ = ["Partitioner", "GridPartitioner", "KMeansPartitioner", "make_partitioner"]
+
+
+@runtime_checkable
+class Partitioner(Protocol):
+    """Anything that can split a fleet into ``n_shards`` groups."""
+
+    n_shards: int
+
+    def assign(self, sensors: Sequence[Sensor]) -> list[int]:
+        """Shard index in ``[0, n_shards)`` for each sensor, positionally
+        aligned with ``sensors``."""
+        ...
+
+
+def _check_shards(n_shards: int) -> int:
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    return int(n_shards)
+
+
+class GridPartitioner:
+    """Equal-population sort-tile grid over sensor locations.
+
+    The grid shape is the most square factorization of ``n_shards``
+    (``nx * ny == n_shards`` with ``nx <= ny``), so 4 shards become a
+    2x2 grid and 8 shards a 2x4 grid.  Assignment is deterministic:
+    ties in coordinates resolve by input position via a stable argsort.
+    """
+
+    def __init__(self, n_shards: int) -> None:
+        self.n_shards = _check_shards(n_shards)
+        nx = max(1, int(math.isqrt(self.n_shards)))
+        while self.n_shards % nx:
+            nx -= 1
+        self.nx = nx
+        self.ny = self.n_shards // nx
+
+    def assign(self, sensors: Sequence[Sensor]) -> list[int]:
+        n = len(sensors)
+        if n == 0:
+            return []
+        xs = np.array([s.location.x for s in sensors])
+        ys = np.array([s.location.y for s in sensors])
+        shard = np.zeros(n, dtype=np.int64)
+        by_x = np.argsort(xs, kind="stable")
+        strips = np.array_split(by_x, self.nx)
+        for sx, strip in enumerate(strips):
+            by_y = strip[np.argsort(ys[strip], kind="stable")]
+            for sy, cell in enumerate(np.array_split(by_y, self.ny)):
+                shard[cell] = sx * self.ny + sy
+        return shard.tolist()
+
+
+class KMeansPartitioner:
+    """Lloyd k-means over sensor locations with deterministic seeding."""
+
+    def __init__(self, n_shards: int, seed: int = 0, iterations: int = 10) -> None:
+        self.n_shards = _check_shards(n_shards)
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        self.seed = int(seed)
+        self.iterations = int(iterations)
+
+    def assign(self, sensors: Sequence[Sensor]) -> list[int]:
+        n = len(sensors)
+        if n == 0:
+            return []
+        k = min(self.n_shards, n)
+        points = np.array([(s.location.x, s.location.y) for s in sensors])
+        rng = np.random.default_rng(self.seed)
+        centroids = points[rng.choice(n, size=k, replace=False)].copy()
+        labels = np.zeros(n, dtype=np.int64)
+        for _ in range(self.iterations):
+            d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            labels = d2.argmin(axis=1)
+            for c in range(k):
+                members = points[labels == c]
+                if len(members):
+                    centroids[c] = members.mean(axis=0)
+                else:
+                    # Re-seed a starved cluster with the globally
+                    # worst-fitted point so no shard comes out empty.
+                    farthest = int(d2.min(axis=1).argmax())
+                    centroids[c] = points[farthest]
+        d2 = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        return d2.argmin(axis=1).tolist()
+
+
+def make_partitioner(kind: str, n_shards: int, seed: int = 0) -> Partitioner:
+    """Factory for the CLI/bench: ``"grid"`` or ``"kmeans"``."""
+    if kind == "grid":
+        return GridPartitioner(n_shards)
+    if kind == "kmeans":
+        return KMeansPartitioner(n_shards, seed=seed)
+    raise ValueError(f"unknown partitioner {kind!r}; use 'grid' or 'kmeans'")

@@ -47,23 +47,51 @@ class Subscription:
     query: SensorQuery
     refresh_seconds: float
     callback: DeltaCallback | None = None
+    phase_seconds: float = 0.0
+    created_at: float = 0.0
     last_executed_at: float | None = None
     last_result: PortalResult | None = None
     _last_values: dict[int, float] = field(default_factory=dict)
     executions: int = 0
 
     def due_at(self) -> float:
-        """Next execution instant (immediately when never run)."""
+        """Next execution instant (the first run waits out the phase
+        offset; with no offset that is the creation instant)."""
         if self.last_executed_at is None:
-            return float("-inf")
+            return self.created_at + self.phase_seconds
         return self.last_executed_at + self.refresh_seconds
 
 
-class ContinuousQueryManager:
-    """Drives standing queries against one portal."""
+# Fractional part of the golden ratio: consecutive multiples mod 1 are
+# maximally spread over [0, 1), so auto-assigned phases never cluster.
+_PHASE_GOLDEN = 0.6180339887498949
 
-    def __init__(self, portal: SensorMapPortal) -> None:
+
+class ContinuousQueryManager:
+    """Drives standing queries against one portal.
+
+    ``portal`` may equally be a
+    :class:`~repro.federation.federated.FederatedPortal` — the manager
+    only relies on ``clock`` / ``transport_enabled`` / ``execute`` /
+    ``execute_batch``, which the coordinator mirrors.
+
+    When ``stagger_seconds`` is set, each new subscription gets an
+    automatic first-run phase offset (golden-ratio spaced over
+    ``[0, stagger_seconds)``) so a thundering herd of same-interval
+    subscriptions spreads across ticks instead of all firing at once.
+    Once offset, subscriptions keep their relative phases forever —
+    each next run is ``last_executed_at + refresh_seconds``.  Probes
+    shared by viewports that still land on the same tick are absorbed
+    by the transport dispatcher's in-flight/recently-probed tables.
+    """
+
+    def __init__(
+        self, portal: SensorMapPortal, stagger_seconds: float | None = None
+    ) -> None:
+        if stagger_seconds is not None and stagger_seconds < 0:
+            raise ValueError("stagger_seconds must be non-negative")
         self.portal = portal
+        self.stagger_seconds = stagger_seconds
         self._subscriptions: dict[int, Subscription] = {}
         self._next_id = 0
 
@@ -75,22 +103,36 @@ class ContinuousQueryManager:
         query: SensorQuery,
         refresh_seconds: float | None = None,
         callback: DeltaCallback | None = None,
+        phase_seconds: float | None = None,
     ) -> Subscription:
         """Register a standing query.
 
         The refresh interval defaults to the query's staleness bound —
         by then the previous answer has aged out of acceptability.
+        ``phase_seconds`` delays the first run; when omitted it is 0,
+        or golden-ratio auto-staggered when the manager was built with
+        ``stagger_seconds``.
         """
         interval = (
             refresh_seconds if refresh_seconds is not None else query.staleness_seconds
         )
         if interval <= 0:
             raise ValueError("refresh interval must be positive")
+        if phase_seconds is None:
+            phase = 0.0
+            if self.stagger_seconds:
+                phase = (self._next_id * _PHASE_GOLDEN) % 1.0 * self.stagger_seconds
+        elif phase_seconds < 0:
+            raise ValueError("phase_seconds must be non-negative")
+        else:
+            phase = float(phase_seconds)
         subscription = Subscription(
             subscription_id=self._next_id,
             query=query,
             refresh_seconds=float(interval),
             callback=callback,
+            phase_seconds=phase,
+            created_at=self.portal.clock.now(),
         )
         self._subscriptions[subscription.subscription_id] = subscription
         self._next_id += 1

@@ -37,6 +37,8 @@ from repro.relcolr.schema import SchemaNames
 from repro.relcolr.triggers import MaintenanceConfig, install_triggers
 from repro.sensors.network import SensorNetwork
 from repro.sensors.sensor import Reading, Sensor
+from repro.transport.config import TransportConfig
+from repro.transport.dispatcher import ProbeDispatcher
 
 
 class RelCOLRTree:
@@ -50,10 +52,20 @@ class RelCOLRTree:
         names: SchemaNames | None = None,
         build_method: str = "str",
         availability_model=None,
+        transport: TransportConfig | None = None,
     ) -> None:
         self.config = config if config is not None else COLRTreeConfig()
         self.network = network
         self.availability_model = availability_model
+        # Probe collection can route through the async transport layer
+        # (dedup / retry / overlap) behind this flag; ingestion stays
+        # pure DML either way, so the trigger cascade is untouched.
+        self.transport_config = transport
+        self.dispatcher: ProbeDispatcher | None = None
+        if transport is not None and transport.enabled:
+            if network is None:
+                raise ValueError("transport requires a sensor network")
+            self.dispatcher = ProbeDispatcher(network, transport)
         self.names = names if names is not None else SchemaNames()
         self.db = Database()
         root = build_colr_tree(
@@ -457,16 +469,28 @@ class RelCOLRTree:
         if to_probe:
             if self.network is None:
                 raise RuntimeError("this tree has no sensor network attached")
-            result = self.network.probe(to_probe, now)
+            if self.dispatcher is not None:
+                # Transport path: the dispatcher's dedup/cooldown/retry
+                # tables apply; ``tree=None`` keeps ingestion out of the
+                # dispatcher so it stays relational DML below.
+                rnd = self.dispatcher.collect(
+                    to_probe, now, tree=None, max_staleness=max_staleness
+                )
+                readings = rnd.readings
+                latency = rnd.latency_seconds
+            else:
+                result = self.network.probe(to_probe, now)
+                readings = result.readings
+                latency = result.latency_seconds
             answer.stats.sensors_probed += len(to_probe)
-            answer.stats.probe_successes += len(result.readings)
+            answer.stats.probe_successes += len(readings)
             answer.stats.probe_batches += 1
-            answer.stats.collection_latency_seconds += result.latency_seconds
+            answer.stats.collection_latency_seconds += latency
             # Batched ingestion: the probe round enters the cache as one
             # DELETE + one multi-row INSERT, so the grouped triggers
             # issue one statement per (ancestor, slot) for the round.
-            self.insert_readings_batch(list(result.readings.values()), fetched_at=now)
-            answer.probed_readings.extend(result.readings.values())
+            self.insert_readings_batch(list(readings.values()), fetched_at=now)
+            answer.probed_readings.extend(readings.values())
         sketches, cached = self.cache_read(
             region, now, max_staleness, stats=answer.stats
         )

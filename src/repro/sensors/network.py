@@ -11,6 +11,7 @@ collector would).
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Mapping
 
@@ -60,6 +61,12 @@ class ProbeResult:
     def failed(self) -> tuple[int, ...]:
         """Deprecated: combined failure list; prefer ``unavailable`` /
         ``timed_out``, which meter the two modes separately."""
+        warnings.warn(
+            "ProbeResult.failed is deprecated; use ProbeResult.unavailable"
+            " and ProbeResult.timed_out instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.unavailable + self.timed_out
 
     @property

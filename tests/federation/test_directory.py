@@ -1,0 +1,108 @@
+"""Shard directory: MBR routing and overlap-weighted target splitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federation import ShardDirectory, ShardRoute
+from repro.geometry import GeoPoint, Rect
+from repro.sensors import SensorRegistry
+
+
+def _group(points, sensor_type="generic"):
+    registry = SensorRegistry()
+    return [
+        registry.register(GeoPoint(x, y), expiry_seconds=300.0, sensor_type=sensor_type)
+        for x, y in points
+    ]
+
+
+def _two_shard_directory():
+    """Shard 0 over the left half, shard 1 over the right half."""
+    left = _group([(0.0, 0.0), (40.0, 100.0), (20.0, 50.0)], "temperature")
+    right = _group([(60.0, 0.0), (100.0, 100.0), (80.0, 50.0)], "humidity")
+    return ShardDirectory([left, right])
+
+
+class TestEntries:
+    def test_entry_summaries(self):
+        directory = _two_shard_directory()
+        assert len(directory) == 2
+        left = directory.entry(0)
+        assert left.weight == 3
+        assert left.mbr == Rect(0.0, 0.0, 40.0, 100.0)
+        assert left.sensor_types == frozenset({"temperature"})
+        assert directory.has_type("humidity")
+        assert not directory.has_type("rain")
+
+    def test_empty_shard_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ShardDirectory([_group([(1.0, 1.0)]), []])
+
+
+class TestRouting:
+    def test_routes_only_overlapping_shards(self):
+        directory = _two_shard_directory()
+        routes = directory.route(Rect(0.0, 0.0, 30.0, 30.0))
+        assert [r.shard_id for r in routes] == [0]
+        both = directory.route(Rect(30.0, 30.0, 70.0, 70.0))
+        assert [r.shard_id for r in both] == [0, 1]
+
+    def test_typed_routing_filters_shards(self):
+        directory = _two_shard_directory()
+        routes = directory.route(Rect(0.0, 0.0, 100.0, 100.0), "humidity")
+        assert [r.shard_id for r in routes] == [1]
+
+    def test_single_shard_routes_unconditionally(self):
+        """A one-shard federation is a pass-through: even a viewport
+        outside the fleet MBR reaches the shard, exactly as it would
+        reach an unsharded portal (which answers it with weight 0)."""
+        directory = ShardDirectory([_group([(10.0, 10.0), (20.0, 20.0)])])
+        routes = directory.route(Rect(500.0, 500.0, 600.0, 600.0))
+        assert [(r.shard_id, r.overlap) for r in routes] == [(0, 1.0)]
+
+    def test_single_shard_typed_miss_returns_nothing(self):
+        directory = ShardDirectory([_group([(10.0, 10.0)], "temperature")])
+        assert directory.route(Rect(0, 0, 100, 100), "rain") == []
+
+    def test_share_weight_scales_with_population_and_overlap(self):
+        big = _group([(float(i), 0.0) for i in range(10)])  # mbr (0,0)-(9,0)
+        small = _group([(50.0, 0.0), (59.0, 0.0)])
+        directory = ShardDirectory([big, small])
+        routes = directory.route(Rect(-10.0, -10.0, 100.0, 10.0))
+        weights = {r.shard_id: r.weight for r in routes}
+        assert weights[0] > weights[1]
+
+
+class TestSplitTarget:
+    def _routes(self, *weights):
+        return [ShardRoute(i, 1.0, float(w)) for i, w in enumerate(weights)]
+
+    def test_shares_sum_exactly_to_target(self):
+        for target in (0, 1, 7, 40, 101):
+            shares = ShardDirectory.split_target(target, self._routes(3, 1, 5, 2))
+            assert sum(shares.values()) == target
+
+    def test_proportional_split(self):
+        shares = ShardDirectory.split_target(100, self._routes(3.0, 1.0))
+        assert shares == {0: 75, 1: 25}
+
+    def test_remainder_ties_go_to_lower_shard_id(self):
+        # 3 equal routes, target 4: one leftover after floor(4/3)=1 each.
+        shares = ShardDirectory.split_target(4, self._routes(1.0, 1.0, 1.0))
+        assert shares == {0: 2, 1: 1, 2: 1}
+
+    def test_zero_weight_routes_can_get_zero(self):
+        shares = ShardDirectory.split_target(10, self._routes(5.0, 0.0))
+        assert shares == {0: 10, 1: 0}
+
+    def test_degenerate_weights_all_to_first(self):
+        shares = ShardDirectory.split_target(9, self._routes(0.0, 0.0))
+        assert shares == {0: 9, 1: 0}
+
+    def test_empty_routes(self):
+        assert ShardDirectory.split_target(5, []) == {}
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            ShardDirectory.split_target(-1, self._routes(1.0))

@@ -1,0 +1,100 @@
+"""Fleet partitioners: coverage, balance, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federation import (
+    GridPartitioner,
+    KMeansPartitioner,
+    Partitioner,
+    make_partitioner,
+)
+
+from tests.conftest import make_registry
+
+
+def _populations(assignment, n_shards):
+    counts = [0] * n_shards
+    for shard in assignment:
+        counts[shard] += 1
+    return counts
+
+
+class TestGridPartitioner:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 8])
+    def test_covers_every_sensor_in_range(self, n_shards):
+        sensors = make_registry(n=500, seed=3).all()
+        assignment = GridPartitioner(n_shards).assign(sensors)
+        assert len(assignment) == len(sensors)
+        assert all(0 <= s < n_shards for s in assignment)
+        assert all(c > 0 for c in _populations(assignment, n_shards))
+
+    @pytest.mark.parametrize("n_shards", [2, 4, 8])
+    def test_populations_balanced(self, n_shards):
+        sensors = make_registry(n=800, seed=3).all()
+        counts = _populations(GridPartitioner(n_shards).assign(sensors), n_shards)
+        # array_split spreads remainders: populations differ by at most
+        # a couple of sensors per grid dimension.
+        assert max(counts) - min(counts) <= 4
+
+    def test_grid_shape_is_most_square_factorization(self):
+        assert (GridPartitioner(4).nx, GridPartitioner(4).ny) == (2, 2)
+        assert (GridPartitioner(8).nx, GridPartitioner(8).ny) == (2, 4)
+        assert (GridPartitioner(6).nx, GridPartitioner(6).ny) == (2, 3)
+        assert (GridPartitioner(7).nx, GridPartitioner(7).ny) == (1, 7)
+
+    def test_deterministic(self):
+        sensors = make_registry(n=300, seed=9).all()
+        assert GridPartitioner(4).assign(sensors) == GridPartitioner(4).assign(sensors)
+
+    def test_single_shard_is_identity(self):
+        sensors = make_registry(n=50, seed=1).all()
+        assert GridPartitioner(1).assign(sensors) == [0] * len(sensors)
+
+    def test_empty_fleet(self):
+        assert GridPartitioner(4).assign([]) == []
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            GridPartitioner(0)
+
+
+class TestKMeansPartitioner:
+    def test_covers_every_sensor_no_empty_shard(self):
+        sensors = make_registry(n=400, seed=3).all()
+        assignment = KMeansPartitioner(4, seed=0).assign(sensors)
+        assert len(assignment) == len(sensors)
+        assert all(c > 0 for c in _populations(assignment, 4))
+
+    def test_deterministic_per_seed(self):
+        sensors = make_registry(n=300, seed=3).all()
+        a = KMeansPartitioner(3, seed=5).assign(sensors)
+        b = KMeansPartitioner(3, seed=5).assign(sensors)
+        assert a == b
+
+    def test_more_shards_than_sensors_clamps(self):
+        sensors = make_registry(n=3, seed=3).all()
+        assignment = KMeansPartitioner(8, seed=0).assign(sensors)
+        assert len(assignment) == 3
+        assert all(0 <= s < 3 for s in assignment)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            KMeansPartitioner(0)
+        with pytest.raises(ValueError):
+            KMeansPartitioner(2, iterations=0)
+
+
+class TestFactory:
+    def test_grid(self):
+        p = make_partitioner("grid", 4)
+        assert isinstance(p, GridPartitioner) and isinstance(p, Partitioner)
+
+    def test_kmeans(self):
+        p = make_partitioner("kmeans", 3, seed=7)
+        assert isinstance(p, KMeansPartitioner) and p.seed == 7
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            make_partitioner("consistent-hashing", 4)

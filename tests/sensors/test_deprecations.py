@@ -1,0 +1,40 @@
+"""Deprecation surface of the sensors package."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import AvailabilityModel, SensorNetwork
+
+from tests.conftest import make_registry
+
+
+def _probe(availability=0.0, n=10):
+    registry = make_registry(n=n, availability=availability, seed=5)
+    network = SensorNetwork(
+        registry.all(), availability_model=AvailabilityModel(), seed=2
+    )
+    return network.probe([s.sensor_id for s in registry.all()], now=0.0)
+
+
+class TestProbeResultFailedDeprecation:
+    def test_failed_warns_deprecation(self):
+        result = _probe()
+        with pytest.warns(DeprecationWarning, match="ProbeResult.failed"):
+            _ = result.failed
+
+    def test_failed_still_returns_union_of_replacements(self):
+        result = _probe()
+        with pytest.warns(DeprecationWarning):
+            failed = result.failed
+        assert sorted(failed) == sorted(result.unavailable + result.timed_out)
+
+    def test_replacements_do_not_warn(self):
+        result = _probe()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _ = result.unavailable
+            _ = result.timed_out
+            _ = result.attempted

@@ -20,7 +20,7 @@ class TestProbe:
         net = SensorNetwork(make_sensors(10))
         result = net.probe(range(10), now=100.0)
         assert len(result.readings) == 10
-        assert result.failed == ()
+        assert result.unavailable == () and result.timed_out == ()
 
     def test_readings_stamped_and_expiring(self):
         net = SensorNetwork(make_sensors(3))
@@ -33,7 +33,7 @@ class TestProbe:
         net = SensorNetwork(make_sensors(200, availability=0.0), seed=0)
         result = net.probe(range(200), now=0.0)
         assert len(result.readings) == 0
-        assert len(result.failed) == 200
+        assert len(result.unavailable) + len(result.timed_out) == 200
 
     def test_partial_availability_roughly_matches(self):
         net = SensorNetwork(make_sensors(2000, availability=0.7), seed=1)

@@ -52,14 +52,14 @@ class TestTimeouts:
             seed=2,
         )
         result = net.probe(range(1000), now=0.0)
-        assert len(result.failed) > 200
+        assert len(result.unavailable) + len(result.timed_out) > 200
 
     def test_no_timeout_all_succeed(self):
         net = SensorNetwork(
             make_sensors(200), rtt_seconds=0.2, latency_jitter=1.0, seed=2
         )
         result = net.probe(range(200), now=0.0)
-        assert result.failed == ()
+        assert result.unavailable == () and result.timed_out == ()
 
     def test_timeouts_recorded_as_unavailability(self):
         model = AvailabilityModel()

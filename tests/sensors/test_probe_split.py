@@ -8,6 +8,8 @@ separately while keeping the deprecated combined ``failed`` property.
 
 from __future__ import annotations
 
+import pytest
+
 from repro import AvailabilityModel, SensorNetwork
 from tests.conftest import make_registry
 
@@ -41,7 +43,8 @@ def test_failure_modes_metered_separately():
     result = net.probe(ids, now=0.0)
     assert result.timed_out, "jittered latencies above the timeout expected"
     assert result.unavailable, "availability 0.5 failures expected"
-    assert result.failed == result.unavailable + result.timed_out
+    with pytest.warns(DeprecationWarning):
+        assert result.failed == result.unavailable + result.timed_out
     assert result.attempted == len(ids)
     assert net.stats.probes_unavailable == len(result.unavailable)
     assert net.stats.probes_timed_out == len(result.timed_out)

@@ -1,0 +1,178 @@
+"""Cooldown recovery: a sensor the availability model has written off
+must become probeable again once its cooldown expires, and coordinator-
+level shard timeouts must not corrupt the dispatcher's dedup tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AvailabilityModel, SensorNetwork
+from repro.federation import FederatedPortal, FederationConfig
+from repro.geometry import GeoPoint, Rect
+from repro.portal import SensorQuery
+from repro.transport import ProbeDispatcher, TransportConfig
+
+from tests.conftest import make_registry
+
+
+def _dispatcher(registry, **config):
+    network = SensorNetwork(
+        registry.all(), availability_model=AvailabilityModel(), seed=3
+    )
+    defaults = dict(
+        max_retries=0,
+        overlap_enabled=False,
+        inflight_ttl=0.0,
+        cooldown_seconds=300.0,
+        cooldown_threshold=0.5,
+    )
+    defaults.update(config)
+    return ProbeDispatcher(network, TransportConfig(**defaults))
+
+
+class TestSensorCooldownRecovery:
+    def test_written_off_sensor_probeable_again_after_cooldown(self):
+        """Dead fleet: one failure each drops the Beta(1,1) estimate to
+        1/3 < threshold, so every sensor enters cooldown.  Requests
+        inside the window are skipped without traffic; the first request
+        after expiry goes back on the wire."""
+        registry = make_registry(n=6, availability=0.0, seed=1)
+        dispatcher = _dispatcher(registry)
+        network = dispatcher.network
+        ids = [s.sensor_id for s in registry.all()]
+
+        first = dispatcher.collect(ids, now=0.0)
+        assert not first.readings
+        assert network.stats.probes_attempted == len(ids)
+
+        during = dispatcher.collect(ids, now=100.0)
+        assert sorted(during.cooldown_skipped) == sorted(ids)
+        assert dispatcher.stats.cooldown_skips == len(ids)
+        assert network.stats.probes_attempted == len(ids), (
+            "cooldown window must suppress wire traffic entirely"
+        )
+
+        after = dispatcher.collect(ids, now=301.0)  # 0 + 300s expired
+        assert not after.cooldown_skipped
+        assert network.stats.probes_attempted == 2 * len(ids), (
+            "expired cooldown must not keep the sensor written off"
+        )
+
+    def test_expired_entry_deleted_and_estimate_recovery_respected(self):
+        """After the cooldown expires the table entry is dropped on the
+        next submit; if the availability model has meanwhile recovered
+        above the threshold, a fresh failure no longer re-arms it."""
+        registry = make_registry(n=1, availability=0.0, seed=1)
+        dispatcher = _dispatcher(registry)
+        sid = registry.all()[0].sensor_id
+
+        dispatcher.collect([sid], now=0.0)
+        assert sid in dispatcher._cooldown_until
+        # Operator intervention / long success history elsewhere: the
+        # model now believes in the sensor again.
+        dispatcher.network.availability_model.seed(sid, successes=20, failures=0)
+        assert dispatcher.network.availability_model.estimate(sid) > 0.5
+
+        dispatcher.collect([sid], now=301.0)
+        assert sid not in dispatcher._cooldown_until, (
+            "expired entry must be deleted, and a healthy estimate must "
+            "not re-arm the cooldown on failure"
+        )
+        again = dispatcher.collect([sid], now=302.0)
+        assert not again.cooldown_skipped
+
+    def test_healthy_estimate_never_enters_cooldown(self):
+        registry = make_registry(n=4, availability=0.0, seed=1)
+        dispatcher = _dispatcher(registry)
+        model = dispatcher.network.availability_model
+        ids = [s.sensor_id for s in registry.all()]
+        for sid in ids:
+            model.seed(sid, successes=10, failures=0)
+        dispatcher.collect(ids, now=0.0)
+        assert not dispatcher._cooldown_until
+        soon = dispatcher.collect(ids, now=1.0)
+        assert not soon.cooldown_skipped
+        assert dispatcher.network.stats.probes_attempted == 2 * len(ids)
+
+
+class TestShardTimeoutDoesNotPoisonRecentTable:
+    def _federation(self):
+        portal = FederatedPortal(
+            n_shards=2,
+            transport=TransportConfig.parity(inflight_ttl=120.0),
+            federation=FederationConfig(
+                shard_retry_budget=0, shard_timeout_seconds=1e-6
+            ),
+            max_sensors_per_query=None,
+        )
+        rng = np.random.default_rng(11)
+        for x, y in rng.random((200, 2)) * 100:
+            portal.register_sensor(
+                GeoPoint(float(x), float(y)),
+                expiry_seconds=600.0,
+                availability=0.5,
+            )
+        portal.rebuild_index()
+        return portal
+
+    def test_recent_table_survives_coordinator_timeout(self):
+        """The coordinator drops a too-slow shard's *answer*, but the
+        shard still did the work: its slot caches and its dispatcher's
+        recently-probed table hold the round's outcomes.  A re-query
+        within the ttl is absorbed (failures served from the table,
+        successes from the tree caches) with zero new wire traffic —
+        the timeout did not poison or wipe transport state."""
+        portal = self._federation()
+        query = SensorQuery(
+            region=Rect(0.0, 0.0, 100.0, 100.0), staleness_seconds=300.0
+        )
+
+        first = portal.execute(query)
+        assert set(first.timed_out_shards) == {0, 1}
+        assert first.partial
+        per_shard = {}
+        for i in range(portal.n_shards):
+            shard = portal.shard(i)
+            stats = shard.network.stats
+            assert stats.probes_attempted > 0
+            failures = stats.probes_attempted - stats.probes_succeeded
+            assert failures > 0
+            assert shard.dispatcher.stats.dedup_recent == 0
+            per_shard[i] = (stats.probes_attempted, failures)
+
+        portal.clock.advance(10.0)
+        second = portal.execute(query)
+        # Served from caches/tables, the round has no wire latency and
+        # comes in under even this absurd timeout.
+        assert not second.timed_out_shards and not second.partial
+        for i, (attempted, failures) in per_shard.items():
+            shard = portal.shard(i)
+            assert shard.network.stats.probes_attempted == attempted, (
+                "re-query within ttl must be served from the tables"
+            )
+            assert shard.dispatcher.stats.dedup_recent == failures
+
+    def test_generous_timeout_leaves_answers_whole(self):
+        portal = self._federation()
+        relaxed = FederatedPortal(
+            n_shards=2,
+            transport=TransportConfig.parity(inflight_ttl=120.0),
+            federation=FederationConfig(shard_retry_budget=0),
+            max_sensors_per_query=None,
+        )
+        rng = np.random.default_rng(11)
+        for x, y in rng.random((200, 2)) * 100:
+            relaxed.register_sensor(
+                GeoPoint(float(x), float(y)),
+                expiry_seconds=600.0,
+                availability=0.5,
+            )
+        relaxed.rebuild_index()
+        query = SensorQuery(
+            region=Rect(0.0, 0.0, 100.0, 100.0), staleness_seconds=300.0
+        )
+        strict = portal.execute(query)
+        whole = relaxed.execute(query)
+        assert not whole.partial and not whole.timed_out_shards
+        assert whole.result_weight > strict.result_weight
