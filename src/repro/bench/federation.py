@@ -27,11 +27,22 @@ A degradation probe then kills one shard of the widest federation and
 asserts the workload yields flagged partial answers — never an
 exception — with the other shards' results intact.
 
+A **shortfall-recovery probe** exercises the coordinator-level
+REDISTRIBUTE (Algorithm 2 lifted to the federation): an
+availability-skewed fleet (one spatial half near-dead) makes the flaky
+shards' overlap-weighted shares exceed what their pools can deliver, so
+the first gather of a large sampled query comes up short by >= 10%.
+With redistribution off the shortfall stands; with it on, the top-up
+round re-splits the shortfall over the healthy shards' residual pools
+and the achieved size must recover to within 2% of the target (or every
+routed shard must be provably drained).
+
 Results land in ``BENCH_federation.json`` (or ``--output``).
-``--quick`` shrinks the fleet for CI smoke runs (both parity gates and
-the degradation probe still run); ``--check`` additionally asserts the
-acceptance thresholds (>= 1.5x batch-query throughput at 4 shards vs 1,
-and partial — not failed — answers with a dead shard).
+``--quick`` shrinks the fleet for CI smoke runs (both parity gates, the
+degradation probe and the shortfall probe still run); ``--check``
+additionally asserts the acceptance thresholds (>= 1.5x batch-query
+throughput at 4 shards vs 1, partial — not failed — answers with a dead
+shard, and the shortfall-recovery bounds above).
 
 Run with ``PYTHONPATH=src python -m repro.bench.federation``.
 """
@@ -41,11 +52,13 @@ from __future__ import annotations
 import argparse
 import json
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
+from repro.core.config import COLRTreeConfig
 from repro.federation import FederatedPortal, FederationConfig, make_partitioner
 from repro.geometry import GeoPoint, Polygon, Rect
 from repro.portal import SensorMapPortal, SensorQuery
@@ -94,8 +107,10 @@ def make_unsharded(
     flaky_fraction: float = FLAKY_FRACTION,
     reliable_availability: float = RELIABLE_AVAILABILITY,
     network_options: dict | None = None,
+    config: COLRTreeConfig | None = None,
 ) -> SensorMapPortal:
     portal = SensorMapPortal(
+        config=config,
         max_sensors_per_query=None,
         transport=transport,
         network_options=dict(
@@ -121,15 +136,18 @@ def make_federation(
     flaky_fraction: float = FLAKY_FRACTION,
     reliable_availability: float = RELIABLE_AVAILABILITY,
     network_options: dict | None = None,
+    federation: FederationConfig | None = None,
+    config: COLRTreeConfig | None = None,
 ) -> FederatedPortal:
     portal = FederatedPortal(
         partitioner=make_partitioner(partitioner_kind, n_shards, seed=seed),
+        config=config,
         max_sensors_per_query=None,
         transport=transport,
         network_options=dict(
             NETWORK_OPTIONS if network_options is None else network_options
         ),
-        federation=BENCH_FEDERATION,
+        federation=BENCH_FEDERATION if federation is None else federation,
     )
     for location, expiry, sensor_type, availability in _fleet(
         n_sensors, seed, flaky_fraction, reliable_availability
@@ -285,6 +303,12 @@ def check_conservation(n_sensors: int, seed: int, shard_counts: Sequence[int]) -
     one shard; warm multi-shard answers legitimately differ because the
     shard trees cache different node aggregates)."""
     det = {"latency_jitter": 0.0}
+    # Oversampling off on both sides: with every sensor reliable but
+    # *unobserved*, the Beta-prior estimate of 0.5 would double each
+    # leaf's probe count, and that rounding noise lands differently on
+    # one big tree than on eight small ones — exactly the kind of drift
+    # this gate is not about.
+    exact = COLRTreeConfig(oversampling_enabled=False)
     for qi, query in enumerate(_parity_queries()):
         reference = make_unsharded(
             n_sensors,
@@ -292,6 +316,7 @@ def check_conservation(n_sensors: int, seed: int, shard_counts: Sequence[int]) -
             flaky_fraction=0.0,
             reliable_availability=1.0,
             network_options=det,
+            config=exact,
         )
         want = reference.execute(query).result_weight
         for n_shards in shard_counts:
@@ -304,17 +329,25 @@ def check_conservation(n_sensors: int, seed: int, shard_counts: Sequence[int]) -
                 flaky_fraction=0.0,
                 reliable_availability=1.0,
                 network_options=det,
+                config=exact,
+                # This gate measures what Algorithm 1's *scatter split*
+                # conserves on its own; cross-shard top-up rounds
+                # legitimately add weight on top and are gated
+                # separately by the shortfall-recovery probe.
+                federation=replace(
+                    BENCH_FEDERATION, redistribution_enabled=False
+                ),
             )
             got = fed.execute(query).result_weight
             if query.sample_size:
                 # Sampled sizes are only approximately conserved: the
                 # scattered shares sum to the unsharded target, but
                 # overlap-weighted apportionment estimates per-shard
-                # populations, Algorithm 2 cannot redistribute
-                # shortfalls across shards, and polygonal regions
-                # overshoot via their bounding-box share weights
-                # differently per shard geometry.  Bound the drift at
-                # 25% (or one whole target for tiny samples).
+                # populations, per-shard shortfalls are not topped up
+                # here (redistribution is off for this gate), and
+                # polygonal regions overshoot their clipped share
+                # weights differently per shard geometry.  Bound the
+                # drift at 25% (or one whole target for tiny samples).
                 slack = max(query.sample_size, int(0.25 * want))
                 if abs(got - want) > slack:
                     raise AssertionError(
@@ -365,6 +398,119 @@ def run_shard_count(
     }
 
 
+SHORTFALL_FLAKY_AVAILABILITY = 0.1
+SHORTFALL_CALIBRATION_OBS = 400
+
+
+def _skewed_fleet(n_sensors: int, seed: int):
+    """A spatially availability-skewed fleet: sensors in the left half
+    of the extent are near-dead (a = 0.1), the right half is perfectly
+    reliable.  Under a spatial grid partitioner this concentrates the
+    flaky sensors on one side's shards, which is exactly the regime
+    where per-shard Algorithm 2 cannot help — the flaky shards' whole
+    in-region pools are too small to deliver their overlap-weighted
+    shares — and only a cross-shard top-up can close the gap."""
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0.0, EXTENT, n_sensors)
+    ys = rng.uniform(0.0, EXTENT, n_sensors)
+    expiries = rng.uniform(120.0, 600.0, n_sensors)
+    for i in range(n_sensors):
+        availability = (
+            SHORTFALL_FLAKY_AVAILABILITY if xs[i] < EXTENT / 2.0 else 1.0
+        )
+        yield (
+            GeoPoint(float(xs[i]), float(ys[i])),
+            float(expiries[i]),
+            SENSOR_TYPES[i % len(SENSOR_TYPES)],
+            availability,
+        )
+
+
+def make_skewed_federation(
+    n_sensors: int, seed: int, n_shards: int, redistribution_rounds: int
+) -> FederatedPortal:
+    """A federation over the skewed fleet with calibrated availability
+    estimates (the deployed portal would have probe history), a
+    jitter-free network, and redistribution dialed to
+    ``redistribution_rounds``."""
+    fed = FederatedPortal(
+        partitioner=make_partitioner("grid", n_shards, seed=seed),
+        max_sensors_per_query=None,
+        network_options={"latency_jitter": 0.0},
+        federation=FederationConfig(
+            shard_retry_budget=0,
+            redistribution_enabled=redistribution_rounds > 0,
+            redistribution_rounds=max(redistribution_rounds, 0),
+        ),
+    )
+    for location, expiry, sensor_type, availability in _skewed_fleet(n_sensors, seed):
+        fed.register_sensor(
+            location, expiry, sensor_type=sensor_type, availability=availability
+        )
+    fed.rebuild_index()
+    obs = SHORTFALL_CALIBRATION_OBS
+    for shard in fed.shards():
+        for sensor in shard.registry.all():
+            successes = round(sensor.availability * obs)
+            shard.availability.seed(sensor.sensor_id, successes, obs - successes)
+    return fed
+
+
+def run_shortfall_recovery(
+    n_sensors: int, seed: int, n_shards: int = 8, redistribution_rounds: int = 1
+) -> dict:
+    """Measure the first-round shortfall of a whole-extent sampled query
+    on the skewed fleet, then how much a single cross-shard top-up round
+    recovers.  Both runs share the fleet, seeds and the round-1 scatter,
+    so the delta is redistribution alone.
+
+    The SAMPLESIZE target is an eighth of the fleet (per type tree —
+    half the fleet in readings): large enough that the flaky shards'
+    shares dwarf what their near-dead pools can deliver (>= 10% first
+    round shortfall), small enough that the healthy shards keep genuine
+    residual pool for the top-up to draw on.  Shortfall and recovery
+    are reported against ``sample_requested`` — the federated target in
+    readings, which is the unit ``result_weight`` counts in."""
+    target_units = n_sensors // 8
+    query = SensorQuery(
+        region=Rect(0.0, 0.0, EXTENT, EXTENT),
+        staleness_seconds=STALENESS,
+        sample_size=target_units,
+    )
+    off = make_skewed_federation(n_sensors, seed, n_shards, redistribution_rounds=0)
+    result_off = off.execute(query)
+    first_round = result_off.result_weight
+
+    on = make_skewed_federation(
+        n_sensors, seed, n_shards, redistribution_rounds=max(1, redistribution_rounds)
+    )
+    result_on = on.execute(query)
+    recovered = result_on.result_weight
+
+    target = result_on.sample_requested
+    assert target is not None and target == result_off.sample_requested
+    shortfall_fraction = (target - first_round) / target
+    recovered_gap = max(0, target - recovered) / target
+    return {
+        "n_sensors": n_sensors,
+        "n_shards": n_shards,
+        "target_units": target_units,
+        "target_readings": target,
+        "flaky_availability": SHORTFALL_FLAKY_AVAILABILITY,
+        "first_round_achieved": first_round,
+        "first_round_shortfall_fraction": shortfall_fraction,
+        "recovered_achieved": recovered,
+        "recovered_gap_fraction": recovered_gap,
+        "redistribution_rounds_run": result_on.redistribution_rounds_run,
+        "topup_sensors_gained": result_on.topup_sensors_gained,
+        "residual_shortfall": result_on.sampled_shortfall,
+        "pool_exhausted_shards": list(result_on.pool_exhausted_shards),
+        "all_pools_exhausted": len(result_on.pool_exhausted_shards) >= n_shards,
+        "topup_collection_charged": result_on.collection_seconds
+        > result_off.collection_seconds,
+    }
+
+
 def run_degradation(n_sensors: int, seed: int, n_shards: int) -> dict:
     """Kill one shard of a federation mid-workload; the answers must
     degrade to flagged partials, never raise."""
@@ -400,6 +546,7 @@ def run_federation_bench(
     seed: int = 0,
     partitioner_kind: str = "grid",
     quick: bool = False,
+    redistribution_rounds: int = 1,
 ) -> dict:
     if quick:
         n_sensors, shard_counts, level, ticks = 2_500, (1, 2, 4), 32, 4
@@ -416,6 +563,12 @@ def run_federation_bench(
         row["speedup_vs_1"] = base / max(1e-12, row["modeled_seconds"])
     degradation = run_degradation(
         min(n_sensors, 4_000), seed, n_shards=max(shard_counts)
+    )
+    shortfall = run_shortfall_recovery(
+        4_000 if quick else n_sensors,
+        seed,
+        n_shards=8,
+        redistribution_rounds=redistribution_rounds,
     )
     return {
         "benchmark": "federation_scatter_gather",
@@ -442,10 +595,12 @@ def run_federation_bench(
                 "retry_backoff_base": BENCH_FEDERATION.retry_backoff_base,
                 "retry_backoff_multiplier": BENCH_FEDERATION.retry_backoff_multiplier,
             },
+            "redistribution_rounds": redistribution_rounds,
         },
         "parity": {"status": "identical", "cells": parity_cells},
         "shard_counts": per_count,
         "degradation": degradation,
+        "shortfall_recovery": shortfall,
     }
 
 
@@ -457,6 +612,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--partitioner", choices=("grid", "kmeans"), default="grid"
+    )
+    parser.add_argument(
+        "--redistribution-rounds",
+        type=int,
+        default=1,
+        help="top-up scatter rounds the shortfall-recovery probe grants "
+        "the coordinator (the 'off' baseline always runs with 0)",
     )
     parser.add_argument(
         "--quick", action="store_true", help="CI smoke scale (parity still asserted)"
@@ -481,6 +643,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         partitioner_kind=args.partitioner,
         quick=args.quick,
+        redistribution_rounds=args.redistribution_rounds,
     )
     args.output.write_text(json.dumps(result, indent=2) + "\n")
     print(f"parity: {result['parity']['cells']} cells identical")
@@ -498,6 +661,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"{d['degraded_partial']} weight {d['healthy_weight']} -> "
         f"{d['degraded_weight']}, recovered partial={d['recovered_partial']}"
     )
+    s = result["shortfall_recovery"]
+    print(
+        f"  shortfall: {s['n_shards']} shards, target {s['target_readings']} -> "
+        f"round 1 {s['first_round_achieved']} "
+        f"({s['first_round_shortfall_fraction']:.1%} short), "
+        f"redistributed -> {s['recovered_achieved']} "
+        f"(gap {s['recovered_gap_fraction']:.1%}, "
+        f"+{s['topup_sensors_gained']} in "
+        f"{s['redistribution_rounds_run']} round(s))"
+    )
     print(f"federation bench -> {args.output}")
     if args.check:
         four = [r for r in result["shard_counts"] if r["shards"] == 4]
@@ -512,6 +685,19 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 1
         if not d["degraded_partial"] or d["recovered_partial"]:
             print("FAIL: dead shard did not degrade to a flagged partial answer")
+            return 1
+        if s["first_round_shortfall_fraction"] < 0.10:
+            print(
+                f"FAIL: skewed-fleet first round only "
+                f"{s['first_round_shortfall_fraction']:.1%} short (< 10% — the "
+                "probe is not exercising a real shortfall)"
+            )
+            return 1
+        if s["recovered_gap_fraction"] > 0.02 and not s["all_pools_exhausted"]:
+            print(
+                f"FAIL: redistribution left a {s['recovered_gap_fraction']:.1%} "
+                "gap to target without provable pool exhaustion"
+            )
             return 1
         print("acceptance thresholds met")
     return 0

@@ -76,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
     federation.add_argument(
         "--partitioner", choices=("grid", "kmeans"), default="grid"
     )
+    federation.add_argument(
+        "--redistribution-rounds",
+        type=int,
+        default=1,
+        help="cross-shard top-up rounds granted to the shortfall probe",
+    )
     federation.add_argument("--quick", action="store_true")
     return parser
 
@@ -161,7 +167,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if command == "federation":
         from repro.bench.federation import main as federation_main
 
-        argv = ["--sensors", str(args.sensors), "--partitioner", args.partitioner]
+        argv = [
+            "--sensors",
+            str(args.sensors),
+            "--partitioner",
+            args.partitioner,
+            "--redistribution-rounds",
+            str(args.redistribution_rounds),
+        ]
         if args.quick:
             argv.append("--quick")
         return federation_main(argv)
@@ -279,6 +292,12 @@ def _demo_federated(n_sensors: int, n_shards: int, transport: bool = False) -> i
     print(
         f"coordinator: {f.queries} queries, {f.subqueries_scattered} sub-queries, "
         f"{f.shard_retries} shard retries, {f.partial_answers} partial answers"
+    )
+    print(
+        f"redistribution: {f.redistributions} triggered, "
+        f"{f.topup_subqueries} top-up sub-queries, "
+        f"{f.topup_sensors_gained} sensors recovered, "
+        f"residual shortfall {f.sampled_shortfall}"
     )
     return 0
 

@@ -117,6 +117,7 @@ def layered_sample(
     answer = QueryAnswer()
     if target_size <= 0:
         return answer
+    answer.stats.sample_target = float(target_size)
     config = tree.config
     t_level = terminal_level if terminal_level is not None else config.terminal_level
     if t_level < 0:
@@ -335,6 +336,10 @@ def _probe_node(
     # holes) leave a gap to redistribute.
     if len(probed_ids) < k:
         # Pool exhausted: a genuine shortfall, credited at face value.
+        # Surfaced on the stats so the portal (and above it the
+        # federation coordinator) can tell "this shard has no more
+        # sensors to give" apart from transient probe failures.
+        answer.stats.pool_exhausted_terminals += 1
         return float(cached_weight + len(probed_ids))
     return float(cached_weight) + max(0.0, need)
 

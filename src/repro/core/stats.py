@@ -56,6 +56,16 @@ class QueryStats:
     probes_timed_out: int = 0
     probes_deduped: int = 0
     probes_cooldown_skipped: int = 0
+    # Sampling-guarantee instrumentation (observational).  The sampler
+    # used to bury achieved-vs-requested inside its terminal records;
+    # the federation's cross-shard REDISTRIBUTE needs both surfaced:
+    # ``sample_target`` is the target size handed to layered sampling
+    # (0 for exact lookups) and ``pool_exhausted_terminals`` counts
+    # terminals whose in-region sensor pool could not cover the rounded
+    # probe request — the *genuine* shortfall signal of Algorithm 2, as
+    # opposed to rounding noise.
+    sample_target: float = 0.0
+    pool_exhausted_terminals: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another stats record into this one."""

@@ -41,6 +41,21 @@ class FederationConfig:
         scattering to it for this long (simulated seconds); queries
         touching its region come back partial without paying the retry
         backoff again.  0 disables shard cooldown.
+    redistribution_enabled:
+        Coordinator-level REDISTRIBUTE (Algorithm 2 one level up): when
+        a sampled scatter's first gather comes up short of the federated
+        target, the aggregate shortfall is re-split over shards with
+        remaining pool and collected in a bounded second round.  Only
+        applies when more than one shard was routed — a single routed
+        shard already ran Algorithm 2 over its whole pool, so there is
+        nothing to borrow and the 1-shard pass-through stays
+        bit-identical to the unsharded portal.
+    redistribution_rounds:
+        Upper bound on top-up scatter rounds per query.  Each round's
+        collection cost is charged to the gather makespan; rounds stop
+        early once the shortfall closes, no candidate shard has residual
+        pool, or a round gains nothing.  0 disables redistribution even
+        when ``redistribution_enabled`` is true.
     """
 
     shard_retry_budget: int = 1
@@ -48,6 +63,8 @@ class FederationConfig:
     retry_backoff_multiplier: float = 2.0
     shard_timeout_seconds: float | None = None
     cooldown_seconds: float = 0.0
+    redistribution_enabled: bool = True
+    redistribution_rounds: int = 1
 
     def __post_init__(self) -> None:
         if self.shard_retry_budget < 0:
@@ -60,3 +77,5 @@ class FederationConfig:
             raise ValueError("shard_timeout_seconds must be positive or None")
         if self.cooldown_seconds < 0:
             raise ValueError("cooldown_seconds must be non-negative")
+        if self.redistribution_rounds < 0:
+            raise ValueError("redistribution_rounds must be non-negative")

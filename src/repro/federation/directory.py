@@ -12,11 +12,12 @@ integer shares always sum to the requested target.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.core.region import Region, region_overlap_fraction
-from repro.geometry import Rect
+from repro.geometry import Polygon, Rect
 from repro.sensors.sensor import Sensor
 
 __all__ = ["ShardDirectory", "ShardEntry", "ShardRoute"]
@@ -92,13 +93,73 @@ class ShardDirectory:
         for e in self._entries:
             if sensor_type is not None and sensor_type not in e.sensor_types:
                 continue
-            overlap = region_overlap_fraction(e.mbr, region)
-            if overlap <= 0.0 and not region.intersects_rect(e.mbr):
+            # Exact intersection gate: a polygonal region whose *bounding
+            # box* touches the shard MBR but whose interior never does
+            # must get weight 0 (i.e. not be routed at all) instead of a
+            # positive bbox-approximated share.
+            if not region.intersects_rect(e.mbr):
                 continue
+            overlap = _shard_overlap(e.mbr, region)
             routes.append(
                 ShardRoute(e.shard_id, overlap, e.weight * max(overlap, 1e-12))
             )
         return routes
+
+    def residual_routes(
+        self,
+        routes: Sequence[ShardRoute],
+        achieved: Mapping[int, int],
+        exclude: set[int] | frozenset[int] = frozenset(),
+    ) -> list[ShardRoute]:
+        """Routes reweighted by *remaining pool* for a top-up round.
+
+        Each shard's in-region pool is estimated exactly as the share
+        rule estimates it — ``population x overlap`` — minus what the
+        shard already delivered this query.  Shards in ``exclude``
+        (exhausted / failed / timed out / cooled down) and shards with
+        no whole sensor of residual capacity are dropped; the residual
+        weight doubles as the integer top-up cap
+        (:meth:`split_target_capped`).
+        """
+        residual: list[ShardRoute] = []
+        for route in routes:
+            if route.shard_id in exclude:
+                continue
+            entry = self._entries[route.shard_id]
+            pool = int(math.floor(entry.weight * min(1.0, max(route.overlap, 0.0))))
+            remaining = pool - int(achieved.get(route.shard_id, 0))
+            if remaining < 1:
+                continue
+            residual.append(ShardRoute(route.shard_id, route.overlap, float(remaining)))
+        return residual
+
+    @staticmethod
+    def split_target_capped(
+        target: int, routes: Sequence[ShardRoute], caps: Mapping[int, int]
+    ) -> dict[int, int]:
+        """Largest-remainder split bounded by per-shard capacities.
+
+        Allocates exactly ``min(target, total capacity)`` — integer
+        conservation up to provable pool exhaustion — without ever
+        exceeding a shard's cap.  Water-filling: split the remainder
+        proportionally, clamp each share to the shard's headroom, drop
+        saturated shards, repeat.  Every iteration either finishes the
+        target or saturates at least one shard, so the loop terminates
+        within ``len(routes)`` passes.
+        """
+        if target < 0:
+            raise ValueError("target must be non-negative")
+        shares = {r.shard_id: 0 for r in routes}
+        live = [r for r in routes if caps.get(r.shard_id, 0) > 0]
+        remaining = min(target, sum(caps[r.shard_id] for r in live))
+        while remaining > 0 and live:
+            split = ShardDirectory.split_target(remaining, live)
+            for r in live:
+                take = min(split[r.shard_id], caps[r.shard_id] - shares[r.shard_id])
+                shares[r.shard_id] += take
+                remaining -= take
+            live = [r for r in live if caps[r.shard_id] > shares[r.shard_id]]
+        return shares
 
     @staticmethod
     def split_target(target: int, routes: Sequence[ShardRoute]) -> dict[int, int]:
@@ -124,3 +185,26 @@ class ShardDirectory:
         for sid, _ in by_frac[:remainder]:
             shares[sid] += 1
         return shares
+
+
+def _shard_overlap(mbr: Rect, region: Region) -> float:
+    """``Overlap(BB(shard), A)`` with exact polygon geometry.
+
+    Rectangular viewports keep the exact rectangle-overlap fraction.
+    Polygonal regions are clipped against the shard MBR
+    (Sutherland–Hodgman) so the share weight reflects the area the
+    polygon *actually* covers inside the shard, not its bounding box —
+    the in-tree sampler still uses the bbox approximation (changing it
+    would perturb pinned RNG streams), but at the federation level the
+    bbox weights demonstrably mis-split across shard geometries.
+    """
+    if isinstance(region, Polygon):
+        if mbr.area <= 0.0:
+            # Point-like shard: all-or-nothing, mirroring
+            # Rect.overlap_fraction's degenerate-rectangle rule.
+            return 1.0 if region.contains_point(mbr.center) else 0.0
+        clipped = region.clip_to_rect(mbr)
+        if clipped is None:
+            return 0.0
+        return min(1.0, clipped.area / mbr.area)
+    return region_overlap_fraction(mbr, region)

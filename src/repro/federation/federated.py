@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.core.aggregates import AggregateSketch
 from repro.core.config import COLRTreeConfig
 from repro.core.stats import ProcessingCostModel
 from repro.federation.config import FederationConfig
@@ -70,6 +71,80 @@ class ShardDownError(RuntimeError):
     """A shard did not answer (killed, crashed, unreachable)."""
 
 
+def _result_sensor_ids(result: PortalResult) -> set[int]:
+    """The distinct sensors a shard answer carries readings for (cached
+    aggregate sketches are anonymous and cannot be deduplicated, but
+    the sampled answers redistribution deals in carry raw readings)."""
+    ids: set[int] = set()
+    for answer in result.answers:
+        for reading in answer.probed_readings:
+            ids.add(reading.sensor_id)
+        for reading in answer.cached_readings:
+            ids.add(reading.sensor_id)
+    return ids
+
+
+def _capped_new_ids(result: PortalResult, seen: set[int], cap: int) -> set[int]:
+    """Distinct unseen sensor ids in a top-up answer, in answer order,
+    truncated so their readings do not exceed ``cap``.
+
+    The cap is what keeps a top-up round *bounded*: a shard whose slot
+    caches are cold (caching disabled, or evicted between rounds)
+    answers the incremental request with a fresh independent sample, so
+    the raw unseen portion can dwarf the share the coordinator actually
+    asked it to contribute.  Only the first ``cap`` readings' worth of
+    new sensors count; the rest are stripped with the repeats."""
+    kept: set[int] = set()
+    readings = 0
+    for answer in result.answers:
+        for reading in list(answer.probed_readings) + list(answer.cached_readings):
+            sensor_id = reading.sensor_id
+            if sensor_id in seen or sensor_id in kept:
+                continue
+            if readings >= cap:
+                return kept
+            kept.add(sensor_id)
+            readings += 1
+    return kept
+
+
+def _dedup_topup_result(result: PortalResult, new_ids: set[int]) -> None:
+    """Strip a top-up answer down to the sensors the federation had not
+    delivered yet.
+
+    A top-up sub-query re-targets a shard whose slot caches the first
+    round just warmed, so much of its answer is a cache-served repeat of
+    round 1 (that is the communication-efficient part: the repeat costs
+    no probes).  The merged federated answer must not report a sensor
+    twice, so the repeat portion is dropped here — readings filtered in
+    place, display groups rebuilt from the surviving readings (groups
+    carrying only anonymous aggregates are kept as-is; sampled answers
+    do not produce them)."""
+    for answer in result.answers:
+        answer.probed_readings = [
+            r for r in answer.probed_readings if r.sensor_id in new_ids
+        ]
+        answer.cached_readings = [
+            r for r in answer.cached_readings if r.sensor_id in new_ids
+        ]
+    groups = []
+    for group in result.groups:
+        if not group.readings:
+            if group.sketch.count:
+                groups.append(group)
+            continue
+        kept = [r for r in group.readings if r.sensor_id in new_ids]
+        if not kept:
+            continue
+        sketch = AggregateSketch()
+        for r in kept:
+            sketch.add(r.value, r.timestamp)
+        group.readings = kept
+        group.sketch = sketch
+        groups.append(group)
+    result.groups = groups
+
+
 @dataclass
 class FederationStats:
     """Cumulative coordinator accounting (shard-local work is metered by
@@ -88,6 +163,16 @@ class FederationStats:
     shard_timeouts: int = 0
     shard_cooldown_skips: int = 0
     partial_answers: int = 0
+    # Cross-shard REDISTRIBUTE accounting: queries whose first gather
+    # came up short and triggered a top-up scatter, the rounds actually
+    # run, the top-up sub-queries issued, the sensors the rounds
+    # recovered, and the shortfall still standing after the final round
+    # (> 0 only on provable pool exhaustion or failed top-ups).
+    redistributions: int = 0
+    redistribution_rounds_run: int = 0
+    topup_subqueries: int = 0
+    topup_sensors_gained: int = 0
+    sampled_shortfall: int = 0
 
 
 @dataclass
@@ -100,10 +185,22 @@ class FederatedResult(PortalResult):
     failed_shards: tuple[int, ...] = ()
     timed_out_shards: tuple[int, ...] = ()
     shard_retries: int = 0
+    # Cross-shard REDISTRIBUTE provenance.  ``topup_results`` lists the
+    # round-2+ per-shard answers in collection order (a shard can appear
+    # both here and in ``shard_results`` — its first-round answer and
+    # its top-up are distinct collections); a shard in ``failed_shards``
+    # that *also* has a ``shard_results`` entry failed during a top-up
+    # round, keeping its first-round readings.
+    topup_results: tuple[tuple[int, PortalResult], ...] = ()
+    redistribution_rounds_run: int = 0
+    topup_sensors_gained: int = 0
+    sampled_shortfall: int = 0
+    pool_exhausted_shards: tuple[int, ...] = ()
 
     @property
     def partial(self) -> bool:
-        """True when at least one routed shard's answer is missing."""
+        """True when at least one routed shard's answer (first-round or
+        top-up) is missing."""
         return bool(self.failed_shards or self.timed_out_shards)
 
 
@@ -125,6 +222,8 @@ class FederatedBatchResult:
     shard_seconds: dict[int, float] = field(default_factory=dict)
     failed_shards: tuple[int, ...] = ()
     timed_out_shards: tuple[int, ...] = ()
+    redistribution_rounds_run: int = 0
+    topup_sensors_gained: int = 0
 
     @property
     def partial(self) -> bool:
@@ -138,6 +237,20 @@ class _ShardState:
     killed: bool = False
     consecutive_failures: int = 0
     down_until: float = 0.0
+
+
+@dataclass
+class _TopupOutcome:
+    """What the cross-shard REDISTRIBUTE rounds produced for one query."""
+
+    extra: list[tuple[int, PortalResult]] = field(default_factory=list)
+    collection_seconds: float = 0.0
+    rounds_run: int = 0
+    sensors_gained: int = 0
+    shortfall: int = 0
+    failed: list[int] = field(default_factory=list)
+    timed_out: list[int] = field(default_factory=list)
+    pool_exhausted: tuple[int, ...] = ()
 
 
 class FederatedPortal:
@@ -400,16 +513,189 @@ class FederatedPortal:
         return plan
 
     # ------------------------------------------------------------------
+    # Cross-shard REDISTRIBUTE (Algorithm 2 one level up)
+    # ------------------------------------------------------------------
+    def _readings_per_unit(self, query: SensorQuery, shard_id: int) -> int:
+        """How many readings one unit of SAMPLESIZE asks a shard for.
+
+        Shard portals sample per type tree, so an untyped query fans
+        each unit out to every type the shard holds; a typed query runs
+        on exactly one tree."""
+        if query.sensor_type is not None:
+            return 1
+        assert self._directory is not None
+        return max(1, len(self._directory.entry(shard_id).sensor_types))
+
+    def _target_readings(self, query: SensorQuery, target: int | None) -> int | None:
+        """The federated target in *readings*: what the unsharded portal
+        would aim to collect for the same query (``target`` per type
+        tree, Section III-B), which is the unit ``result_weight`` counts
+        in and therefore the unit shortfalls are measured in."""
+        if target is None:
+            return None
+        if query.sensor_type is not None:
+            return target
+        assert self._directory is not None
+        types: set[str] = set()
+        for e in self._directory.entries():
+            types |= e.sensor_types
+        return target * max(1, len(types))
+
+    def _redistribute(
+        self,
+        query: SensorQuery,
+        target: int | None,
+        routes: Sequence[ShardRoute],
+        shard_results: dict[int, PortalResult],
+        unavailable: set[int],
+    ) -> _TopupOutcome:
+        """Top up a sampled scatter whose first gather came up short.
+
+        Per round: compare the aggregate achieved count to ``target``,
+        re-split the shortfall over shards with *remaining pool*
+        (overlap-weighted residual capacity, integer-conserving up to
+        provable pool exhaustion, never exceeding a shard's residual),
+        and collect the top-up sub-queries.  A shard is excluded once it
+        signals pool exhaustion or a top-up round gains less than its
+        share (it has nothing left to give — its own Algorithm 2 already
+        spread the request over its whole in-region pool), and when it
+        failed, timed out, was killed or sits in coordinator cooldown.
+        Each
+        round's collection is charged as one more slot of the gather
+        makespan; per-sensor dedup across rounds is the shard
+        dispatcher's in-flight/recently-probed tables' job.
+
+        Single-routed-shard scatters skip redistribution entirely, which
+        keeps the 1-shard federation bit-identical to the unsharded
+        portal (no extra shard calls, no extra RNG draws).
+        """
+        outcome = _TopupOutcome()
+        cfg = self.federation
+        if (
+            target is None
+            or not cfg.redistribution_enabled
+            or cfg.redistribution_rounds <= 0
+            or len(routes) <= 1
+        ):
+            return outcome
+        # All coordinator arithmetic below runs in *readings* — the unit
+        # ``result_weight`` counts in.  ``requested`` arrives in
+        # SAMPLESIZE units (what the scatter plan carried) and converts
+        # per shard by its type-tree fan-out.
+        target_readings = self._target_readings(query, target)
+        assert target_readings is not None
+        achieved: dict[int, int] = {
+            sid: r.result_weight for sid, r in shard_results.items()
+        }
+        # Distinct sensors each shard has delivered so far.  Top-up
+        # requests are *incremental*: the shard is asked for its running
+        # total plus the new share, so its freshly warmed slot caches
+        # serve the repeat portion without probes and the sampler walks
+        # past them to genuinely new sensors; the repeat is then stripped
+        # from the top-up answer and only new sensors count as gain.
+        delivered: dict[int, set[int]] = {
+            sid: _result_sensor_ids(r) for sid, r in shard_results.items()
+        }
+        # Shards with nothing left to give: their own sampler walked the
+        # entire in-region pool and said so.  Mild under-delivery alone
+        # does *not* pre-drain a shard — a one-probe miss on a healthy
+        # shard must not bar it from the residual pool; the top-up round
+        # itself drains any shard whose incremental request gains less
+        # than its share.
+        drained: set[int] = {
+            sid for sid, r in shard_results.items() if r.pool_exhausted
+        }
+        for _ in range(cfg.redistribution_rounds):
+            shortfall = target_readings - sum(achieved.values())
+            if shortfall < 1:
+                break
+            now = self.clock.now()
+            exclude = set(unavailable) | drained | set(outcome.failed)
+            exclude |= set(outcome.timed_out)
+            for route in routes:
+                state = self._states.get(route.shard_id)
+                if state is None or state.killed or state.down_until > now:
+                    exclude.add(route.shard_id)
+            assert self._directory is not None
+            residual = self._directory.residual_routes(routes, achieved, exclude)
+            if not residual:
+                break
+            caps = {r.shard_id: int(r.weight) for r in residual}
+            shares = ShardDirectory.split_target_capped(shortfall, residual, caps)
+            round_penalties: dict[int, float] = {}
+            round_slots = [0.0]
+            gained_this_round = 0
+            for route in residual:
+                sid = route.shard_id
+                share = shares.get(sid, 0)
+                if share == 0:
+                    continue
+                # The share is in readings; the sub-query's SAMPLESIZE is
+                # per type tree, so round the covering request up.  The
+                # request is the shard's running distinct total plus the
+                # share — the already-delivered part is cache-served.
+                seen = delivered.setdefault(sid, set())
+                rpu = self._readings_per_unit(query, sid)
+                units = -(-(len(seen) + share) // rpu)
+                self.stats.topup_subqueries += 1
+                result = self._call_shard(
+                    sid,
+                    lambda p, q=replace(query, sample_size=units): p.execute(q),
+                    round_penalties,
+                )
+                if result is None:
+                    if sid not in outcome.failed:
+                        outcome.failed.append(sid)
+                    round_slots.append(round_penalties.get(sid, 0.0))
+                    continue
+                assert isinstance(result, PortalResult)
+                if self._shard_timed_out(
+                    result.collection_seconds, round_penalties, sid
+                ):
+                    if sid not in outcome.timed_out:
+                        outcome.timed_out.append(sid)
+                    round_slots.append(round_penalties.get(sid, 0.0))
+                    continue
+                new_ids = _capped_new_ids(result, seen, share)
+                _dedup_topup_result(result, new_ids)
+                outcome.extra.append((sid, result))
+                got = len(new_ids)
+                seen |= new_ids
+                achieved[sid] = achieved.get(sid, 0) + got
+                gained_this_round += got
+                if got < share or result.pool_exhausted:
+                    drained.add(sid)
+                round_slots.append(
+                    result.collection_seconds + round_penalties.get(sid, 0.0)
+                )
+            outcome.rounds_run += 1
+            outcome.sensors_gained += gained_this_round
+            outcome.collection_seconds += max(round_slots)
+            if gained_this_round == 0:
+                break
+        outcome.shortfall = max(0, target_readings - sum(achieved.values()))
+        outcome.pool_exhausted = tuple(sorted(drained))
+        if outcome.rounds_run:
+            self.stats.redistributions += 1
+            self.stats.redistribution_rounds_run += outcome.rounds_run
+            self.stats.topup_sensors_gained += outcome.sensors_gained
+        self.stats.sampled_shortfall += outcome.shortfall
+        return outcome
+
+    # ------------------------------------------------------------------
     # User side
     # ------------------------------------------------------------------
     def execute_sql(self, sql: str) -> FederatedResult:
         return self.execute(parse_query(sql))
 
     def execute(self, query: SensorQuery) -> FederatedResult:
-        """Scatter one query, gather the partial answers."""
+        """Scatter one query, gather — then, for sampled queries that
+        came up short, run the bounded cross-shard top-up rounds before
+        merging."""
         self._ensure_index()
         self.stats.queries += 1
-        plan = self._scatter_plan(query, self._route(query))
+        routes = self._route(query)
+        plan = self._scatter_plan(query, routes)
         self.stats.subqueries_scattered += len(plan)
         penalties: dict[int, float] = {}
         shard_results: dict[int, PortalResult] = {}
@@ -428,6 +714,16 @@ class FederatedPortal:
                 timed_out.append(shard_id)
                 continue
             shard_results[shard_id] = result
+        target = self._federated_target(query)
+        topup = self._redistribute(
+            query, target, routes, shard_results, set(failed) | set(timed_out)
+        )
+        for sid in topup.failed:
+            if sid not in failed:
+                failed.append(sid)
+        for sid in topup.timed_out:
+            if sid not in timed_out:
+                timed_out.append(sid)
         merged = self._gather(
             query,
             shard_results,
@@ -435,6 +731,8 @@ class FederatedPortal:
             failed,
             timed_out,
             self.stats.shard_retries - retries_before,
+            target=self._target_readings(query, target),
+            topup=topup,
         )
         if merged.partial:
             self.stats.partial_answers += 1
@@ -460,6 +758,8 @@ class FederatedPortal:
         failed: list[int],
         timed_out: list[int],
         retries: int,
+        target: int | None = None,
+        topup: _TopupOutcome | None = None,
     ) -> FederatedResult:
         answers = []
         groups = []
@@ -473,20 +773,46 @@ class FederatedPortal:
             slot_seconds.append(
                 result.collection_seconds + penalties.get(shard_id, 0.0)
             )
-        # Shards that never answered still occupy the gather until their
-        # retries/timeout ran out.
+        # Shards that never answered round 1 still occupy the gather
+        # until their retries/timeout ran out (a shard that answered
+        # round 1 but died in a top-up round is charged in the top-up's
+        # own makespan slot instead).
         for shard_id in list(failed) + list(timed_out):
-            slot_seconds.append(penalties.get(shard_id, 0.0))
+            if shard_id not in shard_results:
+                slot_seconds.append(penalties.get(shard_id, 0.0))
+        collection = max(slot_seconds, default=0.0)
+        topup_results: tuple[tuple[int, PortalResult], ...] = ()
+        rounds_run = gained = shortfall = 0
+        exhausted: tuple[int, ...] = ()
+        if topup is not None:
+            # Round 2+ happens strictly after the first gather, so its
+            # makespan charges are additive, not overlapped.
+            collection += topup.collection_seconds
+            topup_results = tuple(topup.extra)
+            for _, result in topup.extra:
+                answers.extend(result.answers)
+                groups.extend(result.groups)
+                processing += result.processing_seconds
+            rounds_run = topup.rounds_run
+            gained = topup.sensors_gained
+            shortfall = topup.shortfall
+            exhausted = topup.pool_exhausted
         return FederatedResult(
             query=query,
             groups=groups,
             answers=answers,
             processing_seconds=processing,
-            collection_seconds=max(slot_seconds, default=0.0),
+            collection_seconds=collection,
+            sample_requested=target,
             shard_results=shard_results,
             failed_shards=tuple(failed),
             timed_out_shards=tuple(timed_out),
             shard_retries=retries,
+            topup_results=topup_results,
+            redistribution_rounds_run=rounds_run,
+            topup_sensors_gained=gained,
+            sampled_shortfall=shortfall,
+            pool_exhausted_shards=exhausted,
         )
 
     def execute_batch(self, queries: Sequence[SensorQuery]) -> FederatedBatchResult:
@@ -504,7 +830,11 @@ class FederatedPortal:
         self.stats.queries += len(queries)
         if not queries:
             return FederatedBatchResult(stats=BatchStats())
-        plans = [self._scatter_plan(q, self._route(q)) for q in queries]
+        routes_list = [self._route(q) for q in queries]
+        plans = [
+            self._scatter_plan(q, routes)
+            for q, routes in zip(queries, routes_list)
+        ]
         per_shard: dict[int, list[tuple[int, SensorQuery]]] = {}
         for qi, plan in enumerate(plans):
             self.stats.subqueries_scattered += len(plan)
@@ -536,13 +866,49 @@ class FederatedPortal:
         for shard_id, batch in shard_batches.items():
             for (qi, _), result in zip(per_shard[shard_id], batch.results):
                 collected[qi][shard_id] = result
+        # Per-query cross-shard top-up (round 2+): each short sampled
+        # query re-scatters its shortfall after the tick's first gather.
+        # The re-scatters run concurrently across queries (each is its
+        # own small scatter against already-warm shards), so the tick is
+        # charged the *max* top-up collection, and shard dispatcher
+        # tables dedup any sensor a first-round sub-batch already hit.
         results: list[FederatedResult] = []
+        topup_failed: set[int] = set()
+        topup_timed: set[int] = set()
+        topup_collections = [0.0]
+        total_rounds = total_gained = 0
         for qi, query in enumerate(queries):
             routed = {shard_id for shard_id, _ in plans[qi]}
             q_failed = sorted(routed & set(failed))
             q_timed = sorted(routed & set(timed_out))
+            target = self._federated_target(query)
+            topup = self._redistribute(
+                query,
+                target,
+                routes_list[qi],
+                collected[qi],
+                set(q_failed) | set(q_timed),
+            )
+            topup_failed.update(topup.failed)
+            topup_timed.update(topup.timed_out)
+            topup_collections.append(topup.collection_seconds)
+            total_rounds += topup.rounds_run
+            total_gained += topup.sensors_gained
+            for sid in topup.failed:
+                if sid not in q_failed:
+                    q_failed.append(sid)
+            for sid in topup.timed_out:
+                if sid not in q_timed:
+                    q_timed.append(sid)
             merged = self._gather(
-                query, collected[qi], penalties, q_failed, q_timed, retries=0
+                query,
+                collected[qi],
+                penalties,
+                sorted(q_failed),
+                sorted(q_timed),
+                retries=0,
+                target=self._target_readings(query, target),
+                topup=topup,
             )
             if merged.partial:
                 self.stats.partial_answers += 1
@@ -574,14 +940,22 @@ class FederatedPortal:
             slot = penalties.get(shard_id, 0.0)
             slot_seconds.append(slot)
             shard_seconds[shard_id] = slot
-        stats.collection_seconds = max(slot_seconds)
+        stats.collection_seconds = max(slot_seconds) + max(topup_collections)
+        # Top-up work lands on the answering shard's own bill too.
+        for merged in results:
+            for sid, extra in merged.topup_results:
+                shard_seconds[sid] = shard_seconds.get(sid, 0.0) + (
+                    extra.processing_seconds + extra.collection_seconds
+                )
         return FederatedBatchResult(
             results=results,
             stats=stats,
             shard_stats={sid: b.stats for sid, b in shard_batches.items()},
             shard_seconds=shard_seconds,
-            failed_shards=tuple(failed),
-            timed_out_shards=tuple(timed_out),
+            failed_shards=tuple(sorted(set(failed) | topup_failed)),
+            timed_out_shards=tuple(sorted(set(timed_out) | topup_timed)),
+            redistribution_rounds_run=total_rounds,
+            topup_sensors_gained=total_gained,
         )
 
     # ------------------------------------------------------------------
@@ -590,9 +964,13 @@ class FederatedPortal:
     def explain(self, query: SensorQuery) -> dict[str, object]:
         """Federated EXPLAIN: the scatter plan plus each routed shard's
         own EXPLAIN (read-only; no retries, killed shards are skipped
-        and listed)."""
+        and listed), and the redistribution plan — whether a shortfall
+        on this query *would* trigger cross-shard top-up rounds, the
+        round bound, and the per-shard pool estimates the residual
+        split would draw on."""
         self._ensure_index()
-        plan = self._scatter_plan(query, self._route(query))
+        routes = self._route(query)
+        plan = self._scatter_plan(query, routes)
         per_shard: dict[int, dict[str, object]] = {}
         skipped: list[int] = []
         for shard_id, subquery in plan:
@@ -601,6 +979,8 @@ class FederatedPortal:
                 continue
             per_shard[shard_id] = self._shards[shard_id].explain(subquery)
         coverages = [float(e["cache_coverage"]) for e in per_shard.values()]
+        cfg = self.federation
+        target = self._federated_target(query)
         return {
             "shards": per_shard,
             "scatter": [
@@ -612,6 +992,25 @@ class FederatedPortal:
                 float(e["expected_probes"]) for e in per_shard.values()
             ),
             "cache_coverage": sum(coverages) / len(coverages) if coverages else 1.0,
+            "redistribution": {
+                "enabled": cfg.redistribution_enabled,
+                "rounds": cfg.redistribution_rounds,
+                "target": target,
+                "target_readings": self._target_readings(query, target),
+                "eligible": (
+                    target is not None
+                    and cfg.redistribution_enabled
+                    and cfg.redistribution_rounds > 0
+                    and len(routes) > 1
+                ),
+                "pool_estimates": {
+                    r.shard_id: int(
+                        self.directory.entry(r.shard_id).weight
+                        * min(1.0, max(r.overlap, 0.0))
+                    )
+                    for r in routes
+                },
+            },
         }
 
     def stats_summary(self) -> dict[str, object]:
@@ -647,6 +1046,11 @@ class FederatedPortal:
                 "shard_timeouts": f.shard_timeouts,
                 "shard_cooldown_skips": f.shard_cooldown_skips,
                 "partial_answers": f.partial_answers,
+                "redistributions": f.redistributions,
+                "redistribution_rounds_run": f.redistribution_rounds_run,
+                "topup_subqueries": f.topup_subqueries,
+                "topup_sensors_gained": f.topup_sensors_gained,
+                "sampled_shortfall": f.sampled_shortfall,
             },
             "shards": {i: s.stats() for i, s in enumerate(self._shards)},
         }

@@ -111,6 +111,51 @@ class Polygon:
                     return True
         return False
 
+    def clip_to_rect(self, rect: Rect) -> "Polygon | None":
+        """The intersection of this polygon with a rectangle, or ``None``
+        when it is empty or degenerate (fewer than 3 distinct vertices).
+
+        Sutherland–Hodgman clipping against the rectangle's four
+        half-planes; the clip region is convex, so a simple input yields
+        a simple output.  Used by the shard directory to weight scatter
+        shares by *actual* polygon overlap instead of the bounding-box
+        approximation (which over-admits shards the polygon never
+        touches).
+        """
+        verts: list[GeoPoint] = list(self.vertices)
+        for inside, intersect in _rect_half_planes(rect):
+            if not verts:
+                return None
+            clipped: list[GeoPoint] = []
+            prev = verts[-1]
+            prev_in = inside(prev)
+            for curr in verts:
+                curr_in = inside(curr)
+                if curr_in:
+                    if not prev_in:
+                        clipped.append(intersect(prev, curr))
+                    clipped.append(curr)
+                elif prev_in:
+                    clipped.append(intersect(prev, curr))
+                prev, prev_in = curr, curr_in
+            verts = clipped
+        # Collapse consecutive duplicates introduced by vertices lying
+        # exactly on a clip edge.
+        unique: list[GeoPoint] = []
+        for v in verts:
+            if not unique or (
+                abs(v.x - unique[-1].x) > 1e-12 or abs(v.y - unique[-1].y) > 1e-12
+            ):
+                unique.append(v)
+        if len(unique) >= 2 and (
+            abs(unique[0].x - unique[-1].x) <= 1e-12
+            and abs(unique[0].y - unique[-1].y) <= 1e-12
+        ):
+            unique.pop()
+        if len(unique) < 3:
+            return None
+        return Polygon(unique)
+
     def contains_rect(self, rect: Rect) -> bool:
         """True when the rectangle lies entirely inside the polygon.
 
@@ -131,6 +176,32 @@ class Polygon:
                 if _segments_properly_intersect(a, b, c, d):
                     return False
         return True
+
+
+def _rect_half_planes(rect: Rect):
+    """The rectangle's four clip predicates as ``(inside, intersect)``
+    pairs for Sutherland–Hodgman clipping."""
+
+    def cross_x(bound: float):
+        def intersect(a: GeoPoint, b: GeoPoint) -> GeoPoint:
+            t = (bound - a.x) / (b.x - a.x)
+            return GeoPoint(bound, a.y + t * (b.y - a.y))
+
+        return intersect
+
+    def cross_y(bound: float):
+        def intersect(a: GeoPoint, b: GeoPoint) -> GeoPoint:
+            t = (bound - a.y) / (b.y - a.y)
+            return GeoPoint(a.x + t * (b.x - a.x), bound)
+
+        return intersect
+
+    return [
+        (lambda p, b=rect.min_x: p.x >= b, cross_x(rect.min_x)),
+        (lambda p, b=rect.max_x: p.x <= b, cross_x(rect.max_x)),
+        (lambda p, b=rect.min_y: p.y >= b, cross_y(rect.min_y)),
+        (lambda p, b=rect.max_y: p.y <= b, cross_y(rect.max_y)),
+    ]
 
 
 def _rect_edges(rect: Rect) -> list[tuple[GeoPoint, GeoPoint]]:

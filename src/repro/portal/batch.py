@@ -290,6 +290,11 @@ def execute_batch(
                 answers=query_answers,
                 processing_seconds=processing,
                 collection_seconds=collection,
+                sample_requested=(
+                    per_query_sample[qi] * len(per_query_trees[qi])
+                    if per_query_sample[qi] and sampling_on
+                    else None
+                ),
             )
         )
     return BatchResult(results=results, stats=stats)

@@ -37,13 +37,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass
 class PortalResult:
-    """What a portal query returns to the front end."""
+    """What a portal query returns to the front end.
+
+    ``sample_requested`` is the portal's *effective* sample target for
+    the query (cap semantics applied, summed across the per-type trees
+    it fanned out to), or ``None`` for an exact lookup.  Together with
+    :attr:`sample_achieved` / :attr:`pool_exhausted` it surfaces the
+    achieved-vs-requested story the layered sampler used to keep to
+    itself — the federation coordinator reads these to decide whether a
+    shard's shortfall is worth redistributing and whether the shard has
+    pool left to borrow.
+    """
 
     query: SensorQuery
     groups: list[DisplayGroup]
     answers: list[QueryAnswer]
     processing_seconds: float
     collection_seconds: float
+    sample_requested: int | None = None
 
     @property
     def end_to_end_seconds(self) -> float:
@@ -52,6 +63,26 @@ class PortalResult:
     @property
     def result_weight(self) -> int:
         return sum(a.result_weight for a in self.answers)
+
+    @property
+    def sample_achieved(self) -> int:
+        """Readings represented in the answer — what the request got."""
+        return self.result_weight
+
+    @property
+    def sample_shortfall(self) -> int:
+        """How far the answer fell short of the requested sample size
+        (0 for exact lookups and for answers that met or over-delivered
+        the target, e.g. via cached aggregates)."""
+        if self.sample_requested is None:
+            return 0
+        return max(0, self.sample_requested - self.result_weight)
+
+    @property
+    def pool_exhausted(self) -> bool:
+        """True when any terminal genuinely ran out of in-region
+        sensors (as opposed to rounding noise or probe failures)."""
+        return any(a.stats.pool_exhausted_terminals > 0 for a in self.answers)
 
     def aggregate(self) -> float:
         """The requested aggregate over the whole answer."""
@@ -241,6 +272,11 @@ class SensorMapPortal:
             answers=answers,
             processing_seconds=processing,
             collection_seconds=collection,
+            sample_requested=(
+                sample_size * len(trees)
+                if sample_size and self.config.sampling_enabled
+                else None
+            ),
         )
 
     def execute_batch(self, queries: "Sequence[SensorQuery]") -> "BatchResult":

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.federation import ShardDirectory, ShardRoute
-from repro.geometry import GeoPoint, Rect
+from repro.geometry import GeoPoint, Polygon, Rect
 from repro.sensors import SensorRegistry
 
 
@@ -106,3 +108,182 @@ class TestSplitTarget:
     def test_negative_target_rejected(self):
         with pytest.raises(ValueError):
             ShardDirectory.split_target(-1, self._routes(1.0))
+
+
+def _weighted_routes(weights):
+    return [ShardRoute(i, 1.0, float(w)) for i, w in enumerate(weights)]
+
+
+weight_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=12,
+)
+targets = st.integers(min_value=0, max_value=10_000)
+
+
+class TestSplitTargetProperties:
+    """Algorithm 1's share rule, checked for *any* weights and target."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(target=targets, weights=weight_lists)
+    def test_integer_conservation(self, target, weights):
+        shares = ShardDirectory.split_target(target, _weighted_routes(weights))
+        assert sum(shares.values()) == target
+        assert all(s >= 0 for s in shares.values())
+
+    @settings(max_examples=200, deadline=None)
+    @given(target=targets, weights=weight_lists)
+    def test_zero_weight_routes_get_zero(self, target, weights):
+        """A route with zero overlap weight never receives a share
+        (largest-remainder units only reach routes with a positive
+        fractional quota) — except in the all-zero degenerate case,
+        where everything collapses onto the first route."""
+        routes = _weighted_routes(weights)
+        shares = ShardDirectory.split_target(target, routes)
+        if sum(weights) > 0:
+            for route in routes:
+                if route.weight == 0.0:
+                    assert shares[route.shard_id] == 0
+        else:
+            assert shares[routes[0].shard_id] == target
+
+    @settings(max_examples=200, deadline=None)
+    @given(target=targets, weights=weight_lists)
+    def test_monotone_in_weight(self, target, weights):
+        """A strictly heavier route never gets a smaller share, and
+        equal-weight routes differ by at most the one remainder unit."""
+        routes = _weighted_routes(weights)
+        shares = ShardDirectory.split_target(target, routes)
+        if sum(weights) <= 0:
+            return
+        for a in routes:
+            for b in routes:
+                if a.weight > b.weight:
+                    assert shares[a.shard_id] >= shares[b.shard_id]
+                elif a.weight == b.weight:
+                    assert abs(shares[a.shard_id] - shares[b.shard_id]) <= 1
+
+
+capped_routes = st.lists(
+    st.tuples(
+        st.floats(
+            min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False
+        ),
+        st.integers(min_value=0, max_value=500),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestSplitTargetCappedProperties:
+    """The top-up splitter: conservation up to pool exhaustion."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(target=targets, rows=capped_routes)
+    def test_allocates_min_of_target_and_capacity(self, target, rows):
+        routes = _weighted_routes([w for w, _ in rows])
+        caps = {i: cap for i, (_, cap) in enumerate(rows)}
+        shares = ShardDirectory.split_target_capped(target, routes, caps)
+        assert sum(shares.values()) == min(target, sum(caps.values()))
+
+    @settings(max_examples=200, deadline=None)
+    @given(target=targets, rows=capped_routes)
+    def test_never_exceeds_any_cap(self, target, rows):
+        routes = _weighted_routes([w for w, _ in rows])
+        caps = {i: cap for i, (_, cap) in enumerate(rows)}
+        shares = ShardDirectory.split_target_capped(target, routes, caps)
+        for sid, share in shares.items():
+            assert 0 <= share <= caps[sid]
+
+    @settings(max_examples=100, deadline=None)
+    @given(target=targets, weights=weight_lists)
+    def test_ample_caps_reduce_to_plain_split(self, target, weights):
+        routes = _weighted_routes(weights)
+        caps = {r.shard_id: target for r in routes}
+        assert ShardDirectory.split_target_capped(
+            target, routes, caps
+        ) == ShardDirectory.split_target(target, routes)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            ShardDirectory.split_target_capped(
+                -1, _weighted_routes([1.0]), {0: 5}
+            )
+
+
+class TestResidualRoutes:
+    def _directory(self):
+        left = _group([(0.0, 0.0), (40.0, 40.0), (20.0, 20.0), (10.0, 30.0)])
+        right = _group([(60.0, 0.0), (100.0, 40.0), (80.0, 20.0), (70.0, 30.0)])
+        return ShardDirectory([left, right])
+
+    def test_residual_is_pool_minus_achieved(self):
+        directory = self._directory()
+        routes = directory.route(Rect(-10.0, -10.0, 110.0, 50.0))
+        assert [r.overlap for r in routes] == [1.0, 1.0]
+        residual = directory.residual_routes(routes, {0: 1, 1: 3})
+        weights = {r.shard_id: r.weight for r in residual}
+        assert weights == {0: 3.0, 1: 1.0}
+
+    def test_drained_and_excluded_shards_drop_out(self):
+        directory = self._directory()
+        routes = directory.route(Rect(-10.0, -10.0, 110.0, 50.0))
+        assert directory.residual_routes(routes, {0: 4, 1: 5}) == []
+        only_right = directory.residual_routes(routes, {0: 0, 1: 0}, exclude={0})
+        assert [r.shard_id for r in only_right] == [1]
+
+    def test_partial_overlap_scales_the_pool(self):
+        directory = self._directory()
+        # Half of the left shard's MBR: pool estimate floor(4 x 0.5) = 2.
+        routes = directory.route(Rect(0.0, 0.0, 20.0, 40.0))
+        left = [r for r in routes if r.shard_id == 0]
+        assert left and left[0].overlap == pytest.approx(0.5)
+        residual = directory.residual_routes(left, {0: 1})
+        assert [(r.shard_id, r.weight) for r in residual] == [(0, 1.0)]
+
+
+class TestPolygonRouting:
+    """Exact polygon-vs-shard overlap weights (the MBR over-admission
+    fix): a polygon is clipped against each shard MBR, so shards the
+    polygon never actually reaches are not routed and partially covered
+    shards get their true area fraction, not their bounding-box one."""
+
+    def _directory(self):
+        # Shard 0: MBR (0,0)-(40,40); shard 1: MBR (60,0)-(100,40).
+        left = _group([(0.0, 0.0), (40.0, 40.0), (20.0, 20.0), (10.0, 30.0)])
+        right = _group([(60.0, 0.0), (100.0, 40.0), (80.0, 20.0), (70.0, 30.0)])
+        return ShardDirectory([left, right])
+
+    def test_zero_actual_overlap_shard_not_routed(self):
+        """The polygon's bounding box spans both shards, but its
+        interior stays left of x=50 — the right shard must not be
+        routed at all (its bbox share would have been positive)."""
+        directory = self._directory()
+        poly = Polygon(
+            [
+                GeoPoint(0.0, 0.0),
+                GeoPoint(50.0, 0.0),
+                GeoPoint(0.0, 45.0),
+            ]
+        )
+        routes = directory.route(poly)
+        assert [r.shard_id for r in routes] == [0]
+
+    def test_partial_overlap_uses_clipped_area_not_bbox(self):
+        """Triangle (0,0)-(70,0)-(0,40): covers ~71.4% of shard 0's MBR
+        but only ~1.8% of shard 1's, while the bounding-box rule would
+        have charged shard 1 a 25% overlap.  Pin the exact clipped
+        fractions and the share split they produce (the bbox weights
+        used to split the same target 80/20)."""
+        directory = self._directory()
+        poly = Polygon(
+            [GeoPoint(0.0, 0.0), GeoPoint(70.0, 0.0), GeoPoint(0.0, 40.0)]
+        )
+        routes = directory.route(poly)
+        overlaps = {r.shard_id: r.overlap for r in routes}
+        assert overlaps[0] == pytest.approx(1142.857142857 / 1600.0)
+        assert overlaps[1] == pytest.approx(200.0 / 7.0 / 1600.0)
+        shares = ShardDirectory.split_target(100, routes)
+        assert shares == {0: 98, 1: 2}
