@@ -21,7 +21,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.bench.harness import run_query_stream
-from repro.bench.report import format_table
+from repro.bench.report import WallTimer, format_table
 from repro.bench.setup import EvalSetup
 from repro.core.tree import COLRTree
 from repro.sensors.availability import AvailabilityModel
@@ -39,6 +39,7 @@ class AblationRow:
 @dataclass
 class AblationResult:
     rows: list[AblationRow]
+    wall_seconds: float = 0.0
 
     def value(self, ablation: str, variant: str, metric: str) -> float:
         for row in self.rows:
@@ -51,6 +52,7 @@ class AblationResult:
             ["ablation", "variant", "metric", "value"],
             [[r.ablation, r.variant, r.metric, r.value] for r in self.rows],
             title="Design-choice ablations",
+            wall_seconds=self.wall_seconds,
         )
 
 
@@ -272,17 +274,18 @@ def run_reversible_aggregates_ablation(setup: EvalSetup | None = None) -> Ablati
 def run_all_ablations() -> AblationResult:
     """Every ablation at its default (bench-friendly) scale."""
     rows: list[AblationRow] = []
-    for result in (
-        run_oversampling_ablation(),
-        run_redistribution_ablation(),
-        run_aggregate_cache_ablation(),
-        run_build_method_ablation(),
-        run_live_slot_size_ablation(),
-        run_terminal_level_ablation(),
-        run_reversible_aggregates_ablation(),
-    ):
-        rows.extend(result.rows)
-    return AblationResult(rows)
+    with WallTimer() as timer:
+        for result in (
+            run_oversampling_ablation(),
+            run_redistribution_ablation(),
+            run_aggregate_cache_ablation(),
+            run_build_method_ablation(),
+            run_live_slot_size_ablation(),
+            run_terminal_level_ablation(),
+            run_reversible_aggregates_ablation(),
+        ):
+            rows.extend(result.rows)
+    return AblationResult(rows, wall_seconds=timer.seconds)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -209,6 +209,7 @@ def run_batch_bench(
 ) -> dict:
     if quick:
         n_sensors, levels, reps = 2_500, (1, 8, 64), 2
+    bench_start = time.perf_counter()
 
     check_parity(n_sensors, levels, seed)
 
@@ -233,6 +234,7 @@ def run_batch_bench(
             "timing_availability": TIMING_AVAILABILITY,
         },
         "parity": "identical",
+        "wall_seconds": time.perf_counter() - bench_start,
         "levels": per_level,
     }
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bench.report import format_table
+from repro.bench.report import WallTimer, format_table
 from repro.core.slot_sizing import (
     FIG2_WORKLOAD,
     SlotSizeModel,
@@ -31,6 +31,7 @@ class Fig2Result:
     deltas: list[float]
     curves: dict[str, list[float]]
     optima: dict[str, float]
+    wall_seconds: float = 0.0
 
     def rows(self) -> list[list[object]]:
         out: list[list[object]] = []
@@ -40,7 +41,12 @@ class Fig2Result:
 
     def format_table(self) -> str:
         headers = ["delta"] + sorted(self.curves)
-        table = format_table(headers, self.rows(), title="Figure 2: utility/cost vs slot size")
+        table = format_table(
+            headers,
+            self.rows(),
+            title="Figure 2: utility/cost vs slot size",
+            wall_seconds=self.wall_seconds,
+        )
         optima = ", ".join(
             f"{name}: Δ*={self.optima[name]:.2f} (paper {PAPER_OPTIMA[name]:.1f})"
             for name in sorted(self.optima)
@@ -50,21 +56,24 @@ class Fig2Result:
 
 def run_fig2(n_samples: int = 4000, seed: int = 3) -> Fig2Result:
     """Sweep the Δ grid for all three expiry workloads."""
-    profiles = {
-        "uniform": uniform_expiry(n_samples, seed=seed),
-        "usgs": usgs_like_expiry(n_samples, seed=seed),
-        "weather": weather_like_expiry(n_samples, seed=seed),
-    }
-    deltas = default_delta_grid()
-    curves: dict[str, list[float]] = {}
-    optima: dict[str, float] = {}
-    for name, samples in profiles.items():
-        model = SlotSizeModel(
-            expiry_samples=tuple(float(x) for x in samples), **FIG2_WORKLOAD
-        )
-        curves[name] = [model.ratio(d) for d in deltas]
-        optima[name] = optimal_slot_size(model, deltas)
-    return Fig2Result(deltas=deltas, curves=curves, optima=optima)
+    with WallTimer() as timer:
+        profiles = {
+            "uniform": uniform_expiry(n_samples, seed=seed),
+            "usgs": usgs_like_expiry(n_samples, seed=seed),
+            "weather": weather_like_expiry(n_samples, seed=seed),
+        }
+        deltas = default_delta_grid()
+        curves: dict[str, list[float]] = {}
+        optima: dict[str, float] = {}
+        for name, samples in profiles.items():
+            model = SlotSizeModel(
+                expiry_samples=tuple(float(x) for x in samples), **FIG2_WORKLOAD
+            )
+            curves[name] = [model.ratio(d) for d in deltas]
+            optima[name] = optimal_slot_size(model, deltas)
+    return Fig2Result(
+        deltas=deltas, curves=curves, optima=optima, wall_seconds=timer.seconds
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.bench.binning import Bin, bin_by_result_size, ideal_result_sizes
 from repro.bench.harness import run_query_stream
-from repro.bench.report import format_table
+from repro.bench.report import WallTimer, format_table
 from repro.bench.setup import EvalSetup
 
 
@@ -28,6 +28,7 @@ class Fig3Result:
     cached_bins: dict[str, list[Bin]]
     mean_traversed: dict[str, float]
     mean_cached: dict[str, float]
+    wall_seconds: float = 0.0
 
     def format_table(self) -> str:
         rows = []
@@ -43,7 +44,10 @@ class Fig3Result:
             [name, self.mean_cached[name]] for name in sorted(self.mean_cached)
         ]
         nested = format_table(
-            ["system", "mean_cached_nodes"], nested_rows, title="Figure 3 (nested): cached nodes accessed"
+            ["system", "mean_cached_nodes"],
+            nested_rows,
+            title="Figure 3 (nested): cached nodes accessed",
+            wall_seconds=self.wall_seconds,
         )
         return f"{main}\n\n{nested}"
 
@@ -51,27 +55,29 @@ class Fig3Result:
 def run_fig3(setup: EvalSetup | None = None, n_bins: int = 8) -> Fig3Result:
     """Run the three configurations over one stream and bin traversal."""
     setup = setup if setup is not None else EvalSetup()
-    sizes = ideal_result_sizes(setup.sensors, setup.queries)
+    with WallTimer() as timer:
+        sizes = ideal_result_sizes(setup.sensors, setup.queries)
 
-    systems = {
-        "rtree": (setup.make_plain_rtree(), False),
-        "hier_cache": (setup.make_hierarchical_cache(), False),
-        "colr_tree": (setup.make_colr_tree(), True),
-    }
-    traversal: dict[str, list[float]] = {}
-    cached: dict[str, list[float]] = {}
-    for name, (system, sampling) in systems.items():
-        run = run_query_stream(system, setup.queries, use_sampling=sampling)
-        traversal[name] = [r.nodes_traversed for r in run.records]
-        # The nested plot charges each configuration with its total
-        # cache work: lookups plus per-reading maintenance touches.
-        # The hierarchical cache inserts every probed reading, COLR-Tree
-        # only its samples — the source of the paper's 5-8x gap.
-        cached[name] = [
-            r.cached_nodes_accessed + r.maintenance_ops for r in run.records
-        ]
+        systems = {
+            "rtree": (setup.make_plain_rtree(), False),
+            "hier_cache": (setup.make_hierarchical_cache(), False),
+            "colr_tree": (setup.make_colr_tree(), True),
+        }
+        traversal: dict[str, list[float]] = {}
+        cached: dict[str, list[float]] = {}
+        for name, (system, sampling) in systems.items():
+            run = run_query_stream(system, setup.queries, use_sampling=sampling)
+            traversal[name] = [r.nodes_traversed for r in run.records]
+            # The nested plot charges each configuration with its total
+            # cache work: lookups plus per-reading maintenance touches.
+            # The hierarchical cache inserts every probed reading, COLR-Tree
+            # only its samples — the source of the paper's 5-8x gap.
+            cached[name] = [
+                r.cached_nodes_accessed + r.maintenance_ops for r in run.records
+            ]
 
     return Fig3Result(
+        wall_seconds=timer.seconds,
         traversal_bins={
             name: bin_by_result_size(sizes, values, n_bins)
             for name, values in traversal.items()

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.harness import RunResult, run_query_stream
-from repro.bench.report import format_table
+from repro.bench.report import WallTimer, format_table
 from repro.bench.setup import EvalSetup
 
 
@@ -39,6 +39,7 @@ class Fig4Row:
 @dataclass
 class Fig4Result:
     rows: list[Fig4Row]
+    wall_seconds: float = 0.0
 
     def format_table(self) -> str:
         table_rows = []
@@ -72,6 +73,7 @@ class Fig4Result:
             ],
             table_rows,
             title="Figure 4: probes and processing latency vs freshness window",
+            wall_seconds=self.wall_seconds,
         )
 
     def summary(self) -> dict[str, float]:
@@ -100,29 +102,32 @@ def run_fig4(
         else [60.0, 120.0, 240.0, 360.0, 480.0, 600.0]
     )
     rows: list[Fig4Row] = []
-    for w in windows:
-        queries = [
-            q.__class__(
-                region=q.region,
-                at_time=q.at_time,
-                staleness_seconds=w,
-                sample_size=q.sample_size,
-            )
-            for q in setup.queries
-        ]
-        systems = {
-            "flat_cache": (setup.make_flat_cache(), False),
-            "hier_cache": (setup.make_hierarchical_cache(), False),
-            "colr_tree": (setup.make_colr_tree(), True),
-        }
-        probes: dict[str, float] = {}
-        latency: dict[str, float] = {}
-        for name, (system, sampling) in systems.items():
-            run: RunResult = run_query_stream(system, queries, use_sampling=sampling)
-            probes[name] = run.mean("sensors_probed")
-            latency[name] = run.mean("processing_seconds")
-        rows.append(Fig4Row(freshness_seconds=w, probes=probes, latency=latency))
-    return Fig4Result(rows=rows)
+    with WallTimer() as timer:
+        for w in windows:
+            queries = [
+                q.__class__(
+                    region=q.region,
+                    at_time=q.at_time,
+                    staleness_seconds=w,
+                    sample_size=q.sample_size,
+                )
+                for q in setup.queries
+            ]
+            systems = {
+                "flat_cache": (setup.make_flat_cache(), False),
+                "hier_cache": (setup.make_hierarchical_cache(), False),
+                "colr_tree": (setup.make_colr_tree(), True),
+            }
+            probes: dict[str, float] = {}
+            latency: dict[str, float] = {}
+            for name, (system, sampling) in systems.items():
+                run: RunResult = run_query_stream(
+                    system, queries, use_sampling=sampling
+                )
+                probes[name] = run.mean("sensors_probed")
+                latency[name] = run.mean("processing_seconds")
+            rows.append(Fig4Row(freshness_seconds=w, probes=probes, latency=latency))
+    return Fig4Result(rows=rows, wall_seconds=timer.seconds)
 
 
 if __name__ == "__main__":  # pragma: no cover

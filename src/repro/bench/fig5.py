@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.harness import run_query_stream
-from repro.bench.report import format_table
+from repro.bench.report import WallTimer, format_table
 from repro.bench.setup import EvalSetup
 
 
@@ -32,6 +32,7 @@ class Fig5Cell:
 @dataclass
 class Fig5Result:
     cells: list[Fig5Cell]
+    wall_seconds: float = 0.0
 
     def cell(self, cache_fraction: float, sample_size: int) -> Fig5Cell:
         for c in self.cells:
@@ -54,6 +55,7 @@ class Fig5Result:
             ["cache_limit", "sample_size", "probes", "latency_ms", "nodes_traversed"],
             rows,
             title="Figure 5: cache limit x sample size",
+            wall_seconds=self.wall_seconds,
         )
 
 
@@ -67,21 +69,24 @@ def run_fig5(
     fractions = cache_fractions if cache_fractions is not None else [0.16, 0.24, 0.32]
     targets = sample_sizes if sample_sizes is not None else [100, 1000, 10000]
     cells: list[Fig5Cell] = []
-    for fraction in fractions:
-        capacity = setup.cache_capacity_for_fraction(fraction)
-        for target in targets:
-            system = setup.make_colr_tree(setup.config.with_cache_capacity(capacity))
-            run = run_query_stream(system, setup.queries, sample_size=target)
-            cells.append(
-                Fig5Cell(
-                    cache_fraction=fraction,
-                    sample_size=target,
-                    mean_probes=run.mean("sensors_probed"),
-                    mean_latency_seconds=run.mean("processing_seconds"),
-                    mean_nodes_traversed=run.mean("nodes_traversed"),
+    with WallTimer() as timer:
+        for fraction in fractions:
+            capacity = setup.cache_capacity_for_fraction(fraction)
+            for target in targets:
+                system = setup.make_colr_tree(
+                    setup.config.with_cache_capacity(capacity)
                 )
-            )
-    return Fig5Result(cells=cells)
+                run = run_query_stream(system, setup.queries, sample_size=target)
+                cells.append(
+                    Fig5Cell(
+                        cache_fraction=fraction,
+                        sample_size=target,
+                        mean_probes=run.mean("sensors_probed"),
+                        mean_latency_seconds=run.mean("processing_seconds"),
+                        mean_nodes_traversed=run.mean("nodes_traversed"),
+                    )
+                )
+    return Fig5Result(cells=cells, wall_seconds=timer.seconds)
 
 
 if __name__ == "__main__":  # pragma: no cover

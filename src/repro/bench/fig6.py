@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.bench.binning import ideal_result_sizes
 from repro.bench.harness import run_query_stream, target_accuracy
-from repro.bench.report import format_table
+from repro.bench.report import WallTimer, format_table
 from repro.bench.setup import EvalSetup
 
 
@@ -38,6 +38,7 @@ class Fig6Cell:
 @dataclass
 class Fig6Result:
     cells: list[Fig6Cell]
+    wall_seconds: float = 0.0
 
     def cell(self, cache_fraction: float, sample_size: int) -> Fig6Cell:
         for c in self.cells:
@@ -60,6 +61,7 @@ class Fig6Result:
             ["cache_limit", "sample_size", "target_acc", "pde", "abs_pde"],
             rows,
             title="Figure 6: sampling accuracy and probe discretization error",
+            wall_seconds=self.wall_seconds,
         )
 
 
@@ -71,28 +73,31 @@ def run_fig6(
     setup = setup if setup is not None else EvalSetup()
     fractions = cache_fractions if cache_fractions is not None else [0.16, 0.24, 0.32]
     targets = sample_sizes if sample_sizes is not None else [100, 1000, 10000]
-    sizes = ideal_result_sizes(setup.sensors, setup.queries)
     cells: list[Fig6Cell] = []
-    for fraction in fractions:
-        capacity = setup.cache_capacity_for_fraction(fraction)
-        for target in targets:
-            system = setup.make_colr_tree(setup.config.with_cache_capacity(capacity))
-            run = run_query_stream(system, setup.queries, sample_size=target)
-            accuracies = [
-                target_accuracy(rec.result_weight, target, int(size))
-                for rec, size in zip(run.records, sizes)
-            ]
-            pdes = [rec.terminal_pde for rec in run.records]
-            cells.append(
-                Fig6Cell(
-                    cache_fraction=fraction,
-                    sample_size=target,
-                    target_accuracy=float(np.mean(accuracies)),
-                    mean_pde=float(np.mean(pdes)),
-                    mean_abs_pde=float(np.mean(np.abs(pdes))),
+    with WallTimer() as timer:
+        sizes = ideal_result_sizes(setup.sensors, setup.queries)
+        for fraction in fractions:
+            capacity = setup.cache_capacity_for_fraction(fraction)
+            for target in targets:
+                system = setup.make_colr_tree(
+                    setup.config.with_cache_capacity(capacity)
                 )
-            )
-    return Fig6Result(cells=cells)
+                run = run_query_stream(system, setup.queries, sample_size=target)
+                accuracies = [
+                    target_accuracy(rec.result_weight, target, int(size))
+                    for rec, size in zip(run.records, sizes)
+                ]
+                pdes = [rec.terminal_pde for rec in run.records]
+                cells.append(
+                    Fig6Cell(
+                        cache_fraction=fraction,
+                        sample_size=target,
+                        target_accuracy=float(np.mean(accuracies)),
+                        mean_pde=float(np.mean(pdes)),
+                        mean_abs_pde=float(np.mean(np.abs(pdes))),
+                    )
+                )
+    return Fig6Result(cells=cells, wall_seconds=timer.seconds)
 
 
 if __name__ == "__main__":  # pragma: no cover

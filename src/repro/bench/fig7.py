@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.bench.report import format_table
+from repro.bench.report import WallTimer, format_table
 from repro.core.config import COLRTreeConfig
 from repro.core.tree import COLRTree
 from repro.sensors.network import SensorNetwork
@@ -32,6 +32,7 @@ class Fig7Point:
 @dataclass
 class Fig7Result:
     points: list[Fig7Point]
+    wall_seconds: float = 0.0
 
     def error_at(self, sample_size: int) -> float:
         for p in self.points:
@@ -48,6 +49,7 @@ class Fig7Result:
             ["sample_size", "mean_rel_err", "p90_rel_err"],
             rows,
             title="Figure 7: approximation error vs sample size (USGS WA)",
+            wall_seconds=self.wall_seconds,
         )
 
 
@@ -74,28 +76,32 @@ def run_fig7(
         oversample_level=2,
     )
     points: list[Fig7Point] = []
-    for size in sizes:
-        errors = []
-        for trial in range(n_trials):
-            network = SensorNetwork(
-                sensors, value_fn=workload.value_fn(), seed=seed + trial
+    with WallTimer() as timer:
+        for size in sizes:
+            errors = []
+            for trial in range(n_trials):
+                network = SensorNetwork(
+                    sensors, value_fn=workload.value_fn(), seed=seed + trial
+                )
+                tree = COLRTree(sensors, _with_seed(config, trial), network=network)
+                answer = tree.query(
+                    WA_BBOX,
+                    now=0.0,
+                    max_staleness=workload.expiry_seconds,
+                    sample_size=size,
+                )
+                if answer.result_weight == 0:
+                    continue
+                estimate = answer.estimate("avg")
+                errors.append(abs(estimate - truth) / abs(truth))
+            points.append(
+                Fig7Point(
+                    sample_size=size,
+                    mean_relative_error=float(np.mean(errors)),
+                    p90_relative_error=float(np.percentile(errors, 90)),
+                )
             )
-            tree = COLRTree(sensors, _with_seed(config, trial), network=network)
-            answer = tree.query(
-                WA_BBOX, now=0.0, max_staleness=workload.expiry_seconds, sample_size=size
-            )
-            if answer.result_weight == 0:
-                continue
-            estimate = answer.estimate("avg")
-            errors.append(abs(estimate - truth) / abs(truth))
-        points.append(
-            Fig7Point(
-                sample_size=size,
-                mean_relative_error=float(np.mean(errors)),
-                p90_relative_error=float(np.percentile(errors, 90)),
-            )
-        )
-    return Fig7Result(points=points)
+    return Fig7Result(points=points, wall_seconds=timer.seconds)
 
 
 def _with_seed(config: COLRTreeConfig, seed: int) -> COLRTreeConfig:

@@ -1,0 +1,354 @@
+"""Parallel federation benchmark: real wall-clock scaling over workers.
+
+Every other benchmark in this repo reports *modeled* seconds on a
+shared ``SimClock`` — no query has ever finished faster on real
+hardware because of sharding.  This one drives the same 40k-sensor
+fleet and multi-tick batch workload as ``bench.federation`` through the
+**process execution backend** (``FederationConfig.execution="process"``,
+one worker process per shard over shared-memory flat kernels) at
+1 / 2 / 4 / 8 workers, and times the host clock.  The in-process
+coordinator runs the identical workload at each shard count as the
+baseline column, so the table shows exactly what true parallelism buys
+over simulated concurrency.
+
+Three correctness gates run before any timing (the benchmark refuses to
+time a backend that changes answers):
+
+* **tiled classification parity** — ``FlatKernel.classify`` with
+  cache-sized tiling must produce bit-identical labels to the
+  monolithic pass over a mixed rect/polygon region workload, across a
+  spread of tile sizes (including degenerate 1-node tiles).
+* **process-backend bit-identity** — a process-mode federation and an
+  in-process federation built from the same fleet and seeds run the
+  same query matrix (exact / sampled x rect / polygon, cold and warm,
+  sequential and batch) and every per-answer field, timing and batch
+  stat must match exactly.
+* **no leaked segments** — after every portal is closed, ``/dev/shm``
+  must hold no segments with this run's prefix (asserted in teardown,
+  and again by ``--check``).
+
+The wall-clock speedup gates are **core-count aware**: the ≥2× gate at
+4 workers needs ≥4 CPUs and the monotonic-to-8 gate needs ≥8; on
+smaller hosts they are reported as skipped (a fork worker cannot beat
+the in-process loop without a core to run on), while all three
+correctness gates above are enforced unconditionally.
+
+Results land in ``BENCH_parallel.json`` (or ``--output``).  ``--quick``
+shrinks the fleet for CI smoke runs (all correctness gates still run);
+``--workers N`` caps the sweep at N workers; ``--check`` additionally
+asserts the acceptance gates.
+
+Run with ``PYTHONPATH=src python -m repro.bench.parallel``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.bench.federation import (
+    BENCH_FEDERATION,
+    FLAKY_AVAILABILITY,
+    FLAKY_FRACTION,
+    NETWORK_OPTIONS,
+    RELIABLE_AVAILABILITY,
+    SENSOR_TYPES,
+    STALENESS,
+    TICK_SECONDS,
+    _assert_identical,
+    _parity_queries,
+    make_federation,
+    make_unsharded,
+    make_viewports,
+)
+from repro.bench.report import WallTimer
+from repro.core.flat import FlatKernel, auto_tile_nodes
+from repro.parallel import leaked_segments
+
+# The bench federation config with the process backend switched on;
+# everything else (retry budget, backoff) identical to the in-process
+# rows so the comparison isolates the execution backend.
+PROCESS_FEDERATION = replace(BENCH_FEDERATION, execution="process")
+
+TILE_SIZES = (1, 7, 64, 1024)
+
+
+# ----------------------------------------------------------------------
+# Gates
+# ----------------------------------------------------------------------
+def check_tiled_parity(n_sensors: int, seed: int) -> int:
+    """Gate: tiled classification must label every node identically to
+    the monolithic pass, for every sensor-type tree, region shape and
+    tile size (including the auto-sized L2 tile).  Returns the number of
+    (tree, tile, region) cells compared."""
+    portal = make_unsharded(n_sensors, seed)
+    regions = [q.region for q in _parity_queries()]
+    regions += [q.region for q in make_viewports(8, seed + 99)]
+    cells = 0
+    sizes = TILE_SIZES + (auto_tile_nodes(),)
+    for sensor_type in SENSOR_TYPES:
+        root = portal.tree(sensor_type).root
+        mono = FlatKernel(root)
+        for tile in sizes:
+            tiled = FlatKernel(root, tile_nodes=tile)
+            for region in regions:
+                if not np.array_equal(mono.classify(region), tiled.classify(region)):
+                    raise AssertionError(
+                        f"tiled parity: {sensor_type} tile={tile} "
+                        f"labels diverge on {region!r}"
+                    )
+                cells += 1
+    return cells
+
+
+def check_process_parity(n_sensors: int, seed: int, n_shards: int = 2) -> int:
+    """Gate: the process backend must be answer-bit-identical to the
+    in-process coordinator on the same fleet and seeds — per-answer
+    fields, modeled timings, batch stats and federation counters — cold
+    and warm.  Returns the number of (phase, query) cells compared."""
+    cells = 0
+    inproc = make_federation(n_sensors, seed, n_shards)
+    proc = make_federation(
+        n_sensors, seed, n_shards, federation=PROCESS_FEDERATION
+    )
+    try:
+        for phase in ("cold", "warm"):
+            for qi, query in enumerate(_parity_queries()):
+                _assert_identical(
+                    f"process/{phase}/q{qi}",
+                    inproc.execute(query),
+                    proc.execute(query),
+                )
+                cells += 1
+            a = inproc.execute_batch(_parity_queries())
+            b = proc.execute_batch(_parity_queries())
+            for qi, (ra, rb) in enumerate(zip(a.results, b.results)):
+                _assert_identical(f"process/{phase}/batch-q{qi}", ra, rb)
+                cells += 1
+            if a.stats != b.stats:
+                raise AssertionError(
+                    f"parity[process/{phase}]: batch stats diverged"
+                )
+            inproc.clock.advance(TICK_SECONDS)
+            proc.clock.advance(TICK_SECONDS)
+        fa = inproc.stats_summary()["federation"]
+        fb = proc.stats_summary()["federation"]
+        if fa != fb:
+            raise AssertionError("parity[process]: federation counters diverged")
+    finally:
+        proc.close()
+    return cells
+
+
+# ----------------------------------------------------------------------
+# Throughput
+# ----------------------------------------------------------------------
+def _drive(fed, queries: Sequence, ticks: int) -> dict:
+    """Run ``ticks`` batch ticks and report wall / modeled seconds."""
+    modeled = 0.0
+    coordinator_wall = 0.0
+    with WallTimer() as timer:
+        for _ in range(ticks):
+            batch = fed.execute_batch(queries)
+            modeled += max(batch.shard_seconds.values(), default=0.0)
+            coordinator_wall += batch.stats.wall_seconds
+            fed.clock.advance(TICK_SECONDS)
+    return {
+        "wall_seconds": timer.seconds,
+        "batch_wall_seconds": coordinator_wall,
+        "modeled_seconds": modeled,
+    }
+
+
+def run_worker_count(
+    n_sensors: int, n_workers: int, level: int, ticks: int, seed: int
+) -> dict:
+    """One sweep row: the identical workload through the in-process
+    coordinator and the process backend at ``n_workers`` shards."""
+    queries = make_viewports(level, seed + level)
+    n_queries = ticks * level
+
+    inproc = make_federation(n_sensors, seed, n_workers)
+    baseline = _drive(inproc, queries, ticks)
+
+    proc = make_federation(
+        n_sensors, seed, n_workers, federation=PROCESS_FEDERATION
+    )
+    try:
+        worker_pids = [proc.worker_pid(i) for i in range(n_workers)]
+        process = _drive(proc, queries, ticks)
+    finally:
+        proc.close()
+
+    return {
+        "workers": n_workers,
+        "queries": n_queries,
+        "worker_pids_distinct": len(set(worker_pids)),
+        "inprocess": baseline,
+        "process": process,
+        "wall_throughput_qps": {
+            "inprocess": n_queries / max(1e-12, baseline["wall_seconds"]),
+            "process": n_queries / max(1e-12, process["wall_seconds"]),
+        },
+        "process_vs_inprocess_wall": baseline["wall_seconds"]
+        / max(1e-12, process["wall_seconds"]),
+    }
+
+
+def run_parallel_bench(
+    n_sensors: int = 40_000,
+    worker_counts: Sequence[int] = (1, 2, 4, 8),
+    level: int = 64,
+    ticks: int = 4,
+    seed: int = 0,
+    quick: bool = False,
+) -> dict:
+    if quick:
+        n_sensors, level, ticks = 2_500, 16, 2
+        worker_counts = tuple(n for n in worker_counts if n <= 4)
+    bench_start = time.perf_counter()
+
+    tiled_cells = check_tiled_parity(min(n_sensors, 4_000), seed)
+    parity_cells = check_process_parity(min(n_sensors, 4_000), seed)
+
+    per_count = [
+        run_worker_count(n_sensors, n, level, ticks, seed) for n in worker_counts
+    ]
+    base = per_count[0]["process"]["wall_seconds"]
+    for row in per_count:
+        row["speedup_vs_1_worker"] = base / max(
+            1e-12, row["process"]["wall_seconds"]
+        )
+
+    leaked = [s for s in leaked_segments()]
+    return {
+        "benchmark": "parallel_federation",
+        "unix_time": time.time(),
+        "workload": {
+            "n_sensors": n_sensors,
+            "worker_counts": list(worker_counts),
+            "level": level,
+            "ticks": ticks,
+            "tick_seconds": TICK_SECONDS,
+            "seed": seed,
+            "quick": quick,
+            "cpu_count": os.cpu_count(),
+            "auto_tile_nodes": auto_tile_nodes(),
+            "tile_sizes_checked": list(TILE_SIZES),
+            "staleness_seconds": STALENESS,
+            "sensor_types": list(SENSOR_TYPES),
+            "flaky_fraction": FLAKY_FRACTION,
+            "availabilities": {
+                "reliable": RELIABLE_AVAILABILITY,
+                "flaky": FLAKY_AVAILABILITY,
+            },
+            "network": dict(NETWORK_OPTIONS),
+            "federation_config": {
+                "execution": PROCESS_FEDERATION.execution,
+                "shard_retry_budget": PROCESS_FEDERATION.shard_retry_budget,
+                "retry_backoff_base": PROCESS_FEDERATION.retry_backoff_base,
+                "retry_backoff_multiplier": (
+                    PROCESS_FEDERATION.retry_backoff_multiplier
+                ),
+            },
+        },
+        "parity": {
+            "status": "identical",
+            "tiled_cells": tiled_cells,
+            "process_cells": parity_cells,
+        },
+        "leaked_segments": leaked,
+        "wall_seconds": time.perf_counter() - bench_start,
+        "worker_counts": per_count,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sensors", type=int, default=40_000)
+    parser.add_argument("--level", type=int, default=64)
+    parser.add_argument("--ticks", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="cap the worker-count sweep (subset of 1/2/4/8)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke scale (all gates still run)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the acceptance gates (bit-identity and no-leak always; "
+        ">=2x wall throughput at 4 workers and monotonic scaling to 8 only "
+        "when the host has the cores)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_parallel.json"),
+        help="where to write the JSON result",
+    )
+    args = parser.parse_args(argv)
+    counts = tuple(n for n in (1, 2, 4, 8) if n <= max(1, args.workers))
+    result = run_parallel_bench(
+        n_sensors=args.sensors,
+        worker_counts=counts,
+        level=args.level,
+        ticks=args.ticks,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"parity: tiled {result['parity']['tiled_cells']} cells, "
+        f"process backend {result['parity']['process_cells']} cells identical"
+    )
+    for row in result["worker_counts"]:
+        print(
+            f"  {row['workers']:>2} workers: {row['queries']} queries, wall "
+            f"{row['inprocess']['wall_seconds']:.2f}s inprocess -> "
+            f"{row['process']['wall_seconds']:.2f}s process "
+            f"({row['wall_throughput_qps']['process']:.1f} q/s, "
+            f"{row['speedup_vs_1_worker']:.2f}x vs 1 worker)"
+        )
+    print(f"parallel bench -> {args.output}")
+    if args.check:
+        if result["leaked_segments"]:
+            print(f"FAIL: leaked shm segments {result['leaked_segments']}")
+            return 1
+        cores = os.cpu_count() or 1
+        rows = {r["workers"]: r for r in result["worker_counts"]}
+        if cores >= 4 and 4 in rows and 1 in rows:
+            speedup = rows[4]["speedup_vs_1_worker"]
+            if speedup < 2.0:
+                print(f"FAIL: 4-worker wall speedup {speedup:.2f}x < 2x")
+                return 1
+            print(f"4-worker wall speedup {speedup:.2f}x >= 2x")
+        else:
+            print(f"2x-at-4-workers gate skipped ({cores} cores)")
+        if cores >= 8 and 8 in rows:
+            curve = [
+                rows[n]["speedup_vs_1_worker"] for n in (1, 2, 4, 8) if n in rows
+            ]
+            if any(b < a for a, b in zip(curve, curve[1:])):
+                print(f"FAIL: speedup curve not monotonic: {curve}")
+                return 1
+            print(f"speedup curve monotonic to 8 workers: {curve}")
+        else:
+            print(f"monotonic-to-8 gate skipped ({cores} cores)")
+        print("acceptance gates met")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -241,6 +241,7 @@ def run_transport_bench(
 ) -> dict:
     if quick:
         n_sensors, levels, ticks = 2_500, (1, 8, 64), 8
+    bench_start = time.perf_counter()
 
     check_parity(n_sensors, levels, ticks, seed)
 
@@ -273,6 +274,7 @@ def run_transport_bench(
             },
         },
         "parity": "identical",
+        "wall_seconds": time.perf_counter() - bench_start,
         "levels": per_level,
     }
 

@@ -152,6 +152,7 @@ def run_traversal_bench(
 ) -> dict:
     if quick:
         n_sensors, n_regions, warm_passes = 2_500, 60, 3
+    bench_start = time.perf_counter()
     sensors = make_sensors(n_sensors, seed)
     # Timed workload: rectangular viewports (the portal's query shape).
     # Parity additionally covers polygonal regions, which exercise the
@@ -211,6 +212,7 @@ def run_traversal_bench(
             "tree_height": int(kernel.root.level),
         },
         "parity": "identical",
+        "wall_seconds": time.perf_counter() - bench_start,
         "seconds_per_pass": {
             "legacy": legacy_s,
             "kernel_cold": cold_s,

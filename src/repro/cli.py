@@ -57,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the demo through a scatter-gather federation of N portal "
         "shards (0 keeps the single-tree demo)",
     )
+    demo.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run the federated demo on the process execution backend with "
+        "one worker process per shard (implies --shards N when --shards "
+        "is not given; 0 keeps in-process execution)",
+    )
     transport = sub.add_parser(
         "transport", help="async transport vs sync probing benchmark"
     )
@@ -81,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="cross-shard top-up rounds granted to the shortfall probe",
+    )
+    federation.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="benchmark the process execution backend instead "
+        "(repro.bench.parallel), sweeping worker counts up to N",
     )
     federation.add_argument("--quick", action="store_true")
     return parser
@@ -152,8 +167,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(run_all_ablations().format_table())
         return 0
     if command == "demo":
-        if args.shards > 0:
-            return _demo_federated(args.sensors, args.shards, transport=args.transport)
+        if args.shards > 0 or args.workers > 0:
+            return _demo_federated(
+                args.sensors,
+                args.shards if args.shards > 0 else args.workers,
+                transport=args.transport,
+                workers=args.workers,
+            )
         return _demo(args.sensors, transport=args.transport)
     if command == "transport":
         from repro.bench.transport import main as transport_main
@@ -165,6 +185,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if command == "shard":
         return _shard(args.sensors, args.shards, args.partitioner, args.seed)
     if command == "federation":
+        if args.workers > 0:
+            from repro.bench.parallel import main as parallel_main
+
+            argv = ["--sensors", str(args.sensors), "--workers", str(args.workers)]
+            if args.quick:
+                argv.append("--quick")
+            return parallel_main(argv)
         from repro.bench.federation import main as federation_main
 
         argv = [
@@ -238,12 +265,16 @@ def _demo(n_sensors: int, transport: bool = False) -> int:
     return 0
 
 
-def _demo_federated(n_sensors: int, n_shards: int, transport: bool = False) -> int:
+def _demo_federated(
+    n_sensors: int, n_shards: int, transport: bool = False, workers: int = 0
+) -> int:
     """Scripted tour of the scatter-gather federation: directory, a few
-    queries, and graceful degradation with a killed shard."""
+    queries, and graceful degradation with a killed shard.  With
+    ``workers`` > 0 the shards run as real worker processes over
+    shared-memory kernels (the process execution backend)."""
     import numpy as np
 
-    from repro.federation import FederatedPortal
+    from repro.federation import FederatedPortal, FederationConfig
     from repro.geometry import GeoPoint, Rect
     from repro.portal import SensorQuery
     from repro.transport import TransportConfig
@@ -252,6 +283,9 @@ def _demo_federated(n_sensors: int, n_shards: int, transport: bool = False) -> i
     portal = FederatedPortal(
         n_shards=n_shards,
         transport=TransportConfig() if transport else None,
+        federation=FederationConfig(
+            execution="process" if workers > 0 else "inprocess"
+        ),
     )
     for _ in range(n_sensors):
         portal.register_sensor(
@@ -261,7 +295,13 @@ def _demo_federated(n_sensors: int, n_shards: int, transport: bool = False) -> i
             availability=0.9,
         )
     portal.rebuild_index()
-    print(f"federated {len(portal.registry)} sensors across {portal.n_shards} shards")
+    backend = (
+        f"{portal.n_shards} worker processes" if workers > 0 else "in-process shards"
+    )
+    print(
+        f"federated {len(portal.registry)} sensors across {portal.n_shards} "
+        f"shards ({backend})"
+    )
     for entry in portal.directory.entries():
         print(
             f"  shard {entry.shard_id}: {entry.weight:>5} sensors, mbr "
@@ -299,6 +339,7 @@ def _demo_federated(n_sensors: int, n_shards: int, transport: bool = False) -> i
         f"{f.topup_sensors_gained} sensors recovered, "
         f"residual shortfall {f.sampled_shortfall}"
     )
+    portal.close()
     return 0
 
 

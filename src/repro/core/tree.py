@@ -118,7 +118,9 @@ class COLRTree:
         # The flattened traversal kernel + spatial plan cache.  Both are
         # pure accelerators: answers are bit-identical with them off.
         self.kernel: FlatKernel | None = (
-            FlatKernel(self.root) if self.config.flat_kernel_enabled else None
+            FlatKernel(self.root, tile_nodes=self.config.classify_tile_nodes)
+            if self.config.flat_kernel_enabled
+            else None
         )
         self.plan_cache: SpatialPlanCache | None = (
             SpatialPlanCache(self.config.plan_cache_size)

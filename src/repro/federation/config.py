@@ -56,6 +56,17 @@ class FederationConfig:
         early once the shortfall closes, no candidate shard has residual
         pool, or a round gains nothing.  0 disables redistribution even
         when ``redistribution_enabled`` is true.
+    execution:
+        Which backend runs the shards.  ``"inprocess"`` (the default)
+        keeps every shard a ``SensorMapPortal`` inside the
+        coordinator's process — fully deterministic, zero IPC.
+        ``"process"`` runs each shard in its own worker process
+        (:class:`repro.parallel.ParallelFederatedPortal`): the static
+        flat-kernel arrays are published once over
+        ``multiprocessing.shared_memory`` and only query descriptors /
+        answers cross the worker pipes, so shard work genuinely
+        overlaps on the wall clock.  Answers are bit-identical across
+        backends for the same seed.
     """
 
     shard_retry_budget: int = 1
@@ -65,8 +76,11 @@ class FederationConfig:
     cooldown_seconds: float = 0.0
     redistribution_enabled: bool = True
     redistribution_rounds: int = 1
+    execution: str = "inprocess"
 
     def __post_init__(self) -> None:
+        if self.execution not in ("inprocess", "process"):
+            raise ValueError('execution must be "inprocess" or "process"')
         if self.shard_retry_budget < 0:
             raise ValueError("shard_retry_budget must be non-negative")
         if self.retry_backoff_base < 0:

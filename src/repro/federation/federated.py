@@ -36,8 +36,9 @@ cache, same stats) — pinned by ``tests/federation/test_parity.py``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.aggregates import AggregateSketch
 from repro.core.config import COLRTreeConfig
@@ -254,7 +255,30 @@ class _TopupOutcome:
 
 
 class FederatedPortal:
-    """N portal shards behind one scatter-gather front end."""
+    """N portal shards behind one scatter-gather front end.
+
+    Two execution backends share this coordinator logic, selected by
+    ``FederationConfig.execution``: ``"inprocess"`` (this class — every
+    shard is a ``SensorMapPortal`` in the coordinator's process) and
+    ``"process"`` (``repro.parallel.ParallelFederatedPortal`` — each
+    shard lives in its own worker process over shared-memory kernels).
+    All shard interaction funnels through two hooks the process backend
+    overrides: :meth:`_shard_op` (one named call on one shard) and
+    :meth:`_scatter_calls` (a batch of calls under the retry budget,
+    sequential here, pipelined across workers there).
+    """
+
+    def __new__(cls, *args, **kwargs):
+        federation = kwargs.get("federation")
+        if (
+            cls is FederatedPortal
+            and federation is not None
+            and getattr(federation, "execution", "inprocess") == "process"
+        ):
+            from repro.parallel.portal import ParallelFederatedPortal
+
+            return super().__new__(ParallelFederatedPortal)
+        return super().__new__(cls)
 
     def __init__(
         self,
@@ -290,6 +314,7 @@ class FederatedPortal:
         self._network_seed = network_seed
         self._network_options = dict(network_options) if network_options else {}
         self._shards: list[SensorMapPortal] = []
+        self._groups: list[list[Sensor]] = []
         self._directory: ShardDirectory | None = None
         self._states: dict[int, _ShardState] = {}
         self._index_dirty = True
@@ -345,6 +370,7 @@ class FederatedPortal:
         # starve a cluster) so every built shard has an index.
         groups = [g for g in groups if g]
         self._directory = ShardDirectory(groups)
+        self._groups = groups
         self._shards = []
         for shard_id, group in enumerate(groups):
             shard = SensorMapPortal(
@@ -415,10 +441,21 @@ class FederatedPortal:
         state.consecutive_failures = 0
         state.down_until = 0.0
 
+    def _shard_op(self, shard_id: int, op: str, *args: object) -> object:
+        """Run one named portal operation on one shard.
+
+        The in-process backend calls the wrapped ``SensorMapPortal``
+        directly; the process backend ships ``(op, args)`` over the
+        worker's message pipe instead.  Raise :class:`ShardDownError`
+        to signal an unreachable shard.
+        """
+        return getattr(self._shards[shard_id], op)(*args)
+
     def _call_shard(
         self,
         shard_id: int,
-        fn: Callable[[SensorMapPortal], object],
+        op: str,
+        args: tuple,
         penalties: dict[int, float],
     ) -> object | None:
         """Run one shard call under the retry budget.
@@ -440,7 +477,7 @@ class FederatedPortal:
             try:
                 if state.killed:
                     raise ShardDownError(f"shard {shard_id} is down")
-                result = fn(self._shards[shard_id])
+                result = self._shard_op(shard_id, op, *args)
             except ShardDownError:
                 if attempt < cfg.shard_retry_budget:
                     self.stats.shard_retries += 1
@@ -460,6 +497,26 @@ class FederatedPortal:
         self.stats.shard_failures += 1
         penalties[shard_id] = delay
         return None
+
+    def _scatter_calls(
+        self,
+        calls: Sequence[tuple[int, str, tuple]],
+        penalties: dict[int, float],
+    ) -> dict[int, object | None]:
+        """Run one scatter round of ``(shard_id, op, args)`` calls under
+        the retry budget, returning each shard's result (``None`` after
+        budget exhaustion / cooldown skip) keyed by shard id.
+
+        The in-process backend runs the calls sequentially — modeled
+        concurrency is already captured by the gather-makespan
+        arithmetic.  The process backend overrides this with a
+        send-all-then-receive-all pipeline so the shards genuinely
+        overlap on the wall clock, with identical accounting.
+        """
+        return {
+            shard_id: self._call_shard(shard_id, op, args, penalties)
+            for shard_id, op, args in calls
+        }
 
     # ------------------------------------------------------------------
     # Scatter planning
@@ -625,6 +682,8 @@ class FederatedPortal:
             round_penalties: dict[int, float] = {}
             round_slots = [0.0]
             gained_this_round = 0
+            round_shares: list[tuple[int, int]] = []
+            round_calls: list[tuple[int, str, tuple]] = []
             for route in residual:
                 sid = route.shard_id
                 share = shares.get(sid, 0)
@@ -638,11 +697,14 @@ class FederatedPortal:
                 rpu = self._readings_per_unit(query, sid)
                 units = -(-(len(seen) + share) // rpu)
                 self.stats.topup_subqueries += 1
-                result = self._call_shard(
-                    sid,
-                    lambda p, q=replace(query, sample_size=units): p.execute(q),
-                    round_penalties,
+                round_shares.append((sid, share))
+                round_calls.append(
+                    (sid, "execute", (replace(query, sample_size=units),))
                 )
+            round_results = self._scatter_calls(round_calls, round_penalties)
+            for sid, share in round_shares:
+                seen = delivered[sid]
+                result = round_results.get(sid)
                 if result is None:
                     if sid not in outcome.failed:
                         outcome.failed.append(sid)
@@ -702,10 +764,12 @@ class FederatedPortal:
         failed: list[int] = []
         timed_out: list[int] = []
         retries_before = self.stats.shard_retries
-        for shard_id, subquery in plan:
-            result = self._call_shard(
-                shard_id, lambda p, q=subquery: p.execute(q), penalties
-            )
+        scattered = self._scatter_calls(
+            [(shard_id, "execute", (subquery,)) for shard_id, subquery in plan],
+            penalties,
+        )
+        for shard_id, _ in plan:
+            result = scattered.get(shard_id)
             if result is None:
                 failed.append(shard_id)
                 continue
@@ -825,6 +889,7 @@ class FederatedPortal:
         degrades every query that routed to it (those results come back
         partial) without failing the tick.
         """
+        wall_start = time.perf_counter()
         self._ensure_index()
         self.stats.batch_ticks += 1
         self.stats.queries += len(queries)
@@ -844,13 +909,15 @@ class FederatedPortal:
         shard_batches: dict[int, "BatchResult"] = {}
         failed: list[int] = []
         timed_out: list[int] = []
+        scattered = self._scatter_calls(
+            [
+                (shard_id, "execute_batch", ([q for _, q in per_shard[shard_id]],))
+                for shard_id in sorted(per_shard)
+            ],
+            penalties,
+        )
         for shard_id in sorted(per_shard):
-            entries = per_shard[shard_id]
-            batch = self._call_shard(
-                shard_id,
-                lambda p, qs=[q for _, q in entries]: p.execute_batch(qs),
-                penalties,
-            )
+            batch = scattered.get(shard_id)
             if batch is None:
                 failed.append(shard_id)
                 continue
@@ -941,6 +1008,10 @@ class FederatedPortal:
             slot_seconds.append(slot)
             shard_seconds[shard_id] = slot
         stats.collection_seconds = max(slot_seconds) + max(topup_collections)
+        # Coordinator-side wall clock: covers scatter, shard work (which
+        # overlaps on the process backend) and gather — not the shard
+        # sum, which would double-count overlapped work.
+        stats.wall_seconds = time.perf_counter() - wall_start
         # Top-up work lands on the answering shard's own bill too.
         for merged in results:
             for sid, extra in merged.topup_results:
@@ -977,7 +1048,7 @@ class FederatedPortal:
             if self._states[shard_id].killed:
                 skipped.append(shard_id)
                 continue
-            per_shard[shard_id] = self._shards[shard_id].explain(subquery)
+            per_shard[shard_id] = self._shard_op(shard_id, "explain", subquery)
         coverages = [float(e["cache_coverage"]) for e in per_shard.values()]
         cfg = self.federation
         target = self._federated_target(query)
@@ -1052,5 +1123,21 @@ class FederatedPortal:
                 "topup_sensors_gained": f.topup_sensors_gained,
                 "sampled_shortfall": f.sampled_shortfall,
             },
-            "shards": {i: s.stats() for i, s in enumerate(self._shards)},
+            "shards": {
+                i: self._shard_op(i, "stats") for i in range(len(self._shards))
+            },
         }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release coordinator-held resources.  The in-process backend
+        holds none; the process backend shuts workers down and unlinks
+        its shared-memory segments here."""
+
+    def __enter__(self) -> "FederatedPortal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

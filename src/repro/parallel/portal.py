@@ -1,0 +1,307 @@
+"""The process-execution federation backend.
+
+``ParallelFederatedPortal`` subclasses the in-process
+:class:`~repro.federation.federated.FederatedPortal` and overrides
+exactly the two shard-interaction hooks:
+
+- :meth:`_shard_op` ships one ``(op, args)`` envelope over the worker's
+  socket and unpickles the reply; a broken pipe surfaces as
+  :class:`~repro.federation.federated.ShardDownError`, so a crashed
+  worker degrades exactly like a killed in-process shard (flagged
+  partial answer, retry budget, cooldown).
+- :meth:`_scatter_calls` pipelines one scatter round: every routed
+  worker receives its frame *before* any reply is read, so the shards'
+  Python work genuinely overlaps on the wall clock.  Retry, backoff,
+  cooldown and failure accounting replicate the sequential
+  ``_call_shard`` per shard, keeping coordinator counters and modeled
+  seconds identical across backends.
+
+The coordinator also keeps the in-process shard portals it built during
+``rebuild_index()``.  They serve three jobs: they are the source the
+shared-memory segments are published from, the build-time snapshot that
+read-only introspection (``stats``/``explain``) falls back to when a
+worker is down, and the verification reference each worker checks its
+adopted arrays against.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.core.flat import auto_tile_nodes
+from repro.federation.federated import FederatedPortal, ShardDownError
+from repro.parallel.config import ParallelConfig
+from repro.parallel.framing import recv_frame, send_frame
+from repro.parallel.shm import SegmentManifest, SegmentRegistry
+from repro.parallel.worker import WorkerBootstrap, worker_main
+
+__all__ = ["ParallelFederatedPortal"]
+
+
+@dataclass
+class _Worker:
+    """Coordinator-side handle of one shard process."""
+
+    process: multiprocessing.process.BaseProcess
+    sock: socket.socket
+    alive: bool = True
+
+
+class ParallelFederatedPortal(FederatedPortal):
+    """One worker process per shard over shared-memory flat kernels."""
+
+    def __init__(self, *args, parallel: ParallelConfig | None = None, **kwargs) -> None:
+        kwargs.pop("parallel", None)
+        super().__init__(*args, **kwargs)
+        self.parallel = parallel if parallel is not None else ParallelConfig()
+        # Workers classify in cache-sized tiles; the coordinator's own
+        # snapshot shards get the same config so worker-side kernels
+        # verify cleanly against them.
+        if self.config.classify_tile_nodes is None:
+            tile = (
+                self.parallel.tile_nodes
+                if self.parallel.tile_nodes is not None
+                else auto_tile_nodes()
+            )
+            self.config = replace(self.config, classify_tile_nodes=tile)
+        self._mp = multiprocessing.get_context(self.parallel.start_method)
+        self._registry = SegmentRegistry(self.parallel.shm_prefix)
+        self._manifests: dict[int, dict[str, SegmentManifest]] = {}
+        self._workers: dict[int, _Worker] = {}
+        self._clock_start = self.clock.now()
+
+    # ------------------------------------------------------------------
+    # Index lifecycle: build → publish → spawn
+    # ------------------------------------------------------------------
+    def rebuild_index(self) -> None:
+        """Rebuild the shards, republish their kernels and respawn every
+        worker against the fresh segments.
+
+        Old segments are unlinked *before* the rebuild and old workers
+        torn down with them — a respawn is the invalidation of the
+        worker-side kernel maps (a fresh process maps only the new
+        segments; the old mappings die with the old process).
+        """
+        self._teardown_workers()
+        self._registry.close()
+        self._registry.reopen()
+        self._manifests = {}
+        super().rebuild_index()
+        for shard_id, shard in enumerate(self._shards):
+            manifests: dict[str, SegmentManifest] = {}
+            for sensor_type in shard.sensor_types():
+                kernel = shard.tree(sensor_type).kernel
+                if kernel is None:
+                    continue
+                manifests[sensor_type] = self._registry.publish(
+                    kernel.shared_arrays(), tag=f"s{shard_id}-{sensor_type}"
+                )
+            self._manifests[shard_id] = manifests
+        self._clock_start = self.clock.now()
+        for shard_id in range(len(self._shards)):
+            self._spawn(shard_id)
+
+    def _bootstrap(self, shard_id: int) -> WorkerBootstrap:
+        return WorkerBootstrap(
+            shard_id=shard_id,
+            sensors=self._groups[shard_id],
+            config=self.config,
+            cost_model=self.cost_model,
+            value_fn=self._value_fn,
+            network_seed=self._network_seed + shard_id,
+            max_sensors_per_query=self.max_sensors_per_query,
+            transport=self.transport_config,
+            network_options=dict(self._network_options),
+            clock_start=self._clock_start,
+            manifests=self._manifests.get(shard_id, {}),
+            verify_adoption=self.parallel.verify_adoption,
+        )
+
+    def _spawn(self, shard_id: int) -> None:
+        """Fork one worker and wait for its bootstrap acknowledgement."""
+        parent_sock, child_sock = socket.socketpair()
+        process = self._mp.Process(
+            target=worker_main,
+            args=(child_sock, parent_sock, self._bootstrap(shard_id)),
+            daemon=True,
+            name=f"colr-shard-{shard_id}",
+        )
+        process.start()
+        child_sock.close()
+        try:
+            kind, payload = recv_frame(parent_sock)
+        except (EOFError, OSError) as exc:
+            parent_sock.close()
+            raise RuntimeError(f"shard {shard_id} worker died during bootstrap") from exc
+        if kind != "ok":
+            parent_sock.close()
+            raise RuntimeError(f"shard {shard_id} worker bootstrap failed:\n{payload}")
+        self._workers[shard_id] = _Worker(process=process, sock=parent_sock)
+
+    # ------------------------------------------------------------------
+    # Worker health
+    # ------------------------------------------------------------------
+    def _mark_worker_dead(self, shard_id: int) -> None:
+        worker = self._workers.get(shard_id)
+        if worker is None or not worker.alive:
+            return
+        worker.alive = False
+        try:
+            worker.sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join()
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Kill the shard *process* (SIGKILL), not just the flag: the
+        coordinator degrades exactly as for a real worker crash."""
+        super().kill_shard(shard_id)
+        self._mark_worker_dead(shard_id)
+
+    def revive_shard(self, shard_id: int) -> None:
+        """Restart the worker and remap the current segments.  The
+        revived shard rebuilds from bootstrap — like a real node
+        restart, its runtime cache state starts cold."""
+        super().revive_shard(shard_id)
+        worker = self._workers.get(shard_id)
+        if worker is None or not worker.alive:
+            self._spawn(shard_id)
+
+    def worker_pid(self, shard_id: int) -> int | None:
+        """The live worker's pid (tests crash it out-of-band)."""
+        worker = self._workers.get(shard_id)
+        if worker is None or not worker.alive:
+            return None
+        return worker.process.pid
+
+    # ------------------------------------------------------------------
+    # Shard interaction hooks
+    # ------------------------------------------------------------------
+    def _shard_op(self, shard_id: int, op: str, *args: object) -> object:
+        worker = self._workers.get(shard_id)
+        if worker is None or not worker.alive:
+            if op in ("stats", "explain"):
+                # Read-only introspection of a down shard answers from
+                # the coordinator's build-time snapshot.
+                return getattr(self._shards[shard_id], op)(*args)
+            raise ShardDownError(f"shard {shard_id} worker is not running")
+        try:
+            send_frame(worker.sock, ("op", op, args, self.clock.now()))
+            kind, payload = recv_frame(worker.sock)
+        except (EOFError, OSError) as exc:
+            self._mark_worker_dead(shard_id)
+            raise ShardDownError(f"shard {shard_id} worker died: {exc}") from exc
+        if kind == "ok":
+            return payload
+        raise RuntimeError(f"shard {shard_id} worker error:\n{payload}")
+
+    def _scatter_calls(
+        self,
+        calls: Sequence[tuple[int, str, tuple]],
+        penalties: dict[int, float],
+    ) -> dict[int, object | None]:
+        """Send every frame of the round before reading any reply, so
+        all routed workers compute concurrently; then gather, retrying
+        failed shards with the same budget/backoff/cooldown accounting
+        as the sequential backend."""
+        cfg = self.federation
+        now = self.clock.now()
+        results: dict[int, object | None] = {}
+        delays: dict[int, float] = {}
+        pending: list[tuple[int, str, tuple]] = []
+        for shard_id, op, args in calls:
+            if self._states[shard_id].down_until > now:
+                self.stats.shard_cooldown_skips += 1
+                results[shard_id] = None
+                continue
+            delays[shard_id] = 0.0
+            pending.append((shard_id, op, args))
+        for attempt in range(cfg.shard_retry_budget + 1):
+            if not pending:
+                break
+            sent: list[tuple[int, str, tuple]] = []
+            failed_now: list[tuple[int, str, tuple]] = []
+            for shard_id, op, args in pending:
+                self.stats.shard_attempts += 1
+                dispatched = False
+                worker = self._workers.get(shard_id)
+                if (
+                    not self._states[shard_id].killed
+                    and worker is not None
+                    and worker.alive
+                ):
+                    try:
+                        send_frame(worker.sock, ("op", op, args, now))
+                        dispatched = True
+                    except OSError:
+                        self._mark_worker_dead(shard_id)
+                (sent if dispatched else failed_now).append((shard_id, op, args))
+            for shard_id, op, args in sent:
+                worker = self._workers[shard_id]
+                try:
+                    kind, payload = recv_frame(worker.sock)
+                except (EOFError, OSError):
+                    self._mark_worker_dead(shard_id)
+                    failed_now.append((shard_id, op, args))
+                    continue
+                if kind != "ok":
+                    raise RuntimeError(
+                        f"shard {shard_id} worker error:\n{payload}"
+                    )
+                self._states[shard_id].consecutive_failures = 0
+                penalties[shard_id] = delays[shard_id]
+                results[shard_id] = payload
+            retry: list[tuple[int, str, tuple]] = []
+            for shard_id, op, args in failed_now:
+                if attempt < cfg.shard_retry_budget:
+                    self.stats.shard_retries += 1
+                    delays[shard_id] += (
+                        cfg.retry_backoff_base * cfg.retry_backoff_multiplier**attempt
+                    )
+                    penalties[shard_id] = delays[shard_id]
+                    retry.append((shard_id, op, args))
+                else:
+                    state = self._states[shard_id]
+                    state.consecutive_failures += 1
+                    if cfg.cooldown_seconds > 0:
+                        state.down_until = now + cfg.cooldown_seconds
+                    self.stats.shard_failures += 1
+                    penalties[shard_id] = delays[shard_id]
+                    results[shard_id] = None
+            pending = retry
+        return results
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def _teardown_workers(self) -> None:
+        for shard_id, worker in list(self._workers.items()):
+            if worker.alive:
+                try:
+                    send_frame(worker.sock, ("shutdown",))
+                    recv_frame(worker.sock)
+                except (EOFError, OSError):
+                    pass
+            try:
+                worker.sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+                if worker.process.is_alive():  # pragma: no cover - stuck worker
+                    worker.process.kill()
+                    worker.process.join()
+            else:
+                worker.process.join()
+        self._workers = {}
+
+    def close(self) -> None:
+        """Shut every worker down and unlink all published segments."""
+        self._teardown_workers()
+        self._registry.close()

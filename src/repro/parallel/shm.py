@@ -1,0 +1,185 @@
+"""Shared-memory publication of flat-kernel arrays.
+
+One :class:`SegmentRegistry` lives in the coordinator.  Per (shard,
+sensor-type) kernel it packs all :data:`repro.core.flat.SHARED_ARRAY_FIELDS`
+arrays into **one** ``multiprocessing.shared_memory`` segment —
+64-byte-aligned offsets, described by a picklable
+:class:`SegmentManifest` — and owns the unlink.  Workers
+:func:`attach` by manifest and get zero-copy numpy views suitable for
+:meth:`repro.core.flat.FlatKernel.adopt_arrays`.
+
+Lifecycle rules (the part that keeps ``/dev/shm`` clean):
+
+- The registry is the **only** creator and the only unlinker.  It is a
+  context manager; ``close()`` is idempotent and unlinks everything it
+  published.
+- Workers attach read-only by *name*.  Because workers are **forked**
+  they inherit the coordinator's ``resource_tracker``, so the attach-
+  time registration Python < 3.13 performs is a set no-op against the
+  coordinator's own entry — nothing to unregister, and no premature
+  unlink when a worker exits.  Workers never unlink; their mappings die
+  with the process.  (A *spawned* attacher would need the
+  ``resource_tracker.unregister`` idiom instead — that is why
+  :class:`repro.parallel.config.ParallelConfig` pins ``fork``.)
+- :func:`leaked_segments` scans ``/dev/shm`` for the package prefix so
+  tests and benches can assert nothing outlived its registry.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.parallel.config import SHM_PREFIX
+
+__all__ = [
+    "ArraySpec",
+    "SegmentManifest",
+    "SegmentRegistry",
+    "attach",
+    "leaked_segments",
+]
+
+#: Offset alignment inside a segment.  64 bytes keeps every array on
+#: its own cache line boundary so tiled passes in different workers
+#: never false-share a line across two arrays.
+ALIGN = 64
+
+_seq = itertools.count()
+
+
+def _align(offset: int) -> int:
+    return (offset + ALIGN - 1) // ALIGN * ALIGN
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one numpy array inside a segment."""
+
+    name: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+@dataclass(frozen=True)
+class SegmentManifest:
+    """Everything a worker needs to map one published kernel: the
+    segment name plus per-array placement.  Plain data — crosses the
+    bootstrap pipe by pickle."""
+
+    segment: str
+    total_bytes: int
+    arrays: tuple[ArraySpec, ...]
+
+
+def _layout(arrays: Mapping[str, np.ndarray]) -> tuple[list[ArraySpec], int]:
+    specs: list[ArraySpec] = []
+    offset = 0
+    for name in sorted(arrays):
+        arr = arrays[name]
+        offset = _align(offset)
+        specs.append(
+            ArraySpec(name=name, dtype=arr.dtype.str, shape=tuple(arr.shape), offset=offset)
+        )
+        offset += arr.nbytes
+    return specs, max(offset, 1)
+
+
+class SegmentRegistry:
+    """Creates, tracks and (exactly once) unlinks shm segments."""
+
+    def __init__(self, prefix: str = SHM_PREFIX) -> None:
+        self.prefix = prefix
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._closed = False
+
+    def publish(self, arrays: Mapping[str, np.ndarray], tag: str) -> SegmentManifest:
+        """Copy ``arrays`` into one fresh segment and return its map.
+
+        ``tag`` distinguishes segments in ``/dev/shm`` listings (e.g.
+        ``s3-temperature``); uniqueness comes from the pid + a counter.
+        """
+        if self._closed:
+            raise RuntimeError("registry is closed")
+        specs, total = _layout(arrays)
+        name = f"{self.prefix}-{os.getpid()}-{next(_seq)}-{tag}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+        self._segments.append(shm)
+        for spec in specs:
+            src = arrays[spec.name]
+            dst = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+            )
+            dst[...] = src
+            del dst  # drop the buffer export so close() can release shm.buf
+        return SegmentManifest(segment=name, total_bytes=total, arrays=tuple(specs))
+
+    def segment_names(self) -> list[str]:
+        return [s.name for s in self._segments]
+
+    def close(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        self._closed = True
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            try:
+                shm.close()
+            finally:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+    def reopen(self) -> None:
+        """Allow publishing again after a ``close()`` (index rebuild)."""
+        self._closed = False
+
+    def __enter__(self) -> "SegmentRegistry":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - backstop only
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach(manifest: SegmentManifest) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Map one published segment and return zero-copy views per array.
+
+    The returned ``SharedMemory`` handle must stay referenced as long as
+    the views are in use; the coordinator owns the unlink.  Callers are
+    expected to be *forked* from the publisher (see the module
+    docstring's lifecycle rules).
+    """
+    shm = shared_memory.SharedMemory(name=manifest.segment)
+    views = {
+        spec.name: np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+        )
+        for spec in manifest.arrays
+    }
+    return shm, views
+
+
+def leaked_segments(prefix: str = SHM_PREFIX) -> list[str]:
+    """Names under ``/dev/shm`` still carrying our prefix (should be
+    empty after every registry is closed)."""
+    root = Path("/dev/shm")
+    if not root.is_dir():  # pragma: no cover - non-Linux
+        return []
+    return sorted(p.name for p in root.glob(f"{prefix}-*"))

@@ -28,6 +28,7 @@ draws), same ingestion, same stats.  The property tests in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
@@ -61,6 +62,12 @@ class BatchStats:
     work (not attributed to individual queries), and
     ``collection_seconds`` becomes the tick's *makespan* (rounds
     overlap) instead of a sequential per-tree sum.
+
+    ``collection_seconds`` is *modeled* (simulated-clock) time;
+    ``wall_seconds`` is the real time this process spent executing the
+    batch.  Wall time is measurement noise, not an answer property, so
+    it is excluded from equality — parity tests compare everything
+    else bit-for-bit across executors and federation backends.
     """
 
     queries: int = 0
@@ -75,6 +82,7 @@ class BatchStats:
     batch_shared_plans: int = 0
     maintenance_ops: int = 0
     collection_seconds: float = 0.0
+    wall_seconds: float = field(default=0.0, compare=False)
 
 
 @dataclass
@@ -94,6 +102,7 @@ def execute_batch(
     Implementation of :meth:`SensorMapPortal.execute_batch`; see the
     module docstring for the phase structure.
     """
+    wall_start = time.perf_counter()
     stats = BatchStats(queries=len(queries))
     if not queries:
         return BatchResult(stats=stats)
@@ -297,4 +306,5 @@ def execute_batch(
                 ),
             )
         )
+    stats.wall_seconds = time.perf_counter() - wall_start
     return BatchResult(results=results, stats=stats)

@@ -11,7 +11,6 @@ collector would).
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Mapping
 
@@ -46,28 +45,14 @@ class ProbeResult:
     ``readings`` maps sensor id to the fresh reading for every sensor
     that answered; ``unavailable`` lists sensors that were contacted but
     did not answer, ``timed_out`` those whose connection exceeded the
-    collector's timeout (previously both were lumped into ``failed``,
-    which survives as a deprecated combined property).
-    ``latency_seconds`` is the simulated wall-clock cost of the batch
-    under the parallel collection model.
+    collector's timeout.  ``latency_seconds`` is the simulated
+    wall-clock cost of the batch under the parallel collection model.
     """
 
     readings: Mapping[int, Reading]
     unavailable: tuple[int, ...]
     timed_out: tuple[int, ...]
     latency_seconds: float
-
-    @property
-    def failed(self) -> tuple[int, ...]:
-        """Deprecated: combined failure list; prefer ``unavailable`` /
-        ``timed_out``, which meter the two modes separately."""
-        warnings.warn(
-            "ProbeResult.failed is deprecated; use ProbeResult.unavailable"
-            " and ProbeResult.timed_out instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.unavailable + self.timed_out
 
     @property
     def attempted(self) -> int:

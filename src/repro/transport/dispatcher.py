@@ -147,8 +147,8 @@ class ProbeRound:
 
     @property
     def failed(self) -> tuple[int, ...]:
-        """Combined failure list (``unavailable + timed_out``), mirroring
-        the deprecated ``ProbeResult.failed``."""
+        """Combined failure list (``unavailable + timed_out``) for
+        callers that do not care which mode a sensor failed in."""
         return tuple(self.unavailable) + tuple(self.timed_out)
 
     @property

