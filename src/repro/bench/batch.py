@@ -48,6 +48,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.bench.report import run_stamp
 from repro.geometry import GeoPoint, Rect
 from repro.portal import SensorMapPortal, SensorQuery
 
@@ -223,7 +224,7 @@ def run_batch_bench(
     ]
     return {
         "benchmark": "batch_executor",
-        "unix_time": time.time(),
+        **run_stamp(),
         "workload": {
             "n_sensors": n_sensors,
             "levels": list(levels),

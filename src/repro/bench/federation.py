@@ -58,6 +58,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.bench.report import run_stamp
 from repro.core.config import COLRTreeConfig
 from repro.federation import FederatedPortal, FederationConfig, make_partitioner
 from repro.geometry import GeoPoint, Polygon, Rect
@@ -577,7 +578,7 @@ def run_federation_bench(
     )
     return {
         "benchmark": "federation_scatter_gather",
-        "unix_time": time.time(),
+        **run_stamp(),
         "workload": {
             "n_sensors": n_sensors,
             "shard_counts": list(shard_counts),

@@ -13,8 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.bench.harness import StreamSummary
 from repro.bench.report import WallTimer, format_table
 from repro.core.config import COLRTreeConfig
 from repro.core.tree import COLRTree
@@ -94,11 +93,12 @@ def run_fig7(
                     continue
                 estimate = answer.estimate("avg")
                 errors.append(abs(estimate - truth) / abs(truth))
+            summary = StreamSummary(errors)
             points.append(
                 Fig7Point(
                     sample_size=size,
-                    mean_relative_error=float(np.mean(errors)),
-                    p90_relative_error=float(np.percentile(errors, 90)),
+                    mean_relative_error=summary.mean,
+                    p90_relative_error=summary.percentile(90.0),
                 )
             )
     return Fig7Result(points=points, wall_seconds=timer.seconds)

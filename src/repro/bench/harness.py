@@ -9,12 +9,88 @@ every experiment.
 
 from __future__ import annotations
 
+import bisect
+import math
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Iterable, Protocol, Sequence
 
 from repro.core.lookup import QueryAnswer, Region
 from repro.core.stats import ProcessingCostModel, QueryStats
 from repro.workloads.livelocal import QuerySpec
+
+
+class StreamSummary:
+    """Order statistics over one metered series (latencies, errors...).
+
+    Every bench that reports a latency distribution goes through this
+    instead of ad-hoc ``np.percentile`` calls, so p50/p95/p99 mean the
+    same thing in every ``BENCH_*.json``: linear interpolation between
+    closest ranks (numpy's default), computed over the full retained
+    series — these benches meter thousands of queries, not billions, so
+    an exact summary is cheaper than a sketch would be.
+    """
+
+    __slots__ = ("_sorted",)
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        self._sorted = sorted(float(v) for v in values)
+
+    def add(self, value: float) -> None:
+        """Insert one observation, keeping the series sorted (bench
+        series stay small enough that insort's O(n) shift is noise)."""
+        bisect.insort(self._sorted, float(value))
+
+    def extend(self, values: Iterable[float]) -> None:
+        self._sorted = sorted(self._sorted + [float(v) for v in values])
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def mean(self) -> float:
+        if not self._sorted:
+            raise ValueError("no observations")
+        return sum(self._sorted) / len(self._sorted)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100), linearly interpolated
+        between closest ranks — value-identical to
+        ``numpy.percentile(values, p)`` for finite inputs."""
+        if not self._sorted:
+            raise ValueError("no observations")
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        xs = self._sorted
+        rank = (p / 100.0) * (len(xs) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return xs[int(rank)]
+        frac = rank - lo
+        return xs[lo] + frac * (xs[hi] - xs[lo])
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def as_dict(self) -> dict[str, float | int]:
+        """The JSON-artifact shape every bench embeds."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
 
 
 class SystemUnderTest(Protocol):
@@ -70,6 +146,10 @@ class RunResult:
 
     def total(self, attribute: str) -> float:
         return sum(getattr(r, attribute) for r in self.records)
+
+    def summary(self, attribute: str) -> StreamSummary:
+        """Order statistics over one per-query attribute."""
+        return StreamSummary(getattr(r, attribute) for r in self.records)
 
 
 def run_query_stream(

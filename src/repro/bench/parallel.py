@@ -68,7 +68,7 @@ from repro.bench.federation import (
     make_unsharded,
     make_viewports,
 )
-from repro.bench.report import WallTimer
+from repro.bench.report import WallTimer, run_stamp
 from repro.core.flat import FlatKernel, auto_tile_nodes
 from repro.parallel import leaked_segments
 
@@ -230,7 +230,7 @@ def run_parallel_bench(
     leaked = [s for s in leaked_segments()]
     return {
         "benchmark": "parallel_federation",
-        "unix_time": time.time(),
+        **run_stamp(),
         "workload": {
             "n_sensors": n_sensors,
             "worker_counts": list(worker_counts),

@@ -6,8 +6,9 @@ Every figure driver prints through this module so the regenerated
 
 from __future__ import annotations
 
+import subprocess
 import time
-from typing import Sequence
+from typing import Mapping, Sequence
 
 
 class WallTimer:
@@ -35,6 +36,54 @@ class WallTimer:
         assert self._start is not None
         self.seconds = time.perf_counter() - self._start
         self._start = None
+
+
+def git_fingerprint() -> dict[str, object]:
+    """The commit this bench ran against, for artifact attribution.
+
+    Returns ``{"git_commit": <sha or None>, "git_dirty": <bool or
+    None>}``.  ``None``s mean git itself was unavailable (artifact
+    built outside a checkout) — the artifact stays valid, just
+    unattributed.  ``git_dirty`` is true when tracked files differ from
+    the commit, so a perf number from an uncommitted tree can never
+    masquerade as the commit's.
+    """
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return {"git_commit": None, "git_dirty": None}
+    return {"git_commit": commit, "git_dirty": bool(status)}
+
+
+def run_stamp(wall_seconds: float | None = None) -> dict[str, object]:
+    """The standard ``BENCH_*.json`` header fields: wall clock of the
+    run, when it ran, and which commit produced it."""
+    stamp: dict[str, object] = {"unix_time": int(time.time())}
+    if wall_seconds is not None:
+        stamp["wall_seconds"] = wall_seconds
+    stamp.update(git_fingerprint())
+    return stamp
+
+
+def summary_columns(summary: "Mapping[str, float] | object") -> tuple[float, ...]:
+    """The (p50, p95, p99) cells for a latency column triple — accepts a
+    :class:`repro.bench.harness.StreamSummary` or its ``as_dict``."""
+    if isinstance(summary, Mapping):
+        return (float(summary["p50"]), float(summary["p95"]), float(summary["p99"]))
+    return (float(summary.p50), float(summary.p95), float(summary.p99))
 
 
 def format_table(

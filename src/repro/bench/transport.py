@@ -54,6 +54,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.bench.report import run_stamp
 from repro.geometry import GeoPoint, Rect
 from repro.portal import SensorMapPortal, SensorQuery
 from repro.transport import TransportConfig
@@ -248,7 +249,7 @@ def run_transport_bench(
     per_level = [run_level(n_sensors, level, ticks, seed) for level in levels]
     return {
         "benchmark": "transport_dispatcher",
-        "unix_time": time.time(),
+        **run_stamp(),
         "workload": {
             "n_sensors": n_sensors,
             "levels": list(levels),

@@ -38,6 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.bench.report import run_stamp
 from repro.core.config import COLRTreeConfig
 from repro.core.lookup import QueryAnswer, Region, range_scan
 from repro.core.tree import COLRTree
@@ -201,7 +202,7 @@ def run_traversal_bench(
     warm_s = min(warm_times)
     result = {
         "benchmark": "traversal",
-        "unix_time": time.time(),
+        **run_stamp(),
         "workload": {
             "n_sensors": n_sensors,
             "n_regions": n_regions,

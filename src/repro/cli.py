@@ -65,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
         "one worker process per shard (implies --shards N when --shards "
         "is not given; 0 keeps in-process execution)",
     )
+    demo.add_argument(
+        "--qps",
+        type=float,
+        default=0.0,
+        help="run the front-door demo instead: an open-loop multi-tenant "
+        "stream offered at this rate against the tiered result cache "
+        "and admission control (0 keeps the plain demo)",
+    )
+    demo.add_argument(
+        "--tenants",
+        type=int,
+        default=20,
+        help="tenant count of the front-door demo's Zipf stream "
+        "(only with --qps)",
+    )
     transport = sub.add_parser(
         "transport", help="async transport vs sync probing benchmark"
     )
@@ -98,6 +113,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(repro.bench.parallel), sweeping worker counts up to N",
     )
     federation.add_argument("--quick", action="store_true")
+    frontdoor = sub.add_parser(
+        "frontdoor",
+        help="front-door benchmark: tiered result cache, streaming "
+        "gathers, admission control",
+    )
+    frontdoor.add_argument("--sensors", type=int, default=40_000)
+    frontdoor.add_argument("--requests", type=int, default=2_000)
+    frontdoor.add_argument("--quick", action="store_true")
+    frontdoor.add_argument(
+        "--check", action="store_true", help="assert the acceptance gates"
+    )
     return parser
 
 
@@ -167,6 +193,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(run_all_ablations().format_table())
         return 0
     if command == "demo":
+        if args.qps > 0:
+            return _demo_frontdoor(args.sensors, args.qps, args.tenants)
         if args.shards > 0 or args.workers > 0:
             return _demo_federated(
                 args.sensors,
@@ -205,6 +233,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.quick:
             argv.append("--quick")
         return federation_main(argv)
+    if command == "frontdoor":
+        from repro.bench.frontdoor import main as frontdoor_main
+
+        argv = ["--sensors", str(args.sensors), "--requests", str(args.requests)]
+        if args.quick:
+            argv.append("--quick")
+        if args.check:
+            argv.append("--check")
+        return frontdoor_main(argv)
     raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
 
 
@@ -340,6 +377,65 @@ def _demo_federated(
         f"residual shortfall {f.sampled_shortfall}"
     )
     portal.close()
+    return 0
+
+
+def _demo_frontdoor(n_sensors: int, qps: float, n_tenants: int) -> int:
+    """Scripted tour of the portal front door: a Zipf multi-tenant
+    open-loop stream at the offered rate, served cache-first with
+    admission control, then the serving report and cache counters."""
+    from repro.bench.harness import StreamSummary
+    from repro.bench.report import format_counters
+    from repro.frontdoor import (
+        AdmissionConfig,
+        FrontDoor,
+        FrontDoorConfig,
+        OpenLoopRunner,
+    )
+    from repro.portal import SensorMapPortal
+    from repro.workloads import LiveLocalWorkload, OpenLoopWorkload
+
+    n_requests = max(50, int(10 * qps))
+    portal = SensorMapPortal(max_sensors_per_query=None)
+    portal.register_all(LiveLocalWorkload(n_sensors=n_sensors, seed=0).sensors())
+    portal.rebuild_index()
+    door = FrontDoor(
+        portal,
+        FrontDoorConfig(
+            admission=AdmissionConfig(
+                tenant_rate_qps=max(0.5, 2.0 * qps / n_tenants),
+                tenant_burst=8.0,
+                queue_depth=32,
+            )
+        ),
+    )
+    requests = OpenLoopWorkload(
+        base=LiveLocalWorkload(n_sensors=n_sensors, n_queries=n_requests, seed=0),
+        n_requests=n_requests,
+        n_tenants=n_tenants,
+        target_qps=qps,
+    ).requests()
+    print(
+        f"front door over {n_sensors} sensors: {n_requests} requests from "
+        f"{n_tenants} tenants offered at {qps:g} q/s"
+    )
+    report = OpenLoopRunner(door).run(requests)
+    latency = report.latency()
+    print(
+        f"served {report.served}/{report.offered} "
+        f"({report.served_qps:.1f} q/s sustained, "
+        f"shed {report.shed_fraction:.1%}, "
+        f"max queue depth {report.max_queue_depth})"
+    )
+    if isinstance(latency, StreamSummary) and latency.count:
+        print(
+            f"latency: p50 {latency.p50 * 1e3:.1f}ms  "
+            f"p95 {latency.p95 * 1e3:.1f}ms  p99 {latency.p99 * 1e3:.1f}ms"
+        )
+    print()
+    print(format_counters(door.cache.stats.as_dict(), title="result cache"))
+    print()
+    print(format_counters(door.admission.stats.as_dict(), title="admission"))
     return 0
 
 

@@ -39,6 +39,7 @@ from repro.core.plancache import SpatialPlan, SpatialPlanCache, region_fingerpri
 from repro.core.sampling import layered_sample
 from repro.core.slots import slot_of
 from repro.core.stats import ProcessingCostModel, QueryStats, TreeStats
+from repro.geometry import Rect
 from repro.sensors.availability import AvailabilityModel
 from repro.sensors.network import SensorNetwork
 from repro.sensors.sensor import Reading, Sensor
@@ -115,6 +116,13 @@ class COLRTree:
         self._slot_heap: list[int] = []
         self._cached_count = 0
         self.stats = TreeStats()
+        # Write-delta listeners: ``fn(dirty_rect, n_readings)`` fires
+        # after every cache ingestion (probe fill, streamed transport
+        # ingestion, prime_cache) with the bounding box of the touched
+        # leaves.  The front-door result cache subscribes here so
+        # viewport answers overlapping fresh writes drop out — cached
+        # results see exactly the deltas the slot caches see.
+        self.ingest_listeners: list = []
         # The flattened traversal kernel + spatial plan cache.  Both are
         # pure accelerators: answers are bit-identical with them off.
         self.kernel: FlatKernel | None = (
@@ -360,6 +368,7 @@ class COLRTree:
         # Roll-forward + per-slot increment up the tree (the slot-insert
         # and slot-update triggers of Section VI-B).
         if not self.config.aggregate_caching_enabled:
+            self._notify_ingest([leaf], 1)
             return ops
         node = leaf.parent
         while node is not None:
@@ -367,6 +376,7 @@ class COLRTree:
             node.agg_cache.add(new_slot, reading.value, reading.timestamp)
             ops += 1
             node = node.parent
+        self._notify_ingest([leaf], 1)
         return ops
 
     def insert_readings_batch(self, readings: Iterable[Reading], fetched_at: float) -> int:
@@ -436,7 +446,9 @@ class COLRTree:
                     new_slot, AggregateSketch()
                 ).add(reading.value, reading.timestamp)
         if not aggregating:
-            return ops + self._enforce_capacity()
+            ops += self._enforce_capacity()
+            self._notify_ingest(touched_leaves.values(), len(batch))
+            return ops
         # Phase 2: merge each touched leaf's deltas into its ancestor
         # chain, so every ancestor sees one delta per slot regardless of
         # how many readings (or leaves) contributed.
@@ -484,7 +496,23 @@ class COLRTree:
                 if cache.remove_bulk(slot, values):
                     cache.replace(slot, self._recompute_slot(node, slot))
                     ops += len(node.children)
-        return ops + self._enforce_capacity()
+        ops += self._enforce_capacity()
+        self._notify_ingest(touched_leaves.values(), len(batch))
+        return ops
+
+    def _notify_ingest(self, leaves: Iterable[COLRNode], count: int) -> None:
+        """Fire the write-delta listeners with the touched leaves'
+        bounding box.  Leaf bboxes (not reading coordinates) are used so
+        the process-backend coordinator and the in-process path agree on
+        the dirty region for the same ingestion."""
+        if not self.ingest_listeners or count <= 0:
+            return
+        rects = [leaf.bbox for leaf in leaves]
+        if not rects:
+            return
+        dirty = Rect.union_of(rects)
+        for listener in list(self.ingest_listeners):
+            listener(dirty, count)
 
     def clear_caches(self) -> None:
         """Drop every cached reading and aggregate (leaf and internal),

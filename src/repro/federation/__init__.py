@@ -30,7 +30,9 @@ from repro.federation.federated import (
     FederatedPortal,
     FederatedResult,
     FederationStats,
+    ShardArrival,
     ShardDownError,
+    StreamingGather,
 )
 from repro.federation.partitioner import (
     GridPartitioner,
@@ -48,9 +50,11 @@ __all__ = [
     "GridPartitioner",
     "KMeansPartitioner",
     "Partitioner",
+    "ShardArrival",
     "ShardDirectory",
     "ShardDownError",
     "ShardEntry",
     "ShardRoute",
+    "StreamingGather",
     "make_partitioner",
 ]

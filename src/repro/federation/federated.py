@@ -46,6 +46,7 @@ from repro.core.stats import ProcessingCostModel
 from repro.federation.config import FederationConfig
 from repro.federation.directory import ShardDirectory, ShardRoute
 from repro.federation.partitioner import GridPartitioner, Partitioner
+from repro.federation.streaming import ShardArrival, StreamingGather
 from repro.geometry import GeoPoint
 from repro.portal.batch import BatchStats
 from repro.portal.parser import parse_query
@@ -64,7 +65,9 @@ __all__ = [
     "FederatedPortal",
     "FederatedResult",
     "FederationStats",
+    "ShardArrival",
     "ShardDownError",
+    "StreamingGather",
 ]
 
 
@@ -174,6 +177,11 @@ class FederationStats:
     topup_subqueries: int = 0
     topup_sensors_gained: int = 0
     sampled_shortfall: int = 0
+    # Streaming-gather accounting: queries answered through the
+    # incremental path, and shard answers that missed a publish
+    # deadline (they still reach the final merge — late, not lost).
+    streaming_queries: int = 0
+    deferred_shard_answers: int = 0
 
 
 @dataclass
@@ -185,6 +193,11 @@ class FederatedResult(PortalResult):
     shard_results: dict[int, PortalResult] = field(default_factory=dict)
     failed_shards: tuple[int, ...] = ()
     timed_out_shards: tuple[int, ...] = ()
+    # Healthy shards whose answers had not landed when this result was
+    # published (streaming gathers only; the synchronous path never
+    # defers).  A deferred shard's answer arrives in the *final* merge
+    # of the same ``StreamingGather`` — it is late, not lost.
+    deferred_shards: tuple[int, ...] = ()
     shard_retries: int = 0
     # Cross-shard REDISTRIBUTE provenance.  ``topup_results`` lists the
     # round-2+ per-shard answers in collection order (a shard can appear
@@ -200,9 +213,12 @@ class FederatedResult(PortalResult):
 
     @property
     def partial(self) -> bool:
-        """True when at least one routed shard's answer (first-round or
-        top-up) is missing."""
-        return bool(self.failed_shards or self.timed_out_shards)
+        """True when at least one routed shard's answer (first-round,
+        top-up, or still in flight past a streaming deadline) is
+        missing."""
+        return bool(
+            self.failed_shards or self.timed_out_shards or self.deferred_shards
+        )
 
 
 @dataclass
@@ -318,6 +334,10 @@ class FederatedPortal:
         self._directory: ShardDirectory | None = None
         self._states: dict[int, _ShardState] = {}
         self._index_dirty = True
+        # Monotone build counter, mirroring SensorMapPortal's: a
+        # rebuild re-partitions the fleet and rebuilds every shard, so
+        # result caches above the coordinator key their validity on it.
+        self.index_generation = 0
 
     # ------------------------------------------------------------------
     # Publisher side
@@ -391,6 +411,7 @@ class FederatedPortal:
             for shard_id in range(len(groups))
         }
         self._index_dirty = False
+        self.index_generation += 1
 
     def _ensure_index(self) -> None:
         if self._index_dirty or not self._shards:
@@ -750,11 +771,25 @@ class FederatedPortal:
     def execute_sql(self, sql: str) -> FederatedResult:
         return self.execute(parse_query(sql))
 
-    def execute(self, query: SensorQuery) -> FederatedResult:
-        """Scatter one query, gather — then, for sampled queries that
-        came up short, run the bounded cross-shard top-up rounds before
-        merging."""
-        self._ensure_index()
+    def _scatter_round1(
+        self, query: SensorQuery
+    ) -> tuple[
+        list[ShardRoute],
+        list[tuple[int, SensorQuery]],
+        dict[int, float],
+        dict[int, PortalResult],
+        list[int],
+        list[int],
+        int,
+    ]:
+        """Route, plan and run one query's first scatter round.
+
+        Shared by the synchronous and the streaming gather — both paths
+        issue byte-identical shard calls in the same order, so the
+        shard-side RNG streams (and therefore the answers) agree.
+        Returns ``(routes, plan, penalties, shard_results, failed,
+        timed_out, retries)``.
+        """
         self.stats.queries += 1
         routes = self._route(query)
         plan = self._scatter_plan(query, routes)
@@ -778,6 +813,30 @@ class FederatedPortal:
                 timed_out.append(shard_id)
                 continue
             shard_results[shard_id] = result
+        return (
+            list(routes),
+            plan,
+            penalties,
+            shard_results,
+            failed,
+            timed_out,
+            self.stats.shard_retries - retries_before,
+        )
+
+    def execute(self, query: SensorQuery) -> FederatedResult:
+        """Scatter one query, gather — then, for sampled queries that
+        came up short, run the bounded cross-shard top-up rounds before
+        merging."""
+        self._ensure_index()
+        (
+            routes,
+            _plan,
+            penalties,
+            shard_results,
+            failed,
+            timed_out,
+            retries,
+        ) = self._scatter_round1(query)
         target = self._federated_target(query)
         topup = self._redistribute(
             query, target, routes, shard_results, set(failed) | set(timed_out)
@@ -794,13 +853,157 @@ class FederatedPortal:
             penalties,
             failed,
             timed_out,
-            self.stats.shard_retries - retries_before,
+            retries,
             target=self._target_readings(query, target),
             topup=topup,
         )
         if merged.partial:
             self.stats.partial_answers += 1
         return merged
+
+    def execute_streaming(
+        self, query: SensorQuery, deadline_seconds: float | None = None
+    ) -> "StreamingGather":
+        """Scatter one query and gather *incrementally*.
+
+        Identical shard calls to :meth:`execute` (same scatter plan,
+        same RNG consumption, same redistribution rounds), but the
+        coordinator merges answers as they land in modeled time instead
+        of waiting out the makespan:
+
+        * ``first`` — the answer publishable at ``deadline_seconds``
+          after the scatter: every shard landed by then, merged; healthy
+          stragglers are listed in ``deferred_shards`` and the result is
+          flagged partial.  ``None`` waits for everything (``first is
+          final``).
+        * ``final`` — the complete merge.  Redistribution top-ups
+          launch as soon as every *answering* shard has landed, so they
+          overlap a straggler's retry/timeout tail instead of queueing
+          behind it; on a healthy fleet the launch instant is the
+          round-1 makespan and the arithmetic (and the whole result)
+          reduces bit-identically to the synchronous gather.
+        """
+        self._ensure_index()
+        self.stats.streaming_queries += 1
+        (
+            routes,
+            plan,
+            penalties,
+            shard_results,
+            failed,
+            timed_out,
+            retries,
+        ) = self._scatter_round1(query)
+        arrivals: list[ShardArrival] = []
+        for shard_id, _ in plan:
+            penalty = penalties.get(shard_id, 0.0)
+            if shard_id in shard_results:
+                landed = shard_results[shard_id].collection_seconds + penalty
+                arrivals.append(ShardArrival(shard_id, landed, "ok"))
+            elif shard_id in timed_out:
+                arrivals.append(ShardArrival(shard_id, penalty, "timed_out"))
+            else:
+                arrivals.append(ShardArrival(shard_id, penalty, "failed"))
+        arrivals.sort(key=lambda a: (a.landed_at, a.shard_id))
+        # Top-up rounds need every answering shard's round-1 count, so
+        # the earliest the coordinator can launch them is the last *ok*
+        # landing — not the full makespan, which a failing shard holds
+        # open for its whole backoff tail.
+        topup_start = max(
+            (a.landed_at for a in arrivals if a.status == "ok"), default=0.0
+        )
+        target = self._federated_target(query)
+        topup = self._redistribute(
+            query, target, routes, shard_results, set(failed) | set(timed_out)
+        )
+        for sid in topup.failed:
+            if sid not in failed:
+                failed.append(sid)
+        for sid in topup.timed_out:
+            if sid not in timed_out:
+                timed_out.append(sid)
+        target_readings = self._target_readings(query, target)
+        final = self._gather(
+            query,
+            shard_results,
+            penalties,
+            failed,
+            timed_out,
+            retries,
+            target=target_readings,
+            topup=topup,
+            topup_overlap_start=topup_start,
+        )
+        if final.partial:
+            self.stats.partial_answers += 1
+        first = final
+        if deadline_seconds is not None and final.collection_seconds > float(
+            deadline_seconds
+        ):
+            deadline = float(deadline_seconds)
+            deferred = tuple(
+                a.shard_id
+                for a in arrivals
+                if a.status == "ok" and a.landed_at > deadline
+            )
+            on_time = {
+                sid: r for sid, r in shard_results.items() if sid not in deferred
+            }
+            # Failures/timeouts only *known* by the deadline make the
+            # published record; a shard still burning its retry backoff
+            # is pending, exactly like a slow healthy one.
+            known_failed = [
+                a.shard_id
+                for a in arrivals
+                if a.status == "failed" and a.landed_at <= deadline
+            ]
+            known_timed_out = [
+                a.shard_id
+                for a in arrivals
+                if a.status == "timed_out" and a.landed_at <= deadline
+            ]
+            pending_issues = tuple(
+                a.shard_id
+                for a in arrivals
+                if a.status != "ok" and a.landed_at > deadline
+            )
+            topup_done = topup.rounds_run and (
+                topup_start + topup.collection_seconds <= deadline
+            )
+            if topup_done:
+                # A completed top-up's casualties are known by now too.
+                for sid in topup.failed:
+                    if sid not in known_failed:
+                        known_failed.append(sid)
+                for sid in topup.timed_out:
+                    if sid not in known_timed_out:
+                        known_timed_out.append(sid)
+            first = self._gather(
+                query,
+                on_time,
+                penalties,
+                known_failed,
+                known_timed_out,
+                retries,
+                target=target_readings,
+                topup=topup if topup_done else None,
+                topup_overlap_start=topup_start if topup_done else None,
+            )
+            first.deferred_shards = deferred + pending_issues
+            # The coordinator holds the publish until the deadline in
+            # case a straggler makes it; it did not, so the partial
+            # answer goes out exactly then.
+            first.collection_seconds = deadline
+            self.stats.deferred_shard_answers += len(first.deferred_shards)
+        return StreamingGather(
+            query=query,
+            deadline_seconds=(
+                None if deadline_seconds is None else float(deadline_seconds)
+            ),
+            arrivals=tuple(arrivals),
+            first=first,
+            final=final,
+        )
 
     def _shard_timed_out(
         self, collection_seconds: float, penalties: dict[int, float], shard_id: int
@@ -824,6 +1027,7 @@ class FederatedPortal:
         retries: int,
         target: int | None = None,
         topup: _TopupOutcome | None = None,
+        topup_overlap_start: float | None = None,
     ) -> FederatedResult:
         answers = []
         groups = []
@@ -849,9 +1053,20 @@ class FederatedPortal:
         rounds_run = gained = shortfall = 0
         exhausted: tuple[int, ...] = ()
         if topup is not None:
-            # Round 2+ happens strictly after the first gather, so its
-            # makespan charges are additive, not overlapped.
-            collection += topup.collection_seconds
+            if topup_overlap_start is None:
+                # Synchronous gather: round 2+ happens strictly after
+                # the first gather, so its makespan charges are
+                # additive, not overlapped.
+                collection += topup.collection_seconds
+            elif topup.rounds_run:
+                # Streaming gather: top-ups launched the moment the last
+                # *answering* shard landed, overlapping any straggler's
+                # retry/timeout tail still holding the round-1 slot
+                # open.  With no straggler the launch instant is the
+                # makespan itself and this reduces to the additive sum.
+                collection = max(
+                    collection, topup_overlap_start + topup.collection_seconds
+                )
             topup_results = tuple(topup.extra)
             for _, result in topup.extra:
                 answers.extend(result.answers)
@@ -1122,6 +1337,8 @@ class FederatedPortal:
                 "topup_subqueries": f.topup_subqueries,
                 "topup_sensors_gained": f.topup_sensors_gained,
                 "sampled_shortfall": f.sampled_shortfall,
+                "streaming_queries": f.streaming_queries,
+                "deferred_shard_answers": f.deferred_shard_answers,
             },
             "shards": {
                 i: self._shard_op(i, "stats") for i in range(len(self._shards))

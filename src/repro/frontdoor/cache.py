@@ -1,0 +1,434 @@
+"""The tiered, freshness-aware result cache above the portal.
+
+Two tiers, one freshness semantics:
+
+* **L1 — exact-viewport LRU.**  Keyed on the full query identity
+  (region fingerprint, sensor type, zoom level, aggregate, cluster
+  distance, sample size, staleness bound).  A hit replays the stored
+  ``PortalResult`` verbatim — for sampled queries that is the *same
+  draw* the fill produced (no portal RNG is consumed), for exact
+  queries it is bit-identical to a warm recompute.
+* **L2 — tile cache.**  Exact rectangular viewports decompose into a
+  cover of fixed-extent tiles; per-tile exact answers are cached and
+  composed into covering answers (readings deduplicated across shared
+  tile edges).  One hot tile then serves every viewport that overlaps
+  it — the CDN-tile pattern over slot-cache data.
+
+Validity is *exactly* the slot-cache story, no second freshness regime:
+
+* **slot advancement** — an entry remembers the absolute slot window it
+  was filled in; once ``slot_of(now)`` moves past it the entry is
+  dropped, the same boundary at which the trees prune expired slots;
+* **staleness bound** — an entry remembers the oldest timestamp in its
+  answer; it serves only while ``oldest >= now - staleness``, the same
+  predicate node sketches pass before being cache-served;
+* **write deltas** — ``COLRTree.insert_readings_batch`` ingestion fires
+  the tree's ingest listeners with the touched leaves' bounding box and
+  every overlapping entry is dropped (a cached answer must never
+  outlive the slot-cache state it was computed from);
+* **index generation** — entries remember the portal's
+  ``index_generation``; a ``rebuild_index()`` strands them all.
+* **partial answers are never cached** — a killed shard's gaps must not
+  survive its revival.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.plancache import region_fingerprint
+from repro.core.slots import slot_of
+from repro.frontdoor.config import FrontDoorConfig
+from repro.geometry import Rect
+from repro.portal.portal import PortalResult
+from repro.portal.query import SensorQuery
+
+__all__ = ["CacheStats", "TieredResultCache", "result_oldest_timestamp", "tile_cover"]
+
+
+def result_oldest_timestamp(result: PortalResult) -> float:
+    """The oldest timestamp represented anywhere in an answer —
+    readings and cached sketches alike (``+inf`` for an empty answer,
+    which never goes stale; writes and slot advancement still
+    invalidate it)."""
+    oldest = math.inf
+    for answer in result.answers:
+        for reading in answer.probed_readings:
+            oldest = min(oldest, reading.timestamp)
+        for reading in answer.cached_readings:
+            oldest = min(oldest, reading.timestamp)
+        for sketch in answer.cached_sketches:
+            oldest = min(oldest, sketch.oldest_timestamp)
+    return oldest
+
+
+def tile_cover(
+    region: Rect, tile_extent: float
+) -> list[tuple[int, int]]:
+    """The tile ids ``(ix, iy)`` covering a rectangle.
+
+    Tiles are the closed squares ``[ix*e, (ix+1)*e] x [iy*e,
+    (iy+1)*e]``.  A region edge landing exactly on a tile boundary does
+    not drag in the next (measure-zero-overlap) tile.
+    """
+    e = tile_extent
+    ix0 = math.floor(region.min_x / e)
+    iy0 = math.floor(region.min_y / e)
+    ix1 = max(ix0, math.ceil(region.max_x / e) - 1)
+    iy1 = max(iy0, math.ceil(region.max_y / e) - 1)
+    return [
+        (ix, iy) for ix in range(ix0, ix1 + 1) for iy in range(iy0, iy1 + 1)
+    ]
+
+
+def tile_rect(tile: tuple[int, int], tile_extent: float) -> Rect:
+    ix, iy = tile
+    e = tile_extent
+    return Rect(ix * e, iy * e, (ix + 1) * e, (iy + 1) * e)
+
+
+@dataclass
+class CacheStats:
+    """Cumulative cache accounting (hit tiers, misses, and why entries
+    left)."""
+
+    lookups: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    tile_stores: int = 0
+    uncacheable: int = 0
+    l1_evictions: int = 0
+    l2_evictions: int = 0
+    invalidated_slot: int = 0
+    invalidated_stale: int = 0
+    invalidated_write: int = 0
+    invalidated_generation: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.l1_hits + self.l2_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "lookups": self.lookups,
+            "l1_hits": self.l1_hits,
+            "l2_hits": self.l2_hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "stores": self.stores,
+            "tile_stores": self.tile_stores,
+            "uncacheable": self.uncacheable,
+            "l1_evictions": self.l1_evictions,
+            "l2_evictions": self.l2_evictions,
+            "invalidated_slot": self.invalidated_slot,
+            "invalidated_stale": self.invalidated_stale,
+            "invalidated_write": self.invalidated_write,
+            "invalidated_generation": self.invalidated_generation,
+        }
+
+
+@dataclass
+class _Entry:
+    """One cached answer (viewport or tile) plus its validity record."""
+
+    region: Rect
+    result: PortalResult
+    slot_window: int
+    generation: int
+    oldest_timestamp: float
+    staleness_seconds: float
+
+
+@dataclass
+class _Composed:
+    """An L2 hit: the composed covering answer plus its provenance."""
+
+    result: PortalResult
+    tiles: int = 0
+    oldest_timestamp: float = math.inf
+    regions: list[Rect] = field(default_factory=list)
+
+
+class TieredResultCache:
+    """L1 viewport LRU + L2 tile LRU with shared invalidation rules."""
+
+    def __init__(self, config: FrontDoorConfig, slot_seconds: float) -> None:
+        if slot_seconds <= 0:
+            raise ValueError("slot_seconds must be positive")
+        self.config = config
+        self.slot_seconds = slot_seconds
+        self.stats = CacheStats()
+        self._l1: OrderedDict[Hashable, _Entry] = OrderedDict()
+        self._l2: OrderedDict[Hashable, _Entry] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Keys and eligibility
+    # ------------------------------------------------------------------
+    @staticmethod
+    def l1_key(query: SensorQuery) -> Hashable | None:
+        """The exact-viewport identity.  ``None`` (unfingerprintable
+        region) disables caching for the query — correctness never
+        depends on the cache."""
+        fp = region_fingerprint(query.region)
+        if fp is None:
+            return None
+        return (
+            fp,
+            query.sensor_type,
+            query.zoom_level,
+            query.aggregate,
+            query.cluster_miles,
+            query.sample_size,
+            query.staleness_seconds,
+        )
+
+    def tile_key(self, tile: tuple[int, int], query: SensorQuery) -> Hashable:
+        return (tile, query.sensor_type, query.staleness_seconds)
+
+    @staticmethod
+    def tile_eligible(query: SensorQuery) -> bool:
+        """Only exact, ungrouped rectangle queries compose from tiles:
+        sampled answers are RNG draws, and zoom/cluster display groups
+        cannot be rebuilt from tile pieces."""
+        return (
+            isinstance(query.region, Rect)
+            and query.sample_size in (None, 0)
+            and query.zoom_level is None
+            and query.cluster_miles is None
+        )
+
+    # ------------------------------------------------------------------
+    # Validity
+    # ------------------------------------------------------------------
+    def _valid(self, entry: _Entry, now: float, generation: int) -> str | None:
+        """Why an entry can no longer serve, or ``None`` if it can."""
+        if entry.generation != generation:
+            return "generation"
+        if entry.slot_window != slot_of(now, self.slot_seconds):
+            return "slot"
+        if entry.oldest_timestamp < now - entry.staleness_seconds:
+            return "stale"
+        return None
+
+    def _get(
+        self,
+        store: OrderedDict,
+        key: Hashable,
+        now: float,
+        generation: int,
+    ) -> _Entry | None:
+        entry = store.get(key)
+        if entry is None:
+            return None
+        reason = self._valid(entry, now, generation)
+        if reason is not None:
+            del store[key]
+            if reason == "generation":
+                self.stats.invalidated_generation += 1
+            elif reason == "slot":
+                self.stats.invalidated_slot += 1
+            else:
+                self.stats.invalidated_stale += 1
+            return None
+        store.move_to_end(key)
+        return entry
+
+    # ------------------------------------------------------------------
+    # L1
+    # ------------------------------------------------------------------
+    def get_viewport(
+        self, query: SensorQuery, now: float, generation: int
+    ) -> PortalResult | None:
+        """L1 lookup (does not meter a miss — the caller falls through
+        to L2 / the portal and meters the outcome once)."""
+        self.stats.lookups += 1
+        if self.config.l1_capacity <= 0:
+            return None
+        key = self.l1_key(query)
+        if key is None:
+            return None
+        entry = self._get(self._l1, key, now, generation)
+        if entry is None:
+            return None
+        self.stats.l1_hits += 1
+        return entry.result
+
+    def put_viewport(
+        self, query: SensorQuery, result: PortalResult, now: float, generation: int
+    ) -> bool:
+        """Store a filled viewport answer.  Partial (degraded) answers
+        are refused — a revived shard must never be shadowed by the gap
+        it left behind."""
+        if self.config.l1_capacity <= 0:
+            return False
+        key = self.l1_key(query)
+        if key is None or getattr(result, "partial", False):
+            self.stats.uncacheable += 1
+            return False
+        region = query.region
+        if not isinstance(region, Rect):
+            region = Rect.from_points(region.vertices)
+        self._l1[key] = _Entry(
+            region=region,
+            result=result,
+            slot_window=slot_of(now, self.slot_seconds),
+            generation=generation,
+            oldest_timestamp=result_oldest_timestamp(result),
+            staleness_seconds=query.staleness_seconds,
+        )
+        self._l1.move_to_end(key)
+        self.stats.stores += 1
+        while len(self._l1) > self.config.l1_capacity:
+            self._l1.popitem(last=False)
+            self.stats.l1_evictions += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # L2 (tiles)
+    # ------------------------------------------------------------------
+    def get_tiles(
+        self,
+        query: SensorQuery,
+        now: float,
+        generation: int,
+        record: bool = True,
+    ) -> tuple[_Composed | None, list[tuple[int, int]]]:
+        """Try to compose the query's answer from cached tiles.
+
+        Returns ``(composed, missing_tiles)``: a full compose when every
+        covering tile is cached and valid, else ``(None, missing)`` so
+        the caller can fill exactly the missing tiles.
+        ``(None, [])`` means the query is not tile-composable at all.
+        ``record=False`` suppresses the hit counter (the front door's
+        re-probe after filling missing tiles is part of a miss, not a
+        hit).
+        """
+        if not self.config.l2_enabled or not self.tile_eligible(query):
+            return None, []
+        assert isinstance(query.region, Rect)
+        tiles = tile_cover(query.region, self.config.tile_extent_degrees)
+        if not tiles or len(tiles) > self.config.max_tiles_per_cover:
+            return None, []
+        entries: list[tuple[tuple[int, int], _Entry]] = []
+        missing: list[tuple[int, int]] = []
+        for tile in tiles:
+            entry = self._get(self._l2, self.tile_key(tile, query), now, generation)
+            if entry is None:
+                missing.append(tile)
+            else:
+                entries.append((tile, entry))
+        if missing:
+            return None, missing
+        composed = self._compose(query, [e for _, e in entries])
+        if record:
+            self.stats.l2_hits += 1
+        return composed, []
+
+    def put_tile(
+        self,
+        tile: tuple[int, int],
+        query: SensorQuery,
+        result: PortalResult,
+        now: float,
+        generation: int,
+    ) -> bool:
+        if getattr(result, "partial", False):
+            self.stats.uncacheable += 1
+            return False
+        self._l2[self.tile_key(tile, query)] = _Entry(
+            region=tile_rect(tile, self.config.tile_extent_degrees),
+            result=result,
+            slot_window=slot_of(now, self.slot_seconds),
+            generation=generation,
+            oldest_timestamp=result_oldest_timestamp(result),
+            staleness_seconds=query.staleness_seconds,
+        )
+        self.stats.tile_stores += 1
+        while len(self._l2) > self.config.l2_capacity:
+            self._l2.popitem(last=False)
+            self.stats.l2_evictions += 1
+        return True
+
+    def _compose(self, query: SensorQuery, entries: list[_Entry]) -> _Composed:
+        """Merge per-tile answers into one covering answer.
+
+        Readings are deduplicated by sensor id (a sensor sitting
+        exactly on a shared tile edge answers both tiles' fills); the
+        composed answer carries them as *cached* readings — they were
+        served from the tile cache, whatever their role at fill time.
+        Display groups are not rebuilt (tile-eligible queries carry no
+        grouping; the map composes tiles client-side).
+        """
+        from repro.core.lookup import QueryAnswer
+
+        merged = QueryAnswer()
+        seen: set[int] = set()
+        oldest = math.inf
+        regions: list[Rect] = []
+        for entry in entries:
+            regions.append(entry.region)
+            oldest = min(oldest, entry.oldest_timestamp)
+            for answer in entry.result.answers:
+                for reading in list(answer.probed_readings) + list(
+                    answer.cached_readings
+                ):
+                    if reading.sensor_id in seen:
+                        continue
+                    seen.add(reading.sensor_id)
+                    merged.cached_readings.append(reading)
+                merged.cached_sketches.extend(answer.cached_sketches)
+                merged.cached_sketch_nodes.extend(answer.cached_sketch_nodes)
+        result = PortalResult(
+            query=query,
+            groups=[],
+            answers=[merged],
+            processing_seconds=0.0,
+            collection_seconds=0.0,
+            sample_requested=None,
+        )
+        return _Composed(
+            result=result,
+            tiles=len(entries),
+            oldest_timestamp=oldest,
+            regions=regions,
+        )
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate_region(self, dirty: Rect) -> int:
+        """Drop every entry overlapping a write delta.  Called from the
+        trees' ingest listeners (in-process) or by the front door after
+        a probing execution (process backend)."""
+        dropped = 0
+        for store in (self._l1, self._l2):
+            doomed = [
+                key
+                for key, entry in store.items()
+                if entry.region.intersects(dirty)
+            ]
+            for key in doomed:
+                del store[key]
+                dropped += 1
+        self.stats.invalidated_write += dropped
+        return dropped
+
+    def clear(self) -> int:
+        """Drop everything (index rebuild / generation change)."""
+        dropped = len(self._l1) + len(self._l2)
+        self._l1.clear()
+        self._l2.clear()
+        self.stats.invalidated_generation += dropped
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._l1) + len(self._l2)

@@ -1,0 +1,102 @@
+"""Front-door configuration: result-cache tiers and admission control.
+
+One frozen dataclass per concern, mirroring ``FederationConfig`` /
+``TransportConfig`` style so the bench and CLI can sweep knobs without
+touching code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AdmissionConfig", "FrontDoorConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionConfig:
+    """Admission control in front of the portal.
+
+    Two independent guards, both metered, neither silent:
+
+    * **per-tenant token buckets** bound each tenant's sustained rate
+      (``tenant_rate_qps``) with a burst allowance (``tenant_burst``) —
+      one hot tenant cannot starve the rest;
+    * a **bounded queue** (``queue_depth``) bounds the backlog the
+      serving loop will accept — once the portal is saturated, excess
+      load is shed at arrival instead of stretching every queued
+      request's latency.
+
+    ``enabled=False`` admits everything (the open-loop bench's
+    no-admission baseline).
+    """
+
+    enabled: bool = True
+    tenant_rate_qps: float = 5.0
+    tenant_burst: float = 10.0
+    queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.tenant_rate_qps <= 0:
+            raise ValueError("tenant_rate_qps must be positive")
+        if self.tenant_burst < 1:
+            raise ValueError("tenant_burst must be at least 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+
+
+@dataclass(frozen=True, slots=True)
+class FrontDoorConfig:
+    """Knobs of the tiered result cache and the serving path.
+
+    Parameters
+    ----------
+    l1_capacity:
+        Maximum exact-viewport entries in the L1 LRU (0 disables L1).
+    l2_enabled / tile_extent_degrees / l2_capacity:
+        The L2 tile cache: the world is quantized into square tiles of
+        ``tile_extent_degrees`` per side; exact rectangular viewports
+        are answered by composing the covering tile answers (CDN-style).
+        Only exact, ungrouped queries are tile-composable — sampled
+        answers are RNG draws and zoom/cluster grouping is not
+        reconstructible from tiles — and only on portals without a
+        collection cap (the cap would demote per-tile sub-queries to
+        sampling).
+    max_tiles_per_cover:
+        Viewports covering more tiles than this bypass the tile layer
+        (a whole-country pan would otherwise fan out absurdly).
+    quantize_viewports:
+        Expand eligible rectangular viewports to their covering tile
+        union *before* caching or execution — the map-UI contract where
+        the client renders tiles and crops.  Nearby jittered viewports
+        of one hotspot then share cache entries, which is where most of
+        the L1 hit rate comes from.
+    l1_hit_seconds / l2_tile_compose_seconds:
+        Modeled serving cost of a cache hit: an L1 hit costs a lookup;
+        an L2 hit costs the lookup plus one compose step per tile.
+        Both are orders of magnitude below a portal execution, which is
+        the point of the tier.
+    admission:
+        See :class:`AdmissionConfig`.
+    """
+
+    l1_capacity: int = 512
+    l2_enabled: bool = True
+    tile_extent_degrees: float = 0.5
+    l2_capacity: int = 4096
+    max_tiles_per_cover: int = 64
+    quantize_viewports: bool = True
+    l1_hit_seconds: float = 250e-6
+    l2_tile_compose_seconds: float = 50e-6
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+
+    def __post_init__(self) -> None:
+        if self.l1_capacity < 0:
+            raise ValueError("l1_capacity must be non-negative")
+        if self.tile_extent_degrees <= 0:
+            raise ValueError("tile_extent_degrees must be positive")
+        if self.l2_capacity < 1:
+            raise ValueError("l2_capacity must be at least 1")
+        if self.max_tiles_per_cover < 1:
+            raise ValueError("max_tiles_per_cover must be at least 1")
+        if self.l1_hit_seconds < 0 or self.l2_tile_compose_seconds < 0:
+            raise ValueError("hit costs must be non-negative")

@@ -1,0 +1,377 @@
+"""The portal front door: cache-first serving above any portal.
+
+``FrontDoor`` wraps a :class:`~repro.portal.portal.SensorMapPortal` or a
+:class:`~repro.federation.federated.FederatedPortal` (either backend)
+and serves viewport queries cache-first:
+
+1. eligible rectangular viewports are **quantized** to their covering
+   tile union (the map-UI contract: the client renders tiles and
+   crops), so jittered viewports of one hotspot share entries;
+2. the **L1** exact-viewport LRU is probed, then the **L2** tile
+   cache composed; a hit costs microseconds of modeled time instead of
+   a portal execution;
+3. a miss runs the portal — tile-composable queries fill exactly their
+   missing tiles through ``execute_batch`` (shared traversals), every
+   other query runs directly — and the full answers (never partial
+   ones) are stored for the next viewer.
+
+Invalidation is wired, not polled: the front door registers ingest
+listeners on every in-process tree so ``insert_readings_batch`` deltas
+drop exactly the overlapping entries, and keys every entry on the
+portal's ``index_generation`` so a rebuild strands the lot.  The
+process-backend federation exposes no coordinator write path (workers
+serve an immutable snapshot); its caches are invalidated by generation
+and slot advancement, plus :meth:`FrontDoor.invalidate_region` for
+out-of-band writes.
+
+Admission control (:class:`~repro.frontdoor.admission.AdmissionController`)
+rides along for the open-loop harness; ``execute`` applies it when
+given a tenant, ``execute_batch`` leaves arrival-time admission to the
+serving loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.frontdoor.admission import AdmissionController
+from repro.frontdoor.cache import TieredResultCache, tile_cover, tile_rect
+from repro.frontdoor.config import FrontDoorConfig
+from repro.geometry import Rect
+from repro.portal.portal import PortalResult
+from repro.portal.query import SensorQuery
+
+__all__ = ["FrontDoor", "FrontDoorBatchResult", "FrontDoorResult"]
+
+
+@dataclass
+class FrontDoorResult:
+    """One request's outcome at the front door.
+
+    ``status`` is ``"served"`` or an admission verdict (``"shed_rate"``
+    / ``"shed_queue"`` — then ``result`` is ``None``); ``served_from``
+    is ``"l1"``, ``"l2"`` or ``"portal"``; ``service_seconds`` is the
+    modeled serving cost (hit cost for cache hits, portal end-to-end
+    for misses).
+    """
+
+    query: SensorQuery
+    status: str
+    served_from: str | None
+    result: PortalResult | None
+    service_seconds: float
+    tiles_composed: int = 0
+
+    @property
+    def served(self) -> bool:
+        return self.status == "served"
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.served_from in ("l1", "l2")
+
+
+@dataclass
+class FrontDoorBatchResult:
+    """A batch's outcomes plus the modeled makespan of serving it (one
+    shared portal batch for every miss, hit costs on top)."""
+
+    results: list[FrontDoorResult]
+    service_seconds: float
+
+
+class FrontDoor:
+    def __init__(self, portal, config: FrontDoorConfig | None = None) -> None:
+        self.portal = portal
+        self.config = config if config is not None else FrontDoorConfig()
+        self.cache = TieredResultCache(self.config, portal.config.slot_seconds)
+        self.admission = AdmissionController(self.config.admission)
+        # Process-backend shards live in worker processes; there are no
+        # coordinator-side trees to listen on (and no coordinator write
+        # path to miss).
+        self._process_backend = (
+            getattr(getattr(portal, "federation", None), "execution", "inprocess")
+            == "process"
+        )
+        self._attached_generation = -1
+
+    # ------------------------------------------------------------------
+    # Invalidation wiring
+    # ------------------------------------------------------------------
+    def _on_ingest(self, dirty: Rect, count: int) -> None:
+        self.cache.invalidate_region(dirty)
+
+    def _local_trees(self) -> list:
+        if self._process_backend:
+            return []
+        portal = self.portal
+        if hasattr(portal, "_trees"):
+            return list(portal._trees.values())
+        if hasattr(portal, "shards"):
+            return [
+                tree for shard in portal.shards() for tree in shard._trees.values()
+            ]
+        return []
+
+    def _cache_generation(self) -> int | None:
+        """The generation to validate cache entries against, or ``None``
+        when the cache must be bypassed (index dirty: the next execution
+        rebuilds and bumps the generation, so serving old entries now
+        would resurrect a stale build)."""
+        if getattr(self.portal, "_index_dirty", False):
+            return None
+        generation = getattr(self.portal, "index_generation", 0)
+        if generation != self._attached_generation:
+            # rebuild_index() creates fresh trees; re-register on them.
+            for tree in self._local_trees():
+                if self._on_ingest not in tree.ingest_listeners:
+                    tree.ingest_listeners.append(self._on_ingest)
+            self._attached_generation = generation
+        return generation
+
+    def invalidate_region(self, region: Rect) -> int:
+        """Out-of-band write invalidation (process backend, external
+        ingestion)."""
+        return self.cache.invalidate_region(region)
+
+    # ------------------------------------------------------------------
+    # Quantization
+    # ------------------------------------------------------------------
+    def _tile_serveable(self, query: SensorQuery) -> bool:
+        """Tile-composable here: the cache's eligibility plus an
+        uncapped portal (a collection cap would demote per-tile exact
+        sub-queries to sampling)."""
+        return (
+            self.cache.tile_eligible(query)
+            and self.portal.max_sensors_per_query is None
+        )
+
+    def quantize(self, query: SensorQuery) -> SensorQuery:
+        """Expand an eligible rectangular viewport to its covering tile
+        union.  Applied before caching *and* before execution, on the
+        cached and uncached configurations alike — quantization is the
+        serving contract, not a cache trick, so cache-on/cache-off
+        comparisons stay apples-to-apples.
+        """
+        if not self.config.quantize_viewports or not self._tile_serveable(query):
+            return query
+        assert isinstance(query.region, Rect)
+        tiles = tile_cover(query.region, self.config.tile_extent_degrees)
+        if not tiles or len(tiles) > self.config.max_tiles_per_cover:
+            return query
+        e = self.config.tile_extent_degrees
+        xs = [t[0] for t in tiles]
+        ys = [t[1] for t in tiles]
+        quantized = Rect(
+            min(xs) * e, min(ys) * e, (max(xs) + 1) * e, (max(ys) + 1) * e
+        )
+        return replace(query, region=quantized)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: SensorQuery,
+        tenant: object | None = None,
+        queue_depth: int = 0,
+    ) -> FrontDoorResult:
+        """Serve one request cache-first.  With a ``tenant``, admission
+        runs first and a shed request never touches cache or portal."""
+        now = self.portal.clock.now()
+        if tenant is not None:
+            verdict = self.admission.offer(tenant, now, queue_depth)
+            if verdict != "admit":
+                return FrontDoorResult(query, verdict, None, None, 0.0)
+        q = self.quantize(query)
+        generation = self._cache_generation()
+        if generation is not None:
+            hit = self.cache.get_viewport(q, now, generation)
+            if hit is not None:
+                return FrontDoorResult(
+                    q, "served", "l1", hit, self.config.l1_hit_seconds
+                )
+            if self.config.l2_enabled and self._tile_serveable(q):
+                composed, missing = self.cache.get_tiles(q, now, generation)
+                if composed is not None:
+                    # Promote: the next identical viewport is an L1 hit.
+                    self.cache.put_viewport(q, composed.result, now, generation)
+                    return FrontDoorResult(
+                        q,
+                        "served",
+                        "l2",
+                        composed.result,
+                        self.config.l1_hit_seconds
+                        + composed.tiles * self.config.l2_tile_compose_seconds,
+                        tiles_composed=composed.tiles,
+                    )
+                if missing:
+                    served = self._fill_tiles(q, missing, now, generation)
+                    if served is not None:
+                        return served
+            self.cache.stats.misses += 1
+        result = self.portal.execute(q)
+        self._store_viewport(q, result)
+        return FrontDoorResult(
+            q, "served", "portal", result, result.end_to_end_seconds
+        )
+
+    def _fill_tiles(
+        self,
+        q: SensorQuery,
+        missing: list[tuple[int, int]],
+        now: float,
+        generation: int,
+    ) -> FrontDoorResult | None:
+        """Miss path for a tile-composable query: fill exactly the
+        missing tiles in one shared portal batch, then compose the full
+        cover.  Returns ``None`` (fall back to direct execution) if any
+        fill came back partial — gaps are never cached or composed."""
+        e = self.config.tile_extent_degrees
+        fills = [replace(q, region=tile_rect(t, e)) for t in missing]
+        batch = self.portal.execute_batch(fills)
+        if any(getattr(r, "partial", False) for r in batch.results):
+            return None
+        for tile, result in zip(missing, batch.results):
+            self.cache.put_tile(tile, q, result, now, generation)
+        composed, still_missing = self.cache.get_tiles(
+            q, now, generation, record=False
+        )
+        if composed is None:
+            return None
+        self.cache.stats.misses += 1
+        self.cache.put_viewport(q, composed.result, now, generation)
+        service = (
+            batch.stats.collection_seconds
+            + sum(r.processing_seconds for r in batch.results)
+            + composed.tiles * self.config.l2_tile_compose_seconds
+        )
+        return FrontDoorResult(
+            q,
+            "served",
+            "portal",
+            composed.result,
+            service,
+            tiles_composed=composed.tiles,
+        )
+
+    def _store_viewport(self, q: SensorQuery, result: PortalResult) -> None:
+        generation = self._cache_generation()
+        if generation is not None:
+            self.cache.put_viewport(q, result, self.portal.clock.now(), generation)
+
+    # ------------------------------------------------------------------
+    # Batch serving
+    # ------------------------------------------------------------------
+    def execute_batch(self, queries: list[SensorQuery]) -> FrontDoorBatchResult:
+        """Serve a batch cache-first with ONE portal batch for every
+        miss: direct misses and all distinct missing tiles share the
+        portal's batched traversals.  Admission is the serving loop's
+        job (arrival time, live queue depth), not this method's."""
+        now = self.portal.clock.now()
+        generation = self._cache_generation()
+        results: list[FrontDoorResult | None] = [None] * len(queries)
+        plans: list[tuple[str, SensorQuery, list[tuple[int, int]]]] = []
+        needed: dict = {}  # tile cache key -> (tile, exemplar query)
+        for i, query in enumerate(queries):
+            q = self.quantize(query)
+            if generation is not None:
+                hit = self.cache.get_viewport(q, now, generation)
+                if hit is not None:
+                    results[i] = FrontDoorResult(
+                        q, "served", "l1", hit, self.config.l1_hit_seconds
+                    )
+                    plans.append(("hit", q, []))
+                    continue
+                if self.config.l2_enabled and self._tile_serveable(q):
+                    composed, missing = self.cache.get_tiles(q, now, generation)
+                    if composed is not None:
+                        self.cache.put_viewport(q, composed.result, now, generation)
+                        results[i] = FrontDoorResult(
+                            q,
+                            "served",
+                            "l2",
+                            composed.result,
+                            self.config.l1_hit_seconds
+                            + composed.tiles * self.config.l2_tile_compose_seconds,
+                            tiles_composed=composed.tiles,
+                        )
+                        plans.append(("hit", q, []))
+                        continue
+                    if missing:
+                        for tile in missing:
+                            needed.setdefault(
+                                self.cache.tile_key(tile, q), (tile, q)
+                            )
+                        self.cache.stats.misses += 1
+                        plans.append(("tiles", q, missing))
+                        continue
+                self.cache.stats.misses += 1
+            plans.append(("direct", q, []))
+        direct_indices = [i for i, p in enumerate(plans) if p[0] == "direct"]
+        fill_items = list(needed.values())
+        e = self.config.tile_extent_degrees
+        portal_queries = [plans[i][1] for i in direct_indices] + [
+            replace(q, region=tile_rect(tile, e)) for tile, q in fill_items
+        ]
+        batch_service = 0.0
+        if portal_queries:
+            batch = self.portal.execute_batch(portal_queries)
+            batch_service = batch.stats.collection_seconds + sum(
+                r.processing_seconds for r in batch.results
+            )
+            for slot, i in enumerate(direct_indices):
+                result = batch.results[slot]
+                q = plans[i][1]
+                self._store_viewport(q, result)
+                results[i] = FrontDoorResult(
+                    q, "served", "portal", result, result.end_to_end_seconds
+                )
+            offset = len(direct_indices)
+            for slot, (tile, q) in enumerate(fill_items):
+                result = batch.results[offset + slot]
+                if generation is not None and not getattr(result, "partial", False):
+                    self.cache.put_tile(tile, q, result, now, generation)
+        # Compose the tile-planned queries from the now-filled cache.
+        portal_service = batch_service
+        for i, (kind, q, _missing) in enumerate(plans):
+            if kind != "tiles":
+                continue
+            composed = None
+            if generation is not None:
+                composed, _ = self.cache.get_tiles(q, now, generation, record=False)
+            if composed is not None:
+                self.cache.put_viewport(q, composed.result, now, generation)
+                compose_cost = composed.tiles * self.config.l2_tile_compose_seconds
+                batch_service += compose_cost
+                results[i] = FrontDoorResult(
+                    q,
+                    "served",
+                    "portal",
+                    composed.result,
+                    portal_service + compose_cost,
+                    tiles_composed=composed.tiles,
+                )
+            else:
+                # A fill came back partial (degraded shard): serve this
+                # query directly, uncached.
+                result = self.portal.execute(q)
+                batch_service += result.end_to_end_seconds
+                results[i] = FrontDoorResult(
+                    q, "served", "portal", result, result.end_to_end_seconds
+                )
+        hit_cost = sum(
+            r.service_seconds for r in results if r is not None and r.cache_hit
+        )
+        final = [r for r in results if r is not None]
+        assert len(final) == len(queries)
+        return FrontDoorBatchResult(final, batch_service + hit_cost)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def stats_summary(self) -> dict[str, object]:
+        return {
+            "cache": self.cache.stats.as_dict(),
+            "admission": self.admission.stats.as_dict(),
+        }

@@ -86,12 +86,26 @@ class ContinuousQueryManager:
     """
 
     def __init__(
-        self, portal: SensorMapPortal, stagger_seconds: float | None = None
+        self,
+        portal: SensorMapPortal,
+        stagger_seconds: float | None = None,
+        gather_deadline_seconds: float | None = None,
     ) -> None:
+        """``gather_deadline_seconds`` opts ticks into streaming
+        gathers when the portal offers them (``FederatedPortal`` on
+        either backend): each due subscription publishes the
+        partial-but-monotone answer available at the deadline instead
+        of waiting out the slowest shard, and late shard answers simply
+        ride the next refresh.  ``None`` (the default) keeps the
+        synchronous gather.  Unsharded portals ignore the deadline —
+        there is no gather to stream."""
         if stagger_seconds is not None and stagger_seconds < 0:
             raise ValueError("stagger_seconds must be non-negative")
+        if gather_deadline_seconds is not None and gather_deadline_seconds <= 0:
+            raise ValueError("gather_deadline_seconds must be positive or None")
         self.portal = portal
         self.stagger_seconds = stagger_seconds
+        self.gather_deadline_seconds = gather_deadline_seconds
         self._subscriptions: dict[int, Subscription] = {}
         self._next_id = 0
 
@@ -169,6 +183,23 @@ class ContinuousQueryManager:
         due = [s for s in self.subscriptions() if s.due_at() <= now]
         if not due:
             return []
+        if self.gather_deadline_seconds is not None and hasattr(
+            self.portal, "execute_streaming"
+        ):
+            # Streaming gathers run per subscription (no cross-query
+            # batching — each standing viewport publishes at its own
+            # deadline).  The published result is the deadline answer;
+            # a deferred shard's late readings arrive with the next
+            # refresh, so the front end only ever gains sensors.
+            out = []
+            for subscription in due:
+                gather = self.portal.execute_streaming(
+                    subscription.query, self.gather_deadline_seconds
+                )
+                out.append(
+                    (subscription, self._apply_result(subscription, gather.first))
+                )
+            return out
         if len(due) == 1 and not self.portal.transport_enabled:
             subscription = due[0]
             return [(subscription, self._execute(subscription))]

@@ -136,6 +136,10 @@ class SensorMapPortal:
         self._network: SensorNetwork | None = None
         self._trees: dict[str, COLRTree] = {}
         self._index_dirty = True
+        # Monotone build counter: bumped by every rebuild_index() so
+        # layers above the portal (the front-door result cache) can
+        # detect that cached answers predate the current index.
+        self.index_generation = 0
 
     @property
     def transport_enabled(self) -> bool:
@@ -209,6 +213,7 @@ class SensorMapPortal:
                 transport=self._dispatcher,
             )
         self._index_dirty = False
+        self.index_generation += 1
 
     @property
     def network(self) -> SensorNetwork:

@@ -25,7 +25,12 @@ from repro.workloads.expiry import (
     weather_like_expiry,
 )
 from repro.workloads.highways import Corridor, HighwayWorkload, default_corridors
-from repro.workloads.livelocal import LiveLocalWorkload, QuerySpec
+from repro.workloads.livelocal import (
+    LiveLocalWorkload,
+    OpenLoopWorkload,
+    QuerySpec,
+    TenantRequest,
+)
 from repro.workloads.trace import load_workload, save_workload
 from repro.workloads.usgs import UsgsWaWorkload
 
@@ -35,7 +40,9 @@ __all__ = [
     "Corridor",
     "HighwayWorkload",
     "LiveLocalWorkload",
+    "OpenLoopWorkload",
     "QuerySpec",
+    "TenantRequest",
     "UsgsWaWorkload",
     "default_corridors",
     "load_workload",

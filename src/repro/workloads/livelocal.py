@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.geometry import GeoPoint, Rect
 from repro.geometry.point import miles_to_degrees_lat, miles_to_degrees_lon
+from repro.portal.query import SensorQuery
 from repro.sensors.sensor import Sensor
 from repro.workloads.cities import CITIES
 
@@ -43,6 +44,16 @@ class QuerySpec:
     at_time: float
     staleness_seconds: float
     sample_size: int
+
+
+@dataclass(frozen=True, slots=True)
+class TenantRequest:
+    """One arrival of the multi-tenant open-loop stream (arrival time
+    relative to the run start)."""
+
+    tenant: int
+    arrival_seconds: float
+    query: SensorQuery
 
 
 class LiveLocalWorkload:
@@ -183,5 +194,81 @@ class LiveLocalWorkload:
                     staleness_seconds=self.staleness_seconds,
                     sample_size=self.sample_size,
                 )
+            )
+        return out
+
+
+class OpenLoopWorkload:
+    """Multi-tenant open-loop request stream for the portal front door.
+
+    Reuses the Live-Local hotspot/zoom/revisit viewport machinery and
+    adds the two things an open-loop serving bench needs:
+
+    * **tenants** — each arrival belongs to a tenant drawn Zipf-style
+      (``tenant_zipf_s``) over ``n_tenants``, so a handful of hot
+      tenants dominate the stream exactly the way per-tenant admission
+      expects to be stressed;
+    * **an offered rate** — Poisson arrivals at ``target_qps``,
+      independent of service capacity (the open-loop property).
+
+    ``exact=True`` (the default) drops SAMPLESIZE so the stream is
+    tile-composable by the front door's L2; ``exact=False`` keeps the
+    base workload's sampled queries (L1-only traffic).
+    """
+
+    def __init__(
+        self,
+        base: LiveLocalWorkload | None = None,
+        n_requests: int = 2_000,
+        n_tenants: int = 50,
+        tenant_zipf_s: float = 1.2,
+        target_qps: float = 50.0,
+        exact: bool = True,
+        sensor_type: str | None = "restaurant",
+        seed: int = 0,
+    ) -> None:
+        if n_requests < 0:
+            raise ValueError("n_requests must be non-negative")
+        if n_tenants < 1:
+            raise ValueError("n_tenants must be at least 1")
+        if target_qps <= 0:
+            raise ValueError("target_qps must be positive")
+        self.base = (
+            base
+            if base is not None
+            else LiveLocalWorkload(
+                n_queries=n_requests,
+                mean_interarrival_seconds=1.0 / target_qps,
+                seed=seed,
+            )
+        )
+        self.n_requests = n_requests
+        self.n_tenants = n_tenants
+        self.tenant_zipf_s = tenant_zipf_s
+        self.target_qps = target_qps
+        self.exact = exact
+        self.sensor_type = sensor_type
+        self.seed = seed
+
+    def requests(self) -> list[TenantRequest]:
+        """The arrival stream, ordered by arrival time."""
+        rng = np.random.default_rng(self.seed + 2)
+        ranks = np.arange(1, self.n_tenants + 1, dtype=np.float64)
+        weights = ranks ** (-self.tenant_zipf_s)
+        weights /= weights.sum()
+        specs = self.base.queries()[: self.n_requests]
+        out: list[TenantRequest] = []
+        now = 0.0
+        for spec in specs:
+            now += float(rng.exponential(1.0 / self.target_qps))
+            tenant = int(rng.choice(self.n_tenants, p=weights))
+            query = SensorQuery(
+                region=spec.region,
+                staleness_seconds=spec.staleness_seconds,
+                sample_size=None if self.exact else spec.sample_size,
+                sensor_type=self.sensor_type,
+            )
+            out.append(
+                TenantRequest(tenant=tenant, arrival_seconds=now, query=query)
             )
         return out

@@ -1,0 +1,287 @@
+"""Unit tests for the tiered result cache: tile math, LRU mechanics,
+validity reasons, composition, and the stats accounting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.lookup import QueryAnswer
+from repro.frontdoor import FrontDoorConfig, TieredResultCache, tile_cover
+from repro.frontdoor.cache import result_oldest_timestamp, tile_rect
+from repro.geometry import GeoPoint, Polygon, Rect
+from repro.portal.portal import PortalResult
+from repro.portal.query import SensorQuery
+from repro.sensors.sensor import Reading
+
+SLOT = 120.0
+
+
+def _config(**kwargs) -> FrontDoorConfig:
+    return FrontDoorConfig(**kwargs)
+
+
+def _result(query: SensorQuery, readings: list[Reading]) -> PortalResult:
+    answer = QueryAnswer(probed_readings=list(readings))
+    return PortalResult(
+        query=query,
+        groups=[],
+        answers=[answer],
+        processing_seconds=0.0,
+        collection_seconds=0.0,
+    )
+
+
+def _reading(sensor_id: int, value: float = 1.0, timestamp: float = 0.0) -> Reading:
+    return Reading(
+        sensor_id=sensor_id,
+        value=value,
+        timestamp=timestamp,
+        expires_at=timestamp + 600.0,
+    )
+
+
+def _query(region, staleness: float = 120.0, **kwargs) -> SensorQuery:
+    return SensorQuery(region=region, staleness_seconds=staleness, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Tile math
+# ----------------------------------------------------------------------
+class TestTileCover:
+    def test_interior_rect_single_tile(self):
+        assert tile_cover(Rect(0.1, 0.1, 0.4, 0.4), 0.5) == [(0, 0)]
+
+    def test_aligned_rect_is_exactly_its_tiles(self):
+        tiles = tile_cover(Rect(1.0, 0.5, 2.0, 1.5), 0.5)
+        assert sorted(tiles) == [(2, 1), (2, 2), (3, 1), (3, 2)]
+
+    def test_boundary_edge_does_not_drag_in_next_tile(self):
+        # max edge exactly on the 0.5 boundary: the next (measure-zero
+        # overlap) column must not appear.
+        assert tile_cover(Rect(0.0, 0.0, 0.5, 0.5), 0.5) == [(0, 0)]
+
+    def test_negative_coordinates(self):
+        assert tile_cover(Rect(-0.4, -0.4, -0.1, -0.1), 0.5) == [(-1, -1)]
+
+    def test_degenerate_point_rect_covered(self):
+        assert tile_cover(Rect(0.7, 0.7, 0.7, 0.7), 0.5) == [(1, 1)]
+
+    def test_tiles_union_covers_region(self):
+        region = Rect(1.23, -4.56, 7.89, 2.34)
+        tiles = tile_cover(region, 0.5)
+        min_x = min(tile_rect(t, 0.5).min_x for t in tiles)
+        min_y = min(tile_rect(t, 0.5).min_y for t in tiles)
+        max_x = max(tile_rect(t, 0.5).max_x for t in tiles)
+        max_y = max(tile_rect(t, 0.5).max_y for t in tiles)
+        assert min_x <= region.min_x and min_y <= region.min_y
+        assert max_x >= region.max_x and max_y >= region.max_y
+
+    def test_tile_rect_roundtrip(self):
+        for tile in [(0, 0), (-3, 7), (12, -1)]:
+            assert tile_cover(tile_rect(tile, 0.5), 0.5) == [tile]
+
+
+class TestOldestTimestamp:
+    def test_empty_result_never_goes_stale(self):
+        q = _query(Rect(0, 0, 1, 1))
+        assert result_oldest_timestamp(_result(q, [])) == math.inf
+
+    def test_minimum_over_readings_and_sketches(self):
+        q = _query(Rect(0, 0, 1, 1))
+        result = _result(q, [_reading(1, timestamp=50.0)])
+        result.answers[0].cached_readings.append(_reading(2, timestamp=30.0))
+        sketch = QueryAnswer().combined_sketch()
+        sketch.count, sketch.oldest_timestamp = 3, 10.0
+        result.answers[0].cached_sketches.append(sketch)
+        assert result_oldest_timestamp(result) == 10.0
+
+
+# ----------------------------------------------------------------------
+# Eligibility and keys
+# ----------------------------------------------------------------------
+class TestEligibility:
+    def test_exact_rect_is_tile_eligible(self):
+        assert TieredResultCache.tile_eligible(_query(Rect(0, 0, 1, 1)))
+
+    def test_sampled_zoomed_clustered_polygon_are_not(self):
+        rect = Rect(0, 0, 1, 1)
+        poly = Polygon(
+            [GeoPoint(0, 0), GeoPoint(1, 0), GeoPoint(1, 1), GeoPoint(0, 1)]
+        )
+        assert not TieredResultCache.tile_eligible(_query(rect, sample_size=10))
+        assert not TieredResultCache.tile_eligible(_query(rect, zoom_level=3))
+        assert not TieredResultCache.tile_eligible(_query(rect, cluster_miles=5.0))
+        assert not TieredResultCache.tile_eligible(_query(poly))
+
+    def test_l1_key_distinguishes_query_identity(self):
+        rect = Rect(0, 0, 1, 1)
+        base = TieredResultCache.l1_key(_query(rect))
+        assert base is not None
+        assert TieredResultCache.l1_key(_query(rect)) == base
+        assert TieredResultCache.l1_key(_query(rect, sample_size=10)) != base
+        assert TieredResultCache.l1_key(_query(rect, staleness=60.0)) != base
+        assert TieredResultCache.l1_key(_query(Rect(0, 0, 1, 2))) != base
+
+
+# ----------------------------------------------------------------------
+# L1 mechanics
+# ----------------------------------------------------------------------
+class TestL1:
+    def test_store_then_hit(self):
+        cache = TieredResultCache(_config(), SLOT)
+        q = _query(Rect(0, 0, 1, 1))
+        result = _result(q, [_reading(1, timestamp=0.0)])
+        assert cache.put_viewport(q, result, now=0.0, generation=1)
+        assert cache.get_viewport(q, now=10.0, generation=1) is result
+        assert cache.stats.l1_hits == 1 and cache.stats.stores == 1
+
+    def test_lru_eviction_order(self):
+        cache = TieredResultCache(_config(l1_capacity=2), SLOT)
+        queries = [_query(Rect(i, 0, i + 1, 1)) for i in range(3)]
+        for q in queries[:2]:
+            cache.put_viewport(q, _result(q, []), now=0.0, generation=1)
+        # Touch the first entry so the *second* becomes LRU.
+        assert cache.get_viewport(queries[0], now=0.0, generation=1) is not None
+        cache.put_viewport(queries[2], _result(queries[2], []), now=0.0, generation=1)
+        assert cache.stats.l1_evictions == 1
+        assert cache.get_viewport(queries[0], now=0.0, generation=1) is not None
+        assert cache.get_viewport(queries[1], now=0.0, generation=1) is None
+        assert cache.get_viewport(queries[2], now=0.0, generation=1) is not None
+
+    def test_capacity_zero_disables_l1(self):
+        cache = TieredResultCache(_config(l1_capacity=0), SLOT)
+        q = _query(Rect(0, 0, 1, 1))
+        assert not cache.put_viewport(q, _result(q, []), now=0.0, generation=1)
+        assert cache.get_viewport(q, now=0.0, generation=1) is None
+        assert len(cache) == 0
+
+    def test_partial_answer_refused(self):
+        from repro.federation.federated import FederatedResult
+
+        cache = TieredResultCache(_config(), SLOT)
+        q = _query(Rect(0, 0, 1, 1))
+        partial = FederatedResult(
+            query=q,
+            groups=[],
+            answers=[QueryAnswer()],
+            processing_seconds=0.0,
+            collection_seconds=0.0,
+            failed_shards=(1,),
+        )
+        assert partial.partial
+        assert not cache.put_viewport(q, partial, now=0.0, generation=1)
+        assert cache.stats.uncacheable == 1
+        assert len(cache) == 0
+
+    def test_validity_reasons_metered_separately(self):
+        cache = TieredResultCache(_config(), SLOT)
+        q = _query(Rect(0, 0, 1, 1), staleness=30.0)
+        fill = lambda: cache.put_viewport(
+            q, _result(q, [_reading(1, timestamp=0.0)]), now=0.0, generation=1
+        )
+        fill()
+        assert cache.get_viewport(q, now=0.0, generation=2) is None
+        assert cache.stats.invalidated_generation == 1
+        fill()
+        assert cache.get_viewport(q, now=SLOT + 1.0, generation=1) is None
+        assert cache.stats.invalidated_slot == 1
+        fill()
+        # Same slot window, but the stored reading aged past staleness.
+        assert cache.get_viewport(q, now=40.0, generation=1) is None
+        assert cache.stats.invalidated_stale == 1
+
+
+# ----------------------------------------------------------------------
+# L2 mechanics
+# ----------------------------------------------------------------------
+class TestL2:
+    def _fill_tiles(self, cache, q, tiles, readings_per_tile):
+        for tile, readings in zip(tiles, readings_per_tile):
+            tile_q = _query(tile_rect(tile, cache.config.tile_extent_degrees))
+            cache.put_tile(tile, q, _result(tile_q, readings), now=0.0, generation=1)
+
+    def test_missing_tiles_reported_then_composed(self):
+        cache = TieredResultCache(_config(), SLOT)
+        q = _query(Rect(0.1, 0.1, 0.9, 0.4))  # two 0.5-degree tiles
+        tiles = tile_cover(q.region, 0.5)
+        assert len(tiles) == 2
+        composed, missing = cache.get_tiles(q, now=0.0, generation=1)
+        assert composed is None and sorted(missing) == sorted(tiles)
+        self._fill_tiles(cache, q, tiles, [[_reading(1)], [_reading(2)]])
+        composed, missing = cache.get_tiles(q, now=0.0, generation=1)
+        assert missing == [] and composed is not None
+        assert composed.tiles == 2
+        assert composed.result.result_weight == 2
+        assert cache.stats.l2_hits == 1
+
+    def test_compose_deduplicates_shared_edge_sensors(self):
+        cache = TieredResultCache(_config(), SLOT)
+        q = _query(Rect(0.1, 0.1, 0.9, 0.4))
+        tiles = tile_cover(q.region, 0.5)
+        # Sensor 7 sits on the shared tile edge: both fills carry it.
+        self._fill_tiles(
+            cache, q, tiles, [[_reading(1), _reading(7)], [_reading(7), _reading(2)]]
+        )
+        composed, _ = cache.get_tiles(q, now=0.0, generation=1)
+        assert composed is not None
+        ids = sorted(
+            r.sensor_id for r in composed.result.answers[0].cached_readings
+        )
+        assert ids == [1, 2, 7]
+
+    def test_record_false_suppresses_hit_counter(self):
+        cache = TieredResultCache(_config(), SLOT)
+        q = _query(Rect(0.1, 0.1, 0.4, 0.4))
+        self._fill_tiles(cache, q, [(0, 0)], [[_reading(1)]])
+        composed, _ = cache.get_tiles(q, now=0.0, generation=1, record=False)
+        assert composed is not None
+        assert cache.stats.l2_hits == 0
+
+    def test_ineligible_and_oversized_covers_opt_out(self):
+        cache = TieredResultCache(_config(max_tiles_per_cover=4), SLOT)
+        sampled = _query(Rect(0, 0, 1, 1), sample_size=10)
+        assert cache.get_tiles(sampled, now=0.0, generation=1) == (None, [])
+        huge = _query(Rect(0, 0, 9.9, 9.9))
+        assert cache.get_tiles(huge, now=0.0, generation=1) == (None, [])
+
+    def test_l2_eviction_bounds_tile_count(self):
+        cache = TieredResultCache(_config(l2_capacity=3), SLOT)
+        q = _query(Rect(0, 0, 0.4, 0.4))
+        for i in range(5):
+            cache.put_tile((i, 0), q, _result(q, []), now=0.0, generation=1)
+        assert len(cache) == 3
+        assert cache.stats.l2_evictions == 2
+
+
+# ----------------------------------------------------------------------
+# Region invalidation
+# ----------------------------------------------------------------------
+class TestInvalidateRegion:
+    def test_drops_overlapping_entries_only(self):
+        cache = TieredResultCache(_config(), SLOT)
+        hit_q = _query(Rect(0, 0, 1, 1))
+        miss_q = _query(Rect(5, 5, 6, 6))
+        cache.put_viewport(hit_q, _result(hit_q, []), now=0.0, generation=1)
+        cache.put_viewport(miss_q, _result(miss_q, []), now=0.0, generation=1)
+        cache.put_tile((0, 0), hit_q, _result(hit_q, []), now=0.0, generation=1)
+        cache.put_tile((11, 11), miss_q, _result(miss_q, []), now=0.0, generation=1)
+        dropped = cache.invalidate_region(Rect(0.2, 0.2, 0.8, 0.8))
+        assert dropped == 2  # the overlapping viewport and tile
+        assert cache.stats.invalidated_write == 2
+        assert cache.get_viewport(miss_q, now=0.0, generation=1) is not None
+        assert cache.get_viewport(hit_q, now=0.0, generation=1) is None
+
+    def test_clear_drops_everything(self):
+        cache = TieredResultCache(_config(), SLOT)
+        q = _query(Rect(0, 0, 1, 1))
+        cache.put_viewport(q, _result(q, []), now=0.0, generation=1)
+        cache.put_tile((0, 0), q, _result(q, []), now=0.0, generation=1)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+def test_rejects_nonpositive_slot_seconds():
+    with pytest.raises(ValueError):
+        TieredResultCache(_config(), 0.0)

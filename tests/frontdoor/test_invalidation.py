@@ -1,0 +1,223 @@
+"""Invalidation: a cached viewport must never outlive the state it was
+computed from.
+
+Covers the four invalidation channels end to end through ``FrontDoor``:
+write deltas (tree ingest listeners), slot advancement, staleness
+aging, and index generation — including the satellite's headline case:
+across ``FederatedPortal.rebuild_index()`` and a shard kill/revive
+cycle, a revived or rebuilt shard must never be shadowed by a stale
+cached viewport (and a degraded *partial* answer is never cached at
+all)."""
+
+from __future__ import annotations
+
+from repro.frontdoor import AdmissionConfig, FrontDoor, FrontDoorConfig
+from repro.geometry import GeoPoint, Rect
+from repro.sensors.sensor import Reading
+
+from tests.frontdoor.conftest import (
+    SLOT_SECONDS,
+    exact_query,
+    make_fed,
+    make_portal,
+    values_by_sensor,
+)
+
+NO_ADMISSION = AdmissionConfig(enabled=False)
+
+
+def _door(portal, **config_kwargs) -> FrontDoor:
+    config_kwargs.setdefault("admission", NO_ADMISSION)
+    return FrontDoor(portal, FrontDoorConfig(**config_kwargs))
+
+
+def _sensor_inside(portal, region: Rect):
+    for sensor in portal.registry.all():
+        if region.contains_point(sensor.location):
+            return sensor
+    raise AssertionError("no sensor inside the test region")
+
+
+# ----------------------------------------------------------------------
+# Write deltas
+# ----------------------------------------------------------------------
+class TestWriteInvalidation:
+    def test_ingest_drops_overlapping_entry_and_new_value_is_served(self):
+        portal = make_portal(n=300, seed=3)
+        door = _door(portal)
+        query = exact_query(Rect(2.0, 2.0, 4.5, 4.5))
+        first = door.execute(query)
+        assert first.served_from == "portal"
+        assert door.execute(query).cache_hit
+        # An out-of-band batch ingest inside the viewport: the tree's
+        # ingest listener must drop the overlapping entries.
+        sensor = _sensor_inside(portal, first.query.region)
+        now = portal.clock.now()
+        tree = portal._trees[sensor.sensor_type]
+        tree.insert_readings_batch(
+            [
+                Reading(
+                    sensor_id=sensor.sensor_id,
+                    value=99_999.0,
+                    timestamp=now,
+                    expires_at=now + sensor.expiry_seconds,
+                )
+            ],
+            fetched_at=now,
+        )
+        assert door.cache.stats.invalidated_write > 0
+        refreshed = door.execute(query)
+        assert refreshed.served_from == "portal"
+        # The recomputed answer reflects the write (max aggregate sees
+        # the planted outlier whether it is enumerated or sketch-served).
+        assert any(
+            a.estimate("max") == 99_999.0
+            for a in refreshed.result.answers
+            if a.result_weight
+        )
+
+    def test_disjoint_entries_survive_the_write(self):
+        portal = make_portal(n=300, seed=3)
+        door = _door(portal)
+        near = exact_query(Rect(2.0, 2.0, 3.0, 3.0))
+        far = exact_query(Rect(7.0, 7.0, 8.5, 8.5))
+        door.execute(near)
+        door.execute(far)
+        assert door.execute(far).cache_hit
+        sensor = _sensor_inside(portal, Rect(2.0, 2.0, 3.0, 3.0))
+        now = portal.clock.now()
+        portal._trees[sensor.sensor_type].insert_readings_batch(
+            [
+                Reading(
+                    sensor_id=sensor.sensor_id,
+                    value=1.0,
+                    timestamp=now,
+                    expires_at=now + 600.0,
+                )
+            ],
+            fetched_at=now,
+        )
+        # The far viewport's entry is untouched; the near one is gone.
+        assert door.execute(far).cache_hit
+        assert door.execute(near).served_from == "portal"
+
+
+# ----------------------------------------------------------------------
+# Time
+# ----------------------------------------------------------------------
+class TestTimeInvalidation:
+    def test_slot_advancement_strands_entries(self):
+        portal = make_portal(n=200, seed=5)
+        door = _door(portal)
+        query = exact_query(Rect(1.0, 1.0, 3.0, 3.0))
+        door.execute(query)
+        assert door.execute(query).cache_hit
+        portal.clock.advance(SLOT_SECONDS)  # crosses the slot boundary
+        after = door.execute(query)
+        assert not after.cache_hit
+        assert door.cache.stats.invalidated_slot > 0
+
+    def test_staleness_ages_out_before_the_slot_turns(self):
+        portal = make_portal(n=200, seed=5)
+        door = _door(portal)
+        query = exact_query(Rect(1.0, 1.0, 3.0, 3.0), staleness=30.0)
+        door.execute(query)
+        assert door.execute(query).cache_hit
+        portal.clock.advance(40.0)  # same slot window, past the bound
+        after = door.execute(query)
+        assert not after.cache_hit
+        assert door.cache.stats.invalidated_stale > 0
+
+
+# ----------------------------------------------------------------------
+# Index generation
+# ----------------------------------------------------------------------
+class TestGenerationInvalidation:
+    def test_explicit_rebuild_strands_entries(self):
+        portal = make_portal(n=200, seed=7)
+        door = _door(portal)
+        query = exact_query(Rect(1.0, 1.0, 4.0, 4.0))
+        baseline = door.execute(query)
+        assert door.execute(query).cache_hit
+        portal.rebuild_index()
+        after = door.execute(query)
+        assert after.served_from == "portal"
+        assert door.cache.stats.invalidated_generation > 0
+        # Content is unchanged (same fleet) and caching resumes on the
+        # new generation.
+        assert after.result.result_weight == baseline.result.result_weight
+        assert door.execute(query).cache_hit
+
+    def test_dirty_index_bypasses_cache_until_rebuilt(self):
+        portal = make_portal(n=200, seed=7)
+        door = _door(portal)
+        query = exact_query(Rect(1.0, 1.0, 4.0, 4.0))
+        weight = door.execute(query).result.result_weight
+        assert door.execute(query).cache_hit
+        # Registering a sensor marks the index dirty: the cache must be
+        # bypassed so the stale build cannot answer, and the execution
+        # (which auto-rebuilds) must see the new sensor.
+        portal.register_sensor(GeoPoint(2.0, 2.0), expiry_seconds=600.0)
+        after = door.execute(query)
+        assert after.served_from == "portal"
+        assert after.result.result_weight == weight + 1
+        # The post-rebuild answer was cached under the new generation.
+        assert door.execute(query).cache_hit
+
+    def test_federated_rebuild_strands_entries(self):
+        fed = make_fed(n=400, seed=9, n_shards=3)
+        door = _door(fed, l2_enabled=False)
+        query = exact_query(Rect(1.0, 1.0, 8.0, 8.0))
+        baseline = door.execute(query)
+        assert door.execute(query).cache_hit
+        fed.register_sensor(GeoPoint(5.0, 5.0), expiry_seconds=600.0)
+        fed.rebuild_index()  # re-partitions: every shard's tree is new
+        after = door.execute(query)
+        assert after.served_from == "portal"
+        assert after.result.result_weight == baseline.result.result_weight + 1
+        assert door.execute(query).cache_hit
+
+
+# ----------------------------------------------------------------------
+# Shard kill / revive
+# ----------------------------------------------------------------------
+class TestKillRevive:
+    def test_partial_answers_never_cached_and_revival_restores_full(self):
+        fed = make_fed(n=400, seed=11, n_shards=3)
+        door = _door(fed, l2_enabled=False)
+        query = exact_query(Rect(0.5, 0.5, 9.5, 9.5))  # routes to all shards
+        healthy = door.execute(query)
+        healthy_weight = healthy.result.result_weight
+        fed.kill_shard(1)
+        degraded_query = exact_query(Rect(0.6, 0.6, 9.4, 9.4))  # distinct key
+        degraded = door.execute(degraded_query)
+        assert degraded.result.partial
+        assert degraded.result.result_weight < healthy_weight
+        assert door.cache.stats.uncacheable > 0
+        # The gap is not cached: re-asking during the outage goes back
+        # to the portal every time.
+        assert door.execute(degraded_query).served_from == "portal"
+        fed.revive_shard(1)
+        revived = door.execute(degraded_query)
+        assert revived.served_from == "portal"
+        assert not revived.result.partial
+        assert revived.result.result_weight > degraded.result.result_weight
+        # Only the full post-revival answer is cached.
+        hit = door.execute(degraded_query)
+        assert hit.cache_hit and not hit.result.partial
+
+    def test_pre_outage_full_entry_may_serve_during_outage(self):
+        # Deliberate semantics: an entry cached *before* the kill holds
+        # complete data that still meets its slot and staleness bounds,
+        # so it keeps serving through the outage (stale-while-degraded).
+        # What is forbidden is caching the outage's partial answers —
+        # covered above.
+        fed = make_fed(n=400, seed=11, n_shards=3)
+        door = _door(fed, l2_enabled=False)
+        query = exact_query(Rect(0.5, 0.5, 9.5, 9.5))
+        full = door.execute(query)
+        fed.kill_shard(1)
+        during = door.execute(query)
+        assert during.cache_hit
+        assert not during.result.partial
+        assert values_by_sensor(during.result) == values_by_sensor(full.result)
