@@ -128,8 +128,9 @@ def format_counters(
 
 
 def network_counters(stats) -> dict[str, object]:
-    """The reportable slice of a ``NetworkStats``, transport meters
-    included (they stay zero on purely synchronous runs)."""
+    """The reportable slice of a ``NetworkStats``, transport and
+    storage meters included (both stay zero on purely synchronous /
+    in-memory runs)."""
     return {
         "probes_attempted": stats.probes_attempted,
         "probes_succeeded": stats.probes_succeeded,
@@ -140,6 +141,10 @@ def network_counters(stats) -> dict[str, object]:
         "probes_cooldown_skipped": stats.probes_cooldown_skipped,
         "batches": stats.batches,
         "total_collection_seconds": stats.total_latency_seconds,
+        "page_reads": stats.page_reads,
+        "page_writes": stats.page_writes,
+        "wal_appends": stats.wal_appends,
+        "wal_fsyncs": stats.wal_fsyncs,
     }
 
 
@@ -158,6 +163,21 @@ def transport_counters(stats) -> dict[str, object]:
         "streamed_readings": stats.streamed_readings,
         "stream_flushes": stats.stream_flushes,
         "maintenance_ops": stats.maintenance_ops,
+    }
+
+
+def storage_counters(stats) -> dict[str, object]:
+    """The reportable slice of a ``StorageStats`` (the storage engine's
+    cumulative disk accounting)."""
+    return {
+        "page_reads": stats.page_reads,
+        "page_writes": stats.page_writes,
+        "wal_appends": stats.wal_appends,
+        "wal_fsyncs": stats.wal_fsyncs,
+        "wal_records_replayed": stats.wal_records_replayed,
+        "torn_tail_truncations": stats.torn_tail_truncations,
+        "checkpoints": stats.checkpoints,
+        "recoveries": stats.recoveries,
     }
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 
@@ -45,6 +46,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_scale(all_cmd)
     demo = sub.add_parser("demo", help="tiny end-to-end portal demo")
     demo.add_argument("--sensors", type=int, default=2_000)
+    demo.add_argument(
+        "--data-dir",
+        type=Path,
+        default=None,
+        help="run the durable portal demo over this data directory: the "
+        "first run journals its probes, later runs warm-restart from disk "
+        "(probe-free first tick)",
+    )
     demo.add_argument(
         "--transport",
         action="store_true",
@@ -124,6 +133,23 @@ def build_parser() -> argparse.ArgumentParser:
     frontdoor.add_argument(
         "--check", action="store_true", help="assert the acceptance gates"
     )
+    storage = sub.add_parser(
+        "storage",
+        help="inspect a durable data directory, or run the storage "
+        "durability benchmark",
+    )
+    storage.add_argument(
+        "data_dir",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="data directory to inspect (omit to run the benchmark)",
+    )
+    storage.add_argument("--sensors", type=int, default=20_000)
+    storage.add_argument("--quick", action="store_true")
+    storage.add_argument(
+        "--check", action="store_true", help="assert the acceptance gates"
+    )
     return parser
 
 
@@ -193,6 +219,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(run_all_ablations().format_table())
         return 0
     if command == "demo":
+        if args.data_dir is not None:
+            return _demo_durable(args.sensors, args.data_dir)
         if args.qps > 0:
             return _demo_frontdoor(args.sensors, args.qps, args.tenants)
         if args.shards > 0 or args.workers > 0:
@@ -242,6 +270,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.check:
             argv.append("--check")
         return frontdoor_main(argv)
+    if command == "storage":
+        if args.data_dir is not None:
+            return _storage_inspect(args.data_dir)
+        from repro.bench.storage import main as storage_main
+
+        argv = ["--sensors", str(args.sensors)]
+        if args.quick:
+            argv.append("--quick")
+        if args.check:
+            argv.append("--check")
+        return storage_main(argv)
     raise AssertionError(f"unhandled command {command!r}")  # pragma: no cover
 
 
@@ -436,6 +475,89 @@ def _demo_frontdoor(n_sensors: int, qps: float, n_tenants: int) -> int:
     print(format_counters(door.cache.stats.as_dict(), title="result cache"))
     print()
     print(format_counters(door.admission.stats.as_dict(), title="admission"))
+    return 0
+
+
+def _demo_durable(n_sensors: int, data_dir: Path) -> int:
+    """Scripted tour of the durable portal: the first run over an empty
+    directory registers a fleet, probes it (journaling every batch) and
+    checkpoints; re-running against the same directory warm-restarts
+    from disk — same answers, zero probes on the first tick."""
+    import numpy as np
+
+    from repro.bench.report import format_counters, storage_counters
+    from repro.geometry import GeoPoint, Rect
+    from repro.portal import SensorMapPortal, SensorQuery
+    from repro.sensors.registry import SensorRegistry
+    from repro.storage import StorageConfig
+
+    rng = np.random.default_rng(0)
+    registry = SensorRegistry()
+    fleet = [
+        registry.register(
+            GeoPoint(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            expiry_seconds=float(rng.uniform(300, 600)),
+            sensor_type=("temperature", "humidity")[i % 2],
+        )
+        for i in range(n_sensors)
+    ]
+    portal = SensorMapPortal(
+        max_sensors_per_query=None, storage=StorageConfig(data_dir=data_dir)
+    )
+    portal.register_all(fleet)
+    portal.rebuild_index()
+    recovery = portal.last_recovery
+    if recovery is not None and recovery.has_state:
+        print(
+            f"warm restart: {len(recovery.sensors)} sensors and "
+            f"{recovery.reading_count} readings recovered from {data_dir} "
+            f"({recovery.wal_records} WAL records, "
+            f"{recovery.checkpoint_pages} checkpoint pages; modeled "
+            f"recovery {portal.recovery_seconds * 1e3:.2f} ms)"
+        )
+    else:
+        print(f"cold start: {data_dir} was empty, journaling into it")
+    query = SensorQuery(
+        region=Rect(20, 20, 70, 70), staleness_seconds=300.0, sample_size=60
+    )
+    for tick in range(2):
+        if tick:
+            portal.clock.advance(30.0)
+        result = portal.execute(query)
+        probes = sum(a.stats.sensors_probed for a in result.answers)
+        print(
+            f"tick {tick}: probed {probes:>4} sensors, "
+            f"weight {result.result_weight:>4}, "
+            f"count estimate {result.aggregate():.0f}"
+        )
+    portal.checkpoint()
+    print()
+    print(format_counters(storage_counters(portal.storage.stats), title="storage"))
+    portal.close()
+    print(f"\ncheckpointed and closed; re-run to warm-restart from {data_dir}")
+    return 0
+
+
+def _storage_inspect(data_dir: Path) -> int:
+    """Print a read-only description of a durable data directory."""
+    from repro.bench.report import format_counters
+    from repro.storage.engine import describe_data_dir
+
+    info = describe_data_dir(data_dir)
+    if not info["exists"]:
+        print(f"{info['data_dir']}: no MANIFEST.json — not a data directory")
+        return 1
+    print(f"{info['data_dir']}: epoch {info['epoch']}")
+    if info["checkpoint"] is not None:
+        print()
+        print(format_counters(info["checkpoint"], title="checkpoint"))
+    else:
+        print("no checkpoint (WAL-only state)")
+    if info["wal"] is not None:
+        print()
+        print(format_counters(info["wal"], title="wal"))
+    else:
+        print("no WAL segment for the current epoch")
     return 0
 
 

@@ -192,6 +192,10 @@ class LeafSlotCache:
         for cached in self._by_sensor.values():
             yield cached.reading
 
+    def entries(self) -> Iterator[CachedReading]:
+        """Every cached entry with its fetch stamp (checkpoint export)."""
+        yield from self._by_sensor.values()
+
 
 class SlotCache:
     """Aggregate slot cache of an internal node.

@@ -66,6 +66,15 @@ class QueryStats:
     # opposed to rounding noise.
     sample_target: float = 0.0
     pool_exhausted_terminals: int = 0
+    # Storage-engine instrumentation (observational, like the kernel /
+    # batch / transport groups above): disk I/O the durable portal
+    # performed while serving this query — pages read/written through
+    # the pager and WAL records appended / group-commit fsyncs issued by
+    # the slot-cache journaling.  All zero on an in-memory portal.
+    page_reads: int = 0
+    page_writes: int = 0
+    wal_appends: int = 0
+    wal_fsyncs: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another stats record into this one."""

@@ -123,6 +123,17 @@ class COLRTree:
         # viewport answers overlapping fresh writes drop out — cached
         # results see exactly the deltas the slot caches see.
         self.ingest_listeners: list = []
+        # Durable-storage hooks (both ``None`` on an in-memory tree).
+        # ``wal_sink`` is called as ``fn(readings, fetched_at)`` after a
+        # batch is fully applied to the caches — the portal points it at
+        # the storage engine's WAL so every acknowledged ingestion is
+        # journaled (recovery priming runs with the sink detached, so
+        # replay is never re-journaled).  ``storage_meter`` is the
+        # engine's :class:`~repro.storage.stats.StorageStats`;
+        # ``probe_and_cache`` meters its deltas into ``QueryStats`` so
+        # disk I/O shows up next to probe accounting.
+        self.wal_sink = None
+        self.storage_meter = None
         # The flattened traversal kernel + spatial plan cache.  Both are
         # pure accelerators: answers are bit-identical with them off.
         self.kernel: FlatKernel | None = (
@@ -300,6 +311,11 @@ class COLRTree:
             return []
         if self.network is None:
             raise RuntimeError("this tree has no sensor network attached")
+        io_base = (
+            self.storage_meter.io_counters()
+            if self.storage_meter is not None
+            else None
+        )
         if self.transport is not None:
             rnd = self.transport.collect(
                 ids,
@@ -326,6 +342,7 @@ class COLRTree:
                     stats.maintenance_ops += self.insert_readings_batch(
                         fresh, fetched_at=now
                     )
+            self._meter_storage(stats, io_base)
             return list(rnd.readings.values())
         result = self.network.probe(ids, now)
         stats.sensors_probed += len(ids)
@@ -335,7 +352,21 @@ class COLRTree:
         readings = list(result.readings.values())
         if self.config.caching_enabled:
             stats.maintenance_ops += self.insert_readings_batch(readings, fetched_at=now)
+        self._meter_storage(stats, io_base)
         return readings
+
+    def _meter_storage(
+        self, stats: QueryStats, io_base: tuple[int, int, int, int] | None
+    ) -> None:
+        """Charge the storage I/O performed since ``io_base`` (the
+        engine's counters at probe start) to this query's stats."""
+        if io_base is None:
+            return
+        reads, writes, appends, fsyncs = self.storage_meter.io_counters()
+        stats.page_reads += reads - io_base[0]
+        stats.page_writes += writes - io_base[1]
+        stats.wal_appends += appends - io_base[2]
+        stats.wal_fsyncs += fsyncs - io_base[3]
 
     def insert_reading(self, reading: Reading, fetched_at: float) -> int:
         """Cache one reading and propagate aggregates to the root.
@@ -368,6 +399,8 @@ class COLRTree:
         # Roll-forward + per-slot increment up the tree (the slot-insert
         # and slot-update triggers of Section VI-B).
         if not self.config.aggregate_caching_enabled:
+            if self.wal_sink is not None:
+                self.wal_sink([reading], fetched_at)
             self._notify_ingest([leaf], 1)
             return ops
         node = leaf.parent
@@ -376,6 +409,8 @@ class COLRTree:
             node.agg_cache.add(new_slot, reading.value, reading.timestamp)
             ops += 1
             node = node.parent
+        if self.wal_sink is not None:
+            self.wal_sink([reading], fetched_at)
         self._notify_ingest([leaf], 1)
         return ops
 
@@ -447,6 +482,8 @@ class COLRTree:
                 ).add(reading.value, reading.timestamp)
         if not aggregating:
             ops += self._enforce_capacity()
+            if self.wal_sink is not None:
+                self.wal_sink(batch, fetched_at)
             self._notify_ingest(touched_leaves.values(), len(batch))
             return ops
         # Phase 2: merge each touched leaf's deltas into its ancestor
@@ -497,6 +534,8 @@ class COLRTree:
                     cache.replace(slot, self._recompute_slot(node, slot))
                     ops += len(node.children)
         ops += self._enforce_capacity()
+        if self.wal_sink is not None:
+            self.wal_sink(batch, fetched_at)
         self._notify_ingest(touched_leaves.values(), len(batch))
         return ops
 

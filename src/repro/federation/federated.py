@@ -58,6 +58,7 @@ from repro.sensors.sensor import Sensor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.portal.batch import BatchResult
+    from repro.storage.config import StorageConfig
     from repro.transport.config import TransportConfig
 
 __all__ = [
@@ -182,6 +183,13 @@ class FederationStats:
     # deadline (they still reach the final merge — late, not lost).
     streaming_queries: int = 0
     deferred_shard_answers: int = 0
+    # Durable-storage accounting: shards rebuilt from their data
+    # directories (revive after a kill, or a rebuild over a warm
+    # directory) and the total modeled replay seconds those recoveries
+    # cost.  Each recovery's seconds are also charged to the revived
+    # shard's next gather via ``_ShardState.pending_recovery_seconds``.
+    shard_recoveries: int = 0
+    recovery_seconds_total: float = 0.0
 
 
 @dataclass
@@ -254,6 +262,10 @@ class _ShardState:
     killed: bool = False
     consecutive_failures: int = 0
     down_until: float = 0.0
+    # Modeled seconds the shard's last crash recovery took; consumed by
+    # the next ``_call_shard`` as a one-time delay so the revival cost
+    # lands on the gather clock instead of vanishing.
+    pending_recovery_seconds: float = 0.0
 
 
 @dataclass
@@ -309,12 +321,21 @@ class FederatedPortal:
         transport: "TransportConfig | None" = None,
         network_options: dict[str, object] | None = None,
         federation: FederationConfig | None = None,
+        storage: "StorageConfig | None" = None,
     ) -> None:
         """Constructor arguments mirror ``SensorMapPortal`` (every shard
         is built with them); ``partitioner`` defaults to a spatial
         ``GridPartitioner(n_shards)``, and shard ``i``'s network draws
         from ``network_seed + i`` so shard 0 of a single-shard
-        federation is seed-identical to the unsharded portal."""
+        federation is seed-identical to the unsharded portal.
+
+        ``storage`` roots a per-shard durable data directory under
+        ``storage.data_dir/shard-<i>``: each shard journals its own
+        registrations and slot-cache batches, ``kill_shard`` abandons
+        the shard's WAL mid-flight, and ``revive_shard`` performs real
+        recovery from disk — its modeled replay time is charged to the
+        shard's next gather.  A re-partition that changes a shard's
+        sensor set wipes that shard's stale directory first."""
         self.partitioner = (
             partitioner if partitioner is not None else GridPartitioner(n_shards)
         )
@@ -329,6 +350,12 @@ class FederatedPortal:
         self._value_fn = value_fn
         self._network_seed = network_seed
         self._network_options = dict(network_options) if network_options else {}
+        self.storage_config = storage
+        # Whether this backend builds shard portals that own their
+        # storage engines in *this* process.  The process backend flips
+        # this off: there the workers open the engines (one writer per
+        # WAL), and the coordinator's snapshot shards stay in-memory.
+        self._shard_storage_local = True
         self._shards: list[SensorMapPortal] = []
         self._groups: list[list[Sensor]] = []
         self._directory: ShardDirectory | None = None
@@ -389,29 +416,74 @@ class FederatedPortal:
         # Compact away empty shards (a k-means run on a tiny fleet can
         # starve a cluster) so every built shard has an index.
         groups = [g for g in groups if g]
+        for shard in self._shards:
+            shard.close()
+        if self.storage_config is not None:
+            self._wipe_stale_shard_dirs(groups)
         self._directory = ShardDirectory(groups)
         self._groups = groups
         self._shards = []
-        for shard_id, group in enumerate(groups):
-            shard = SensorMapPortal(
-                config=self.config,
-                cost_model=self.cost_model,
-                value_fn=self._value_fn,
-                network_seed=self._network_seed + shard_id,
-                clock=self.clock,
-                max_sensors_per_query=self.max_sensors_per_query,
-                transport=self.transport_config,
-                network_options=dict(self._network_options),
-            )
-            shard.register_all(group)
-            shard.rebuild_index()
-            self._shards.append(shard)
         self._states = {
             shard_id: self._states.get(shard_id, _ShardState())
             for shard_id in range(len(groups))
         }
+        for shard_id, group in enumerate(groups):
+            self._shards.append(self._build_shard(shard_id, group))
         self._index_dirty = False
         self.index_generation += 1
+
+    def _shard_storage(self, shard_id: int) -> "StorageConfig | None":
+        """The storage config one shard portal should own, or ``None``
+        (no storage configured, or the backend keeps engines in worker
+        processes)."""
+        if self.storage_config is None or not self._shard_storage_local:
+            return None
+        return self.storage_config.for_shard(shard_id)
+
+    def _wipe_stale_shard_dirs(self, groups: list[list[Sensor]]) -> None:
+        """Wipe any shard directory whose durable sensor set no longer
+        matches the (re-)partition — a stale cache under a different
+        fleet must not survive into recovery."""
+        from repro.storage.engine import stored_sensor_ids, wipe_data_dir
+
+        for shard_id, group in enumerate(groups):
+            shard_cfg = self.storage_config.for_shard(shard_id)
+            stored = stored_sensor_ids(shard_cfg)
+            if stored and stored != {s.sensor_id for s in group}:
+                wipe_data_dir(shard_cfg.path)
+        # Directories beyond the current shard count are stale too.
+        shard_id = len(groups)
+        while True:
+            shard_cfg = self.storage_config.for_shard(shard_id)
+            if not shard_cfg.path.exists():
+                break
+            wipe_data_dir(shard_cfg.path)
+            shard_id += 1
+
+    def _build_shard(self, shard_id: int, group: list[Sensor]) -> SensorMapPortal:
+        """Construct (or, over a warm data directory, *recover*) one
+        shard portal.  Recovery seconds are charged to the shard's next
+        gather via its ``pending_recovery_seconds``."""
+        shard = SensorMapPortal(
+            config=self.config,
+            cost_model=self.cost_model,
+            value_fn=self._value_fn,
+            network_seed=self._network_seed + shard_id,
+            clock=self.clock,
+            max_sensors_per_query=self.max_sensors_per_query,
+            transport=self.transport_config,
+            network_options=dict(self._network_options),
+            storage=self._shard_storage(shard_id),
+        )
+        shard.register_all(group)
+        shard.rebuild_index()
+        seconds = shard.recovery_seconds
+        if seconds > 0.0:
+            state = self._states.setdefault(shard_id, _ShardState())
+            state.pending_recovery_seconds += seconds
+            self.stats.shard_recoveries += 1
+            self.stats.recovery_seconds_total += seconds
+        return shard
 
     def _ensure_index(self) -> None:
         if self._index_dirty or not self._shards:
@@ -451,16 +523,35 @@ class FederatedPortal:
     # Shard health
     # ------------------------------------------------------------------
     def kill_shard(self, shard_id: int) -> None:
-        """Simulate a shard outage: scatters to it raise until revived."""
+        """Simulate a shard outage: scatters to it raise until revived.
+
+        With storage attached the outage is a real crash — the shard's
+        WAL handle is abandoned mid-flight (no final fsync, no
+        checkpoint), so revival must replay the log."""
         self._ensure_index()
         self._states[shard_id].killed = True
+        if self._shard_storage(shard_id) is not None:
+            self._shards[shard_id].crash()
 
-    def revive_shard(self, shard_id: int) -> None:
+    def revive_shard(self, shard_id: int) -> float:
+        """Bring a killed shard back; returns the modeled recovery
+        seconds (0.0 for in-memory shards, which revive instantly with
+        their caches intact).  With storage attached the shard portal is
+        rebuilt from its data directory — checkpoint pages and WAL
+        records replay, caches re-install — and the recovery time is
+        charged to the shard's next gather."""
         self._ensure_index()
         state = self._states[shard_id]
         state.killed = False
         state.consecutive_failures = 0
         state.down_until = 0.0
+        if self._shard_storage(shard_id) is None:
+            return 0.0
+        before = state.pending_recovery_seconds
+        self._shards[shard_id] = self._build_shard(
+            shard_id, self._groups[shard_id]
+        )
+        return self._states[shard_id].pending_recovery_seconds - before
 
     def _shard_op(self, shard_id: int, op: str, *args: object) -> object:
         """Run one named portal operation on one shard.
@@ -492,7 +583,10 @@ class FederatedPortal:
         if state.down_until > now:
             self.stats.shard_cooldown_skips += 1
             return None
-        delay = 0.0
+        # A freshly revived shard pays its crash-recovery replay time on
+        # its first gather (consumed exactly once).
+        delay = state.pending_recovery_seconds
+        state.pending_recovery_seconds = 0.0
         for attempt in range(cfg.shard_retry_budget + 1):
             self.stats.shard_attempts += 1
             try:
@@ -1339,6 +1433,8 @@ class FederatedPortal:
                 "sampled_shortfall": f.sampled_shortfall,
                 "streaming_queries": f.streaming_queries,
                 "deferred_shard_answers": f.deferred_shard_answers,
+                "shard_recoveries": f.shard_recoveries,
+                "recovery_seconds_total": f.recovery_seconds_total,
             },
             "shards": {
                 i: self._shard_op(i, "stats") for i in range(len(self._shards))
@@ -1348,10 +1444,24 @@ class FederatedPortal:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Checkpoint every shard's storage engine (compact its WAL
+        into a fresh page file).  Requires storage to be attached."""
+        if self.storage_config is None:
+            raise RuntimeError("federation has no storage attached")
+        self._ensure_index()
+        for shard_id in range(len(self._shards)):
+            if self._states[shard_id].killed:
+                continue
+            self._shard_op(shard_id, "checkpoint")
+
     def close(self) -> None:
-        """Release coordinator-held resources.  The in-process backend
-        holds none; the process backend shuts workers down and unlinks
-        its shared-memory segments here."""
+        """Release coordinator-held resources: flush and close each
+        shard's storage engine (a no-op for in-memory shards).  The
+        process backend overrides this to shut workers down and unlink
+        its shared-memory segments."""
+        for shard in self._shards:
+            shard.close()
 
     def __enter__(self) -> "FederatedPortal":
         return self

@@ -32,7 +32,7 @@ from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.core.flat import auto_tile_nodes
-from repro.federation.federated import FederatedPortal, ShardDownError
+from repro.federation.federated import FederatedPortal, ShardDownError, _ShardState
 from repro.parallel.config import ParallelConfig
 from repro.parallel.framing import recv_frame, send_frame
 from repro.parallel.shm import SegmentManifest, SegmentRegistry
@@ -57,6 +57,10 @@ class ParallelFederatedPortal(FederatedPortal):
         kwargs.pop("parallel", None)
         super().__init__(*args, **kwargs)
         self.parallel = parallel if parallel is not None else ParallelConfig()
+        # Shard storage engines live in the worker processes (one
+        # writer per WAL); the coordinator's snapshot shards stay
+        # purely in-memory.
+        self._shard_storage_local = False
         # Workers classify in cache-sized tiles; the coordinator's own
         # snapshot shards get the same config so worker-side kernels
         # verify cleanly against them.
@@ -118,6 +122,11 @@ class ParallelFederatedPortal(FederatedPortal):
             clock_start=self._clock_start,
             manifests=self._manifests.get(shard_id, {}),
             verify_adoption=self.parallel.verify_adoption,
+            storage=(
+                self.storage_config.for_shard(shard_id)
+                if self.storage_config is not None
+                else None
+            ),
         )
 
     def _spawn(self, shard_id: int) -> None:
@@ -140,6 +149,19 @@ class ParallelFederatedPortal(FederatedPortal):
             parent_sock.close()
             raise RuntimeError(f"shard {shard_id} worker bootstrap failed:\n{payload}")
         self._workers[shard_id] = _Worker(process=process, sock=parent_sock)
+        # Newer workers ack with a dict carrying their recovery cost; a
+        # bare shard id means no storage (or an older worker) — nothing
+        # to charge.
+        recovery_seconds = (
+            float(payload.get("recovery_seconds", 0.0))
+            if isinstance(payload, dict)
+            else 0.0
+        )
+        if recovery_seconds > 0.0:
+            state = self._states.setdefault(shard_id, _ShardState())
+            state.pending_recovery_seconds += recovery_seconds
+            self.stats.shard_recoveries += 1
+            self.stats.recovery_seconds_total += recovery_seconds
 
     # ------------------------------------------------------------------
     # Worker health
@@ -163,14 +185,20 @@ class ParallelFederatedPortal(FederatedPortal):
         super().kill_shard(shard_id)
         self._mark_worker_dead(shard_id)
 
-    def revive_shard(self, shard_id: int) -> None:
-        """Restart the worker and remap the current segments.  The
-        revived shard rebuilds from bootstrap — like a real node
-        restart, its runtime cache state starts cold."""
+    def revive_shard(self, shard_id: int) -> float:
+        """Restart the worker and remap the current segments.  Without
+        storage the revived shard rebuilds from bootstrap — like a real
+        node restart, its runtime cache state starts cold.  With storage
+        the respawned worker recovers from the shard's data directory
+        (WAL replay, caches re-installed) and the modeled recovery
+        seconds — returned here — are charged to its next gather."""
         super().revive_shard(shard_id)
         worker = self._workers.get(shard_id)
         if worker is None or not worker.alive:
+            before = self._states[shard_id].pending_recovery_seconds
             self._spawn(shard_id)
+            return self._states[shard_id].pending_recovery_seconds - before
+        return 0.0
 
     def worker_pid(self, shard_id: int) -> int | None:
         """The live worker's pid (tests crash it out-of-band)."""
@@ -219,7 +247,11 @@ class ParallelFederatedPortal(FederatedPortal):
                 self.stats.shard_cooldown_skips += 1
                 results[shard_id] = None
                 continue
-            delays[shard_id] = 0.0
+            # Mirror _call_shard: a freshly revived shard pays its
+            # crash-recovery replay time on its first gather.
+            state = self._states[shard_id]
+            delays[shard_id] = state.pending_recovery_seconds
+            state.pending_recovery_seconds = 0.0
             pending.append((shard_id, op, args))
         for attempt in range(cfg.shard_retry_budget + 1):
             if not pending:

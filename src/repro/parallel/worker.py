@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.config import COLRTreeConfig
     from repro.core.stats import ProcessingCostModel
     from repro.sensors.sensor import Sensor
+    from repro.storage.config import StorageConfig
     from repro.transport.config import TransportConfig
 
 __all__ = ["WorkerBootstrap", "worker_main"]
@@ -65,6 +66,10 @@ class WorkerBootstrap:
     clock_start: float = 0.0
     manifests: dict[str, SegmentManifest] = field(default_factory=dict)
     verify_adoption: bool = True
+    # The worker — not the coordinator — owns the shard's storage
+    # engine (one writer per WAL), so a SIGKILLed worker is a genuine
+    # crash and its respawn a genuine recovery.
+    storage: "StorageConfig | None" = None
 
 
 def build_portal(bootstrap: WorkerBootstrap) -> SensorMapPortal:
@@ -79,6 +84,7 @@ def build_portal(bootstrap: WorkerBootstrap) -> SensorMapPortal:
         max_sensors_per_query=bootstrap.max_sensors_per_query,
         transport=bootstrap.transport,
         network_options=dict(bootstrap.network_options),
+        storage=bootstrap.storage,
     )
     portal.register_all(list(bootstrap.sensors))
     portal.rebuild_index()
@@ -118,7 +124,19 @@ def worker_main(
         finally:
             sock.close()
         raise SystemExit(1)
-    send_frame(sock, ("ok", bootstrap.shard_id))
+    # The bootstrap ack carries the worker-side recovery cost so the
+    # coordinator can charge a respawn-over-a-warm-directory to the
+    # shard's next gather.
+    send_frame(
+        sock,
+        (
+            "ok",
+            {
+                "shard_id": bootstrap.shard_id,
+                "recovery_seconds": portal.recovery_seconds,
+            },
+        ),
+    )
     while True:
         try:
             frame = recv_frame(sock)
@@ -142,3 +160,6 @@ def worker_main(
             reply = ("err", traceback.format_exc())
         send_frame(sock, reply)
     sock.close()
+    # A clean exit (coordinator shutdown or EOF) flushes the WAL; a
+    # SIGKILL never reaches this line — that is the crash being modeled.
+    portal.close()

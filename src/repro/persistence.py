@@ -10,13 +10,21 @@ the sensors and the config seed, so it is rebuilt on load and the
 cached readings are re-inserted (re-running the aggregate maintenance,
 which also re-validates them against the restored clock).
 
-The format is versioned JSON; networks and availability histories are
-runtime objects the caller re-wires.
+Two on-disk formats exist.  Version 2 (current) is the storage
+engine's checkpoint container — a CRC-checksummed page file (see
+``repro.storage.checkpoint``) holding the snapshot meta, the sensors
+and the cached readings; it shares the exact codecs crash recovery
+uses.  Version 1 is the original JSON document; it still loads (with a
+``DeprecationWarning``) and can still be written explicitly via
+``save_tree(..., format_version=1)``.  ``load_tree`` sniffs the file
+magic, so both formats load through the same call.  Networks and
+availability histories are runtime objects the caller re-wires.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any
 
@@ -27,7 +35,8 @@ from repro.sensors.availability import AvailabilityModel
 from repro.sensors.network import SensorNetwork
 from repro.sensors.sensor import Reading, Sensor
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+V1_FORMAT_VERSION = 1
 
 
 class SnapshotError(ValueError):
@@ -68,7 +77,7 @@ def snapshot_tree(tree: COLRTree, now: float) -> dict[str, Any]:
             )
     config = {f: getattr(tree.config, f) for f in tree.config.__dataclass_fields__}
     return {
-        "format_version": FORMAT_VERSION,
+        "format_version": V1_FORMAT_VERSION,
         "saved_at": now,
         "config": config,
         "sensors": sensors,
@@ -76,9 +85,40 @@ def snapshot_tree(tree: COLRTree, now: float) -> dict[str, Any]:
     }
 
 
-def save_tree(tree: COLRTree, path: str | Path, now: float) -> None:
-    """Write a snapshot file."""
-    Path(path).write_text(json.dumps(snapshot_tree(tree, now)))
+def save_tree(
+    tree: COLRTree,
+    path: str | Path,
+    now: float,
+    *,
+    format_version: int = FORMAT_VERSION,
+) -> None:
+    """Write a snapshot file (version 2 checkpoint container by
+    default; ``format_version=1`` writes the legacy JSON document)."""
+    if format_version == V1_FORMAT_VERSION:
+        Path(path).write_text(json.dumps(snapshot_tree(tree, now)))
+        return
+    if format_version != FORMAT_VERSION:
+        raise SnapshotError(f"unsupported snapshot version {format_version!r}")
+    from repro.storage.checkpoint import write_checkpoint
+
+    sensors = [tree.sensor(sid) for sid in sorted(tree._sensors)]
+    cached: list[tuple[Reading, float]] = []
+    for leaf in tree.root.iter_leaves():
+        if leaf.leaf_cache is None:
+            continue
+        for entry in leaf.leaf_cache.entries():
+            cached.append((entry.reading, entry.fetched_at))
+    config = {f: getattr(tree.config, f) for f in tree.config.__dataclass_fields__}
+    write_checkpoint(
+        Path(path),
+        meta={
+            "format_version": FORMAT_VERSION,
+            "saved_at": float(now),
+            "config": config,
+        },
+        sensors=sensors,
+        cached=cached,
+    )
 
 
 def restore_tree(
@@ -95,7 +135,7 @@ def restore_tree(
     network to re-wire a live one.
     """
     version = data.get("format_version")
-    if version != FORMAT_VERSION:
+    if version != V1_FORMAT_VERSION:
         raise SnapshotError(f"unsupported snapshot version {version!r}")
     try:
         config = COLRTreeConfig(**data["config"])
@@ -142,9 +182,25 @@ def load_tree(
     availability_model: AvailabilityModel | None = None,
     network_seed: int = 0,
 ) -> COLRTree:
-    """Read a snapshot file and rebuild the tree."""
+    """Read a snapshot file (either format) and rebuild the tree."""
+    from repro.storage.checkpoint import is_checkpoint_file
+
+    path = Path(path)
+    if is_checkpoint_file(path):
+        return _load_tree_v2(
+            path,
+            network=network,
+            availability_model=availability_model,
+            network_seed=network_seed,
+        )
+    warnings.warn(
+        "version-1 JSON snapshots are deprecated; re-save with "
+        "save_tree() to migrate to the checkpoint container",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     try:
-        data = json.loads(Path(path).read_text())
+        data = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
         raise SnapshotError(f"snapshot is not valid JSON: {exc}") from exc
     return restore_tree(
@@ -153,3 +209,42 @@ def load_tree(
         availability_model=availability_model,
         network_seed=network_seed,
     )
+
+
+def _load_tree_v2(
+    path: Path,
+    network: SensorNetwork | None = None,
+    availability_model: AvailabilityModel | None = None,
+    network_seed: int = 0,
+) -> COLRTree:
+    """Rebuild a tree from a version-2 checkpoint container."""
+    from repro.storage.checkpoint import read_checkpoint
+    from repro.storage.pager import PageCorruptionError
+
+    try:
+        meta, sensors, cached = read_checkpoint(path)
+    except PageCorruptionError as exc:
+        raise SnapshotError(f"corrupt snapshot: {exc}") from exc
+    version = meta.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SnapshotError(f"unsupported snapshot version {version!r}")
+    if not sensors:
+        raise SnapshotError("snapshot holds no sensors")
+    try:
+        config = COLRTreeConfig(**meta["config"])
+    except (KeyError, TypeError) as exc:
+        raise SnapshotError(f"malformed snapshot: {exc}") from exc
+    if network is None:
+        network = SensorNetwork(
+            sensors, availability_model=availability_model, seed=network_seed
+        )
+    tree = COLRTree(
+        sensors, config, network=network, availability_model=availability_model
+    )
+    saved_at = float(meta.get("saved_at", 0.0))
+    for reading, fetched_at in cached:
+        if not reading.is_valid_at(saved_at):
+            continue  # expired while on disk
+        tree.insert_reading(reading, fetched_at=fetched_at)
+    tree._enforce_capacity()
+    return tree

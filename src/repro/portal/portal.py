@@ -31,6 +31,9 @@ from repro.sensors.sensor import Sensor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.portal.batch import BatchResult
+    from repro.sensors.sensor import Reading
+    from repro.storage.config import StorageConfig
+    from repro.storage.engine import RecoveredState, StorageEngine
     from repro.transport.config import TransportConfig
     from repro.transport.dispatcher import ProbeDispatcher
 
@@ -105,6 +108,7 @@ class SensorMapPortal:
         max_sensors_per_query: int | None = 1000,
         transport: "TransportConfig | None" = None,
         network_options: dict[str, object] | None = None,
+        storage: "StorageConfig | None" = None,
     ) -> None:
         """``max_sensors_per_query`` is the portal-wide collection cap of
         Section III-B: a whole-world query is answered from at most this
@@ -119,7 +123,17 @@ class SensorMapPortal:
         ``network.probe`` path.  ``network_options`` forwards extra
         keyword arguments (``rtt_seconds``, ``parallelism``,
         ``latency_jitter``, ``timeout_seconds``) to the
-        ``SensorNetwork`` built on each index rebuild."""
+        ``SensorNetwork`` built on each index rebuild.
+
+        ``storage`` opts the portal into the durable storage engine
+        (``repro.storage``): registrations and acknowledged slot-cache
+        ingestions are write-ahead logged, ``checkpoint()`` compacts
+        the log into an immutable page file, and opening a portal on an
+        existing data directory *recovers* — the registry reloads from
+        disk, the deterministic tree rebuilds, and the recovered cache
+        batches re-install so the first tick after restart is
+        probe-free for fresh slots.  ``None`` (the default) keeps the
+        historical in-memory behavior bit-identical."""
         if max_sensors_per_query is not None and max_sensors_per_query < 1:
             raise ValueError("max_sensors_per_query must be positive or None")
         self.config = config if config is not None else COLRTreeConfig()
@@ -140,6 +154,26 @@ class SensorMapPortal:
         # layers above the portal (the front-door result cache) can
         # detect that cached answers predate the current index.
         self.index_generation = 0
+        # Durable storage (optional).  Opening the engine performs
+        # recovery: the durable registry reloads immediately, the
+        # recovered cache batches wait in ``_recovered_pending`` until
+        # the first ``rebuild_index()`` re-installs them (priming runs
+        # with the WAL sink detached, so replay is never re-journaled).
+        self.storage_config = storage
+        self.storage: "StorageEngine | None" = None
+        self.last_recovery: "RecoveredState | None" = None
+        self._recovered_pending: list[tuple[float, list["Reading"]]] = []
+        self._recovery_maintenance_ops = 0
+        if storage is not None:
+            from repro.storage.engine import StorageEngine
+
+            self.storage = StorageEngine(storage)
+            recovered = self.storage.recovered
+            self.last_recovery = recovered
+            if recovered.sensors:
+                self.registry.register_all(recovered.sensors)
+                self._recovered_pending = list(recovered.batches)
+            self.clock.advance_to(recovered.clock_now)
 
     @property
     def transport_enabled(self) -> bool:
@@ -171,11 +205,34 @@ class SensorMapPortal:
             availability=availability,
             metadata=metadata,
         )
+        if self.storage is not None:
+            self.storage.journal_register(sensor)
         self._index_dirty = True
         return sensor
 
     def register_all(self, sensors: list[Sensor]) -> None:
-        self.registry.register_all(sensors)
+        if self.storage is not None:
+            # A durable portal may already hold (some of) these sensors
+            # from recovery: re-registering the identical sensor is a
+            # no-op, a conflicting definition under a recovered id is an
+            # error, and only genuinely fresh sensors are journaled.
+            existing = {s.sensor_id: s for s in self.registry}
+            fresh: list[Sensor] = []
+            for sensor in sensors:
+                prior = existing.get(sensor.sensor_id)
+                if prior is not None:
+                    if prior != sensor:
+                        raise ValueError(
+                            f"sensor {sensor.sensor_id} conflicts with the "
+                            "recovered definition in the data directory"
+                        )
+                    continue
+                fresh.append(sensor)
+            self.registry.register_all(fresh)
+            for sensor in fresh:
+                self.storage.journal_register(sensor)
+        else:
+            self.registry.register_all(sensors)
         self._index_dirty = True
 
     # ------------------------------------------------------------------
@@ -212,8 +269,124 @@ class SensorMapPortal:
                 cost_model=self.cost_model,
                 transport=self._dispatcher,
             )
+        if self.storage is not None:
+            # Prime the recovered cache batches BEFORE attaching the WAL
+            # sink, so replay is never re-journaled; afterwards every
+            # acknowledged ingestion flows back into the log and every
+            # query meters the disk I/O it caused.
+            self._prime_recovered()
+            for tree in self._trees.values():
+                tree.wal_sink = self._journal_ingest
+                tree.storage_meter = self.storage.stats
         self._index_dirty = False
         self.index_generation += 1
+
+    # ------------------------------------------------------------------
+    # Durable storage
+    # ------------------------------------------------------------------
+    def _prime_recovered(self) -> None:
+        """Re-install recovered cache batches into freshly built trees.
+
+        Replay preserves the original batch boundaries, so grouped-delta
+        ingestion reproduces counts/extremes/weights bit-exactly (sums
+        agree up to summation order once a checkpoint has compacted
+        batches; see the batch-equivalence note in ``COLRTree``).
+        Expired readings are *not* filtered here — query-time staleness
+        pruning then behaves exactly as it would have pre-crash."""
+        if not self._recovered_pending:
+            return
+        type_of = {s.sensor_id: s.sensor_type for s in self.registry}
+        ops = 0
+        for fetched_at, readings in self._recovered_pending:
+            split: dict[str, list["Reading"]] = {}
+            for reading in readings:
+                sensor_type = type_of.get(reading.sensor_id)
+                if sensor_type is None or sensor_type not in self._trees:
+                    continue
+                split.setdefault(sensor_type, []).append(reading)
+            for sensor_type, batch in split.items():
+                ops += self._trees[sensor_type].insert_readings_batch(
+                    batch, fetched_at=fetched_at
+                )
+        self._recovery_maintenance_ops += ops
+        self._recovered_pending = []
+
+    def _journal_ingest(self, readings, fetched_at: float) -> None:
+        """WAL sink for the trees: journal one acknowledged slot-cache
+        batch, crediting the I/O it caused to the network meters."""
+        engine = self.storage
+        assert engine is not None
+        before = engine.stats.io_counters()
+        engine.journal_batch(list(readings), fetched_at)
+        after = engine.stats.io_counters()
+        if self._network is not None:
+            net = self._network.stats
+            net.page_reads += after[0] - before[0]
+            net.page_writes += after[1] - before[1]
+            net.wal_appends += after[2] - before[2]
+            net.wal_fsyncs += after[3] - before[3]
+
+    def _cached_entries(self) -> list[tuple["Reading", float]]:
+        """Every cached leaf reading with its fetch stamp, across all
+        per-type trees (the checkpoint's cache image)."""
+        entries: list[tuple["Reading", float]] = []
+        for tree in self._trees.values():
+            for node in tree.nodes():
+                if node.leaf_cache is None:
+                    continue
+                for cached in node.leaf_cache.entries():
+                    entries.append((cached.reading, cached.fetched_at))
+        return entries
+
+    def checkpoint(self) -> None:
+        """Compact the WAL into a fresh checkpoint page file.
+
+        After a checkpoint the WAL is empty, so the next open replays
+        only the page file plus whatever lands in the log afterwards."""
+        if self.storage is None:
+            raise RuntimeError("portal has no storage attached")
+        self._ensure_index()
+        before = self.storage.stats.io_counters()
+        self.storage.checkpoint(
+            sensors=self.registry.all(),
+            cached=self._cached_entries(),
+            clock_now=self.clock.now(),
+        )
+        after = self.storage.stats.io_counters()
+        if self._network is not None:
+            net = self._network.stats
+            net.page_reads += after[0] - before[0]
+            net.page_writes += after[1] - before[1]
+
+    @property
+    def recovery_seconds(self) -> float:
+        """Modeled cost of the open-time recovery this portal performed:
+        disk replay (engine cost model) plus the cache-maintenance work
+        of re-installing the recovered batches (portal cost model)."""
+        if self.storage is None:
+            return 0.0
+        return (
+            self.storage.recovery_cost_seconds
+            + self._recovery_maintenance_ops * self.cost_model.per_maintenance_op
+        )
+
+    def close(self) -> None:
+        """Flush and close the storage engine (no-op without storage)."""
+        if self.storage is not None and not self.storage.closed:
+            self.storage.close()
+
+    def crash(self) -> None:
+        """Simulate abrupt process death: abandon the WAL mid-flight
+        (no final fsync, no checkpoint).  Reopening the same data
+        directory then exercises real recovery."""
+        if self.storage is not None and not self.storage.closed:
+            self.storage.crash()
+
+    def __enter__(self) -> "SensorMapPortal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def network(self) -> SensorNetwork:
@@ -322,6 +495,10 @@ class SensorMapPortal:
                 "probes_timed_out": net.probes_timed_out,
                 "batches": net.batches,
                 "total_collection_seconds": net.total_latency_seconds,
+                "page_reads": net.page_reads,
+                "page_writes": net.page_writes,
+                "wal_appends": net.wal_appends,
+                "wal_fsyncs": net.wal_fsyncs,
             },
         }
         if self._dispatcher is not None:
@@ -336,6 +513,10 @@ class SensorMapPortal:
                 "overlapped_rounds": t.overlapped_rounds,
                 "streamed_readings": t.streamed_readings,
             }
+        if self.storage is not None:
+            from dataclasses import asdict
+
+            summary["storage"] = asdict(self.storage.stats)
         return summary
 
     def explain(self, query: SensorQuery) -> dict[str, object]:

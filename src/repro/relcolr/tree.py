@@ -53,6 +53,7 @@ class RelCOLRTree:
         build_method: str = "str",
         availability_model=None,
         transport: TransportConfig | None = None,
+        pager=None,
     ) -> None:
         self.config = config if config is not None else COLRTreeConfig()
         self.network = network
@@ -67,7 +68,12 @@ class RelCOLRTree:
                 raise ValueError("transport requires a sensor network")
             self.dispatcher = ProbeDispatcher(network, transport)
         self.names = names if names is not None else SchemaNames()
-        self.db = Database()
+        # ``pager`` spills every relation to disk through paged B+-trees
+        # (see repro.storage); ``wal_sink``, when set by the owning
+        # portal, journals each acknowledged cache batch exactly like
+        # ``COLRTree.wal_sink`` — callable(readings, fetched_at).
+        self.wal_sink = None
+        self.db = Database(pager=pager)
         root = build_colr_tree(
             sensors,
             fanout=self.config.fanout,
@@ -143,6 +149,8 @@ class RelCOLRTree:
                 }
             ],
         )
+        if self.wal_sink is not None:
+            self.wal_sink([reading], fetched_at)
 
     def insert_readings_batch(self, readings: Sequence[Reading], fetched_at: float) -> None:
         """Cache a batch of probed readings as two statements.
@@ -184,6 +192,8 @@ class RelCOLRTree:
                 for sid, (reading, leaf_id) in batch.items()
             ],
         )
+        if self.wal_sink is not None:
+            self.wal_sink(list(readings), fetched_at)
 
     def expire(self, now: float) -> int:
         """Expunge slots entirely behind ``now`` (explicit roll; the

@@ -82,6 +82,13 @@ class NetworkStats:
     probes_retried: int = 0
     probes_deduped: int = 0
     probes_cooldown_skipped: int = 0
+    # Storage-engine accounting (zero on an in-memory portal): pager
+    # page I/O and WAL appends / group-commit fsyncs the durable portal
+    # performed — journaled ingestions, checkpoints, recovery priming.
+    page_reads: int = 0
+    page_writes: int = 0
+    wal_appends: int = 0
+    wal_fsyncs: int = 0
     per_sensor_probes: dict[int, int] = field(default_factory=dict)
 
     def snapshot(self) -> "NetworkStats":

@@ -1,0 +1,164 @@
+"""Checkpoint files: one immutable page file per checkpoint.
+
+A checkpoint captures everything a portal needs to resume — the
+registered sensors, the cached readings with their fetch times, and a
+small meta record (clock, config fingerprint) — as three record heaps
+inside one page file.  Checkpoints are written whole to a fresh file
+and then flipped into the manifest, so a crash mid-checkpoint can never
+tear the previous one.
+
+The same container doubles as persistence format v2
+(:mod:`repro.persistence`): a snapshot file *is* a single-file
+checkpoint.
+
+Cached readings are stored sorted by ``(fetched_at, sensor_id)`` and
+re-installed grouped by ``fetched_at`` through the grouped-delta batch
+ingestion path.  Leaf contents, per-slot counts, min/max and result
+weights reproduce bit-identically; a slot's ``total`` agrees up to
+float summation order (the same association caveat batched ingestion
+documents in :meth:`repro.core.tree.COLRTree.insert_readings_batch`).
+WAL replay, by contrast, preserves the original batch boundaries
+exactly, so crash recovery of an un-checkpointed portal is
+bit-identical *including* totals.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.geometry import GeoPoint
+from repro.sensors.sensor import Reading, Sensor
+from repro.storage.heap import RecordHeap
+from repro.storage.pager import MAGIC, Pager
+from repro.storage.stats import StorageStats
+
+# ----------------------------------------------------------------------
+# Record codecs (shared with the WAL)
+# ----------------------------------------------------------------------
+
+
+def sensor_record(sensor: Sensor) -> tuple:
+    return (
+        sensor.sensor_id,
+        sensor.location.x,
+        sensor.location.y,
+        sensor.expiry_seconds,
+        sensor.sensor_type,
+        sensor.availability,
+        tuple(sensor.metadata),
+    )
+
+
+def sensor_from_record(record: tuple) -> Sensor:
+    sid, x, y, expiry, sensor_type, availability, metadata = record
+    return Sensor(
+        sensor_id=int(sid),
+        location=GeoPoint(float(x), float(y)),
+        expiry_seconds=float(expiry),
+        sensor_type=str(sensor_type),
+        availability=float(availability),
+        metadata=tuple((str(k), str(v)) for k, v in metadata),
+    )
+
+
+def reading_record(reading: Reading) -> tuple:
+    return (reading.sensor_id, reading.value, reading.timestamp, reading.expires_at)
+
+
+def reading_from_record(record: tuple) -> Reading:
+    sid, value, timestamp, expires_at = record
+    return Reading(
+        sensor_id=int(sid),
+        value=float(value),
+        timestamp=float(timestamp),
+        expires_at=float(expires_at),
+    )
+
+
+def _dumps(obj: object) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint container
+# ----------------------------------------------------------------------
+
+
+def is_checkpoint_file(path: str | Path) -> bool:
+    """Sniff the page-file magic (offset 4, after the header CRC)."""
+    try:
+        with open(path, "rb") as f:
+            head = f.read(4 + len(MAGIC))
+    except OSError:
+        return False
+    return len(head) == 4 + len(MAGIC) and head[4:] == MAGIC
+
+
+def write_checkpoint(
+    path: str | Path,
+    meta: dict,
+    sensors: list[Sensor],
+    cached: list[tuple[Reading, float]],
+    page_size: int = 4096,
+    stats: StorageStats | None = None,
+    fsync: bool = True,
+) -> None:
+    """Write one whole checkpoint file (truncating any existing file)."""
+    path = Path(path)
+    if path.exists():
+        path.unlink()
+    pager = Pager(path, page_size=page_size, stats=stats)
+    try:
+        RecordHeap(pager, "meta").append(_dumps(dict(meta)))
+        RecordHeap(pager, "sensors").append_many(
+            _dumps(sensor_record(s))
+            for s in sorted(sensors, key=lambda s: s.sensor_id)
+        )
+        ordered = sorted(cached, key=lambda rf: (rf[1], rf[0].sensor_id))
+        RecordHeap(pager, "readings").append_many(
+            _dumps((reading_record(r), fetched_at)) for r, fetched_at in ordered
+        )
+    finally:
+        pager.close(fsync=fsync)
+
+
+def read_checkpoint(
+    path: str | Path,
+    stats: StorageStats | None = None,
+) -> tuple[dict, list[Sensor], list[tuple[Reading, float]]]:
+    """Load ``(meta, sensors, cached_readings)`` from a checkpoint file.
+
+    ``cached_readings`` come back in stored order — sorted by
+    ``(fetched_at, sensor_id)`` — ready to group into priming batches.
+    """
+    pager = Pager(Path(path), stats=stats)
+    try:
+        meta_records = RecordHeap(pager, "meta").read_all()
+        meta = pickle.loads(meta_records[0]) if meta_records else {}
+        sensors = [
+            sensor_from_record(pickle.loads(rec))
+            for rec in RecordHeap(pager, "sensors").records()
+        ]
+        cached = []
+        for rec in RecordHeap(pager, "readings").records():
+            reading_rec, fetched_at = pickle.loads(rec)
+            cached.append((reading_from_record(reading_rec), float(fetched_at)))
+    finally:
+        pager.close(fsync=False)
+    return meta, sensors, cached
+
+
+def group_by_fetch(
+    cached: list[tuple[Reading, float]],
+) -> list[tuple[float, list[Reading]]]:
+    """Priming batches: one batch per distinct ``fetched_at``, ascending."""
+    batches: list[tuple[float, list[Reading]]] = []
+    for reading, fetched_at in sorted(
+        cached, key=lambda rf: (rf[1], rf[0].sensor_id)
+    ):
+        if batches and batches[-1][0] == fetched_at:
+            batches[-1][1].append(reading)
+        else:
+            batches.append((fetched_at, [reading]))
+    return batches

@@ -1,0 +1,133 @@
+"""Heap/sequential record files over page chains.
+
+A :class:`RecordHeap` is an append-only sequence of byte records — the
+storage shape of the sensor registry and the cached-readings section of
+a checkpoint.  Records are length-prefixed (``u32 len | bytes``) and
+streamed across a chain of pages; a record freely spans page
+boundaries, so page capacity never constrains record size.
+
+The heap's head/tail/count live in the pager catalog under
+``heap:<name>``; re-opening a pager re-opens its heaps by name.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator
+
+from repro.storage.pager import Pager
+
+_LEN = struct.Struct("<I")
+
+
+class RecordHeap:
+    """An append-only record file inside a page file."""
+
+    def __init__(self, pager: Pager, name: str) -> None:
+        self.pager = pager
+        self.name = name
+        self._key = f"heap:{name}"
+        entry = pager.catalog_get(self._key)
+        if entry is None:
+            entry = {"head": 0, "tail": 0, "count": 0, "tail_used": 0}
+            pager.catalog_put(self._key, entry)
+        self._head = int(entry["head"])
+        self._tail = int(entry["tail"])
+        self._count = int(entry["count"])
+        self._tail_used = int(entry["tail_used"])
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append(self, record: bytes) -> None:
+        self.append_many([record])
+
+    def append_many(self, records: Iterable[bytes]) -> None:
+        """Append records as one frame stream (one catalog update)."""
+        records = list(records)
+        if not records:
+            return
+        data = b"".join(_LEN.pack(len(r)) + r for r in records)
+        count = len(records)
+        capacity = self.pager.capacity
+        if self._head == 0:
+            self._head = self._tail = self.pager.allocate()
+            self._tail_used = 0
+        # Refill the partially-used tail page, then spill into fresh
+        # pages, linking as we go.
+        tail_payload, _ = self.pager.read(self._tail)
+        assert len(tail_payload) == self._tail_used
+        buffer = tail_payload + data
+        page_id = self._tail
+        offset = 0
+        while True:
+            chunk = buffer[offset : offset + capacity]
+            offset += len(chunk)
+            if offset < len(buffer):
+                next_id = self.pager.allocate()
+                self.pager.write(page_id, chunk, next_id)
+                page_id = next_id
+            else:
+                self.pager.write(page_id, chunk, 0)
+                self._tail = page_id
+                self._tail_used = len(chunk)
+                break
+        self._count += count
+        self._save()
+
+    def clear(self) -> None:
+        """Drop every record and free the chain."""
+        if self._head:
+            self.pager.free_chain(self._head)
+        self._head = self._tail = 0
+        self._count = 0
+        self._tail_used = 0
+        self._save()
+
+    def _save(self) -> None:
+        self.pager.catalog_put(
+            self._key,
+            {
+                "head": self._head,
+                "tail": self._tail,
+                "count": self._count,
+                "tail_used": self._tail_used,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def records(self) -> Iterator[bytes]:
+        """Every record in append order."""
+        if self._head == 0:
+            return
+        stream = bytearray()
+        page_id = self._head
+        emitted = 0
+        while page_id:
+            payload, page_id = self.pager.read(page_id)
+            stream.extend(payload)
+            # Emit every complete frame accumulated so far.
+            while emitted < self._count:
+                if len(stream) < _LEN.size:
+                    break
+                (length,) = _LEN.unpack_from(stream)
+                if len(stream) < _LEN.size + length:
+                    break
+                yield bytes(stream[_LEN.size : _LEN.size + length])
+                del stream[: _LEN.size + length]
+                emitted += 1
+        if emitted != self._count:
+            from repro.storage.pager import PageCorruptionError
+
+            raise PageCorruptionError(
+                f"heap {self.name!r}: {emitted} records decoded, "
+                f"catalog says {self._count}"
+            )
+
+    def read_all(self) -> list[bytes]:
+        return list(self.records())

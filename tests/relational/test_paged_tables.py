@@ -1,0 +1,107 @@
+"""Paged table spill: write-through backing, reopen, drop semantics."""
+
+import pytest
+
+from repro.relational.engine import Database
+from repro.relational.predicate import Comparison
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.storage import BPlusTree, PagedTableBacking, Pager
+
+SCHEMA = TableSchema(
+    "readings",
+    (
+        Column("id", "int"),
+        Column("tag", "text"),
+        Column("value", "float", nullable=True),
+    ),
+    ("id",),
+)
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return tmp_path / "tables.db"
+
+
+def open_db(path) -> tuple[Database, Pager]:
+    pager = Pager(path, page_size=1024)
+    return Database(pager=pager), pager
+
+
+class TestWriteThrough:
+    def test_rows_survive_reopen(self, db_path):
+        db, pager = open_db(db_path)
+        db.create_table(SCHEMA)
+        db.insert(
+            "readings",
+            [{"id": i, "tag": f"t{i}", "value": float(i)} for i in range(20)],
+        )
+        pager.close()
+        db2, pager2 = open_db(db_path)
+        table = db2.create_table(SCHEMA)  # reopen reloads persisted rows
+        assert len(table) == 20
+        assert db2.select("readings", Comparison("id", "==", 7)) == [
+            {"id": 7, "tag": "t7", "value": 7.0}
+        ]
+        pager2.close()
+
+    def test_updates_and_deletes_are_mirrored(self, db_path):
+        db, pager = open_db(db_path)
+        db.create_table(SCHEMA)
+        db.insert(
+            "readings",
+            [{"id": i, "tag": "x", "value": 0.0} for i in range(10)],
+        )
+        db.update("readings", {"value": 9.5}, Comparison("id", "==", 3))
+        db.delete("readings", Comparison("id", ">=", 8))
+        pager.close()
+        db2, pager2 = open_db(db_path)
+        table = db2.create_table(SCHEMA)
+        assert len(table) == 8
+        assert table.get((3,))["value"] == 9.5
+        assert table.get((8,)) is None
+        pager2.close()
+
+    def test_upsert_round_trips(self, db_path):
+        db, pager = open_db(db_path)
+        db.create_table(SCHEMA)
+        db.upsert("readings", {"id": 1, "tag": "new", "value": 1.0})
+        db.upsert("readings", {"id": 1, "tag": "updated", "value": 2.0})
+        pager.close()
+        db2, pager2 = open_db(db_path)
+        table = db2.create_table(SCHEMA)
+        assert len(table) == 1
+        assert table.get((1,))["tag"] == "updated"
+        pager2.close()
+
+
+class TestDrop:
+    def test_drop_clears_persisted_rows(self, db_path):
+        db, pager = open_db(db_path)
+        db.create_table(SCHEMA)
+        db.insert("readings", [{"id": 1, "tag": "a", "value": None}])
+        db.drop_table("readings")
+        assert db.create_table(SCHEMA).scan() == []  # recreate: empty
+        pager.close()
+        db2, pager2 = open_db(db_path)
+        assert db2.create_table(SCHEMA).scan() == []
+        pager2.close()
+
+
+class TestBackingContract:
+    def test_load_into_populated_table_rejected(self, db_path):
+        pager = Pager(db_path, page_size=1024)
+        table = Table(SCHEMA)
+        table._store({"id": 1, "tag": "a", "value": None})
+        backing = PagedTableBacking(BPlusTree(pager, "readings"))
+        with pytest.raises(ValueError):
+            table.attach_backing(backing, load=True)
+        pager.close()
+
+    def test_no_pager_means_no_backing(self):
+        db = Database()
+        table = db.create_table(SCHEMA)
+        assert table.backing is None
+        db.insert("readings", [{"id": 1, "tag": "a", "value": None}])
+        assert len(table) == 1

@@ -1,0 +1,103 @@
+"""Paged B+-tree: ordering, splits, deletes, reopen, table backing."""
+
+import pytest
+
+from repro.storage import BPlusTree, PagedTableBacking, Pager
+
+
+@pytest.fixture
+def pager(tmp_path):
+    p = Pager(tmp_path / "tree.db", page_size=512)
+    yield p
+    p.close()
+
+
+def key(i: int) -> bytes:
+    return f"{i:08d}".encode()
+
+
+class TestBasics:
+    def test_put_get(self, pager):
+        tree = BPlusTree(pager, "t")
+        tree.put(b"a", b"1")
+        tree.put(b"b", b"2")
+        assert tree.get(b"a") == b"1"
+        assert tree.get(b"b") == b"2"
+        assert tree.get(b"missing") is None
+        assert len(tree) == 2
+
+    def test_overwrite_keeps_one_entry(self, pager):
+        tree = BPlusTree(pager, "t")
+        tree.put(b"k", b"old")
+        tree.put(b"k", b"new")
+        assert tree.get(b"k") == b"new"
+        assert len(tree) == 1
+
+    def test_items_sorted_by_key(self, pager):
+        tree = BPlusTree(pager, "t", order=4)
+        for i in (5, 1, 9, 3, 7, 0, 8, 2, 6, 4):
+            tree.put(key(i), str(i).encode())
+        assert [k for k, _ in tree.items()] == [key(i) for i in range(10)]
+
+    def test_delete(self, pager):
+        tree = BPlusTree(pager, "t")
+        tree.put(b"k", b"v")
+        assert tree.delete(b"k") is True
+        assert tree.get(b"k") is None
+        assert len(tree) == 0
+        assert tree.delete(b"k") is False
+
+
+class TestSplits:
+    def test_many_keys_force_splits(self, pager):
+        tree = BPlusTree(pager, "t", order=4)
+        n = 200
+        for i in range(n):
+            tree.put(key(i * 7 % n), key(i))
+        assert len(tree) == n
+        for i in range(n):
+            assert tree.get(key(i)) is not None
+        assert [k for k, _ in tree.items()] == [key(i) for i in range(n)]
+
+    def test_deletes_interleaved_with_inserts(self, pager):
+        tree = BPlusTree(pager, "t", order=4)
+        for i in range(120):
+            tree.put(key(i), b"v")
+        for i in range(0, 120, 2):
+            assert tree.delete(key(i))
+        assert len(tree) == 60
+        assert [k for k, _ in tree.items()] == [key(i) for i in range(1, 120, 2)]
+
+
+class TestDurability:
+    def test_tree_survives_reopen(self, tmp_path):
+        path = tmp_path / "tree.db"
+        pager = Pager(path, page_size=512)
+        tree = BPlusTree(pager, "t", order=4)
+        for i in range(64):
+            tree.put(key(i), f"value-{i}".encode())
+        pager.close()
+        reopened = Pager(path, page_size=512)
+        restored = BPlusTree(reopened, "t", order=4)
+        assert len(restored) == 64
+        assert restored.get(key(33)) == b"value-33"
+        assert [k for k, _ in restored.items()] == [key(i) for i in range(64)]
+        reopened.close()
+
+
+class TestTableBacking:
+    def test_rows_round_trip(self, pager):
+        backing = PagedTableBacking(BPlusTree(pager, "rows"))
+        backing.store((1, "a"), {"id": 1, "tag": "a", "v": 1.5})
+        backing.store((2, "b"), {"id": 2, "tag": "b", "v": None})
+        assert sorted(r["id"] for r in backing.rows()) == [1, 2]
+        backing.erase((1, "a"))
+        assert [r["id"] for r in backing.rows()] == [2]
+
+    def test_clear_empties_tree(self, pager):
+        backing = PagedTableBacking(BPlusTree(pager, "rows"))
+        for i in range(10):
+            backing.store((i,), {"id": i})
+        backing.clear()
+        assert backing.rows() == []
+        assert len(backing.tree) == 0

@@ -1,0 +1,118 @@
+"""Write-ahead log: replay order, group commit, torn-tail truncation."""
+
+from repro.storage import WriteAheadLog
+from repro.storage.stats import StorageStats
+from repro.storage.wal import MAGIC, replay
+
+
+def make_records(n: int) -> list[object]:
+    return [("batch", float(i), ((i, i * 0.5, float(i), float(i + 60)),)) for i in range(n)]
+
+
+class TestReplay:
+    def test_append_replay_round_trip(self, tmp_path):
+        path = tmp_path / "w.log"
+        with WriteAheadLog(path) as wal:
+            for record in make_records(10):
+                wal.append(record)
+        assert replay(path) == make_records(10)
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        assert replay(tmp_path / "absent.log") == []
+
+    def test_crash_loses_nothing_appended(self, tmp_path):
+        # append() flushes to the OS, so dropping the handle without the
+        # final fsync (a process kill) keeps every acknowledged record.
+        path = tmp_path / "w.log"
+        wal = WriteAheadLog(path, fsync_batch=1000)
+        for record in make_records(7):
+            wal.append(record)
+        wal.crash()
+        assert replay(path) == make_records(7)
+
+    def test_replay_counts_records(self, tmp_path):
+        path = tmp_path / "w.log"
+        with WriteAheadLog(path) as wal:
+            for record in make_records(5):
+                wal.append(record)
+        stats = StorageStats()
+        replay(path, stats=stats)
+        assert stats.wal_records_replayed == 5
+
+
+class TestGroupCommit:
+    def test_fsync_every_batch_boundary(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "w.log", fsync_batch=4)
+        before = wal.stats.wal_fsyncs
+        for record in make_records(10):
+            wal.append(record)
+        assert wal.stats.wal_fsyncs - before == 2  # at 4 and 8
+        wal.sync()
+        assert wal.stats.wal_fsyncs - before == 3  # the pending 2
+        assert wal.stats.wal_appends == 10
+
+    def test_fsync_disabled_still_flushes(self, tmp_path):
+        path = tmp_path / "w.log"
+        wal = WriteAheadLog(path, fsync_batch=1, fsync_enabled=False)
+        wal.append(("sensor", (1,)))
+        wal.crash()
+        assert wal.stats.wal_fsyncs == 0
+        assert len(replay(path)) == 1
+
+
+class TestTornTail:
+    def test_garbage_tail_truncated(self, tmp_path):
+        path = tmp_path / "w.log"
+        with WriteAheadLog(path) as wal:
+            for record in make_records(6):
+                wal.append(record)
+        with open(path, "ab") as f:
+            f.write(b"\x13\x37garbage-half-frame")
+        stats = StorageStats()
+        assert replay(path, stats=stats) == make_records(6)
+        assert stats.torn_tail_truncations == 1
+        # The truncation removed the garbage: a second replay is clean.
+        stats2 = StorageStats()
+        assert replay(path, stats=stats2) == make_records(6)
+        assert stats2.torn_tail_truncations == 0
+
+    def test_corrupt_byte_in_last_record_drops_only_it(self, tmp_path):
+        path = tmp_path / "w.log"
+        with WriteAheadLog(path) as wal:
+            for record in make_records(6):
+                wal.append(record)
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0xFF  # flip a byte inside the last payload: CRC breaks
+        path.write_bytes(bytes(raw))
+        stats = StorageStats()
+        assert replay(path, stats=stats) == make_records(5)
+        assert stats.torn_tail_truncations == 1
+
+    def test_append_after_truncation_continues_cleanly(self, tmp_path):
+        path = tmp_path / "w.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(("batch", 0.0, ()))
+        with open(path, "ab") as f:
+            f.write(b"\x01")  # torn frame
+        replay(path)  # truncates
+        with WriteAheadLog(path) as wal:
+            wal.append(("batch", 1.0, ()))
+        assert replay(path) == [("batch", 0.0, ()), ("batch", 1.0, ())]
+
+    def test_unrecognizable_header_resets_file(self, tmp_path):
+        path = tmp_path / "w.log"
+        path.write_bytes(b"not a wal file at all")
+        stats = StorageStats()
+        assert replay(path, stats=stats) == []
+        assert stats.torn_tail_truncations == 1
+        assert path.read_bytes() == MAGIC
+
+    def test_read_only_replay_leaves_file_alone(self, tmp_path):
+        path = tmp_path / "w.log"
+        with WriteAheadLog(path) as wal:
+            wal.append(("batch", 0.0, ()))
+        with open(path, "ab") as f:
+            f.write(b"\x01")
+        size = path.stat().st_size
+        replay(path, truncate_torn_tail=False)
+        assert path.stat().st_size == size
