@@ -145,6 +145,9 @@ def network_counters(stats) -> dict[str, object]:
         "page_writes": stats.page_writes,
         "wal_appends": stats.wal_appends,
         "wal_fsyncs": stats.wal_fsyncs,
+        "polygon_cells_interior": stats.polygon_cells_interior,
+        "polygon_cells_boundary": stats.polygon_cells_boundary,
+        "window_cells_reused": stats.window_cells_reused,
     }
 
 

@@ -89,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="tenant count of the front-door demo's Zipf stream "
         "(only with --qps)",
     )
+    demo.add_argument(
+        "--polygon",
+        action="store_true",
+        help="run the geoblocks demo instead: a polygon viewport served "
+        "through the cell plan (cold, then probe-free from the warm "
+        "grid) and a sliding analytic window panning across the map",
+    )
     transport = sub.add_parser(
         "transport", help="async transport vs sync probing benchmark"
     )
@@ -131,6 +138,17 @@ def build_parser() -> argparse.ArgumentParser:
     frontdoor.add_argument("--requests", type=int, default=2_000)
     frontdoor.add_argument("--quick", action="store_true")
     frontdoor.add_argument(
+        "--check", action="store_true", help="assert the acceptance gates"
+    )
+    geoblocks = sub.add_parser(
+        "geoblocks",
+        help="geoblocks benchmark: polygon cell plans, probe-free grid "
+        "serving, sliding analytic windows",
+    )
+    geoblocks.add_argument("--sensors", type=int, default=40_000)
+    geoblocks.add_argument("--queries", type=int, default=300)
+    geoblocks.add_argument("--quick", action="store_true")
+    geoblocks.add_argument(
         "--check", action="store_true", help="assert the acceptance gates"
     )
     storage = sub.add_parser(
@@ -219,6 +237,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(run_all_ablations().format_table())
         return 0
     if command == "demo":
+        if args.polygon:
+            return _demo_polygon(args.sensors)
         if args.data_dir is not None:
             return _demo_durable(args.sensors, args.data_dir)
         if args.qps > 0:
@@ -270,6 +290,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.check:
             argv.append("--check")
         return frontdoor_main(argv)
+    if command == "geoblocks":
+        from repro.bench.geoblocks import main as geoblocks_main
+
+        argv = ["--sensors", str(args.sensors), "--queries", str(args.queries)]
+        if args.quick:
+            argv.append("--quick")
+        if args.check:
+            argv.append("--check")
+        return geoblocks_main(argv)
     if command == "storage":
         if args.data_dir is not None:
             return _storage_inspect(args.data_dir)
@@ -475,6 +504,87 @@ def _demo_frontdoor(n_sensors: int, qps: float, n_tenants: int) -> int:
     print(format_counters(door.cache.stats.as_dict(), title="result cache"))
     print()
     print(format_counters(door.admission.stats.as_dict(), title="admission"))
+    return 0
+
+
+def _demo_polygon(n_sensors: int) -> int:
+    """Scripted tour of the geoblock subsystem: one city-boundary
+    polygon served cold (exact sub-queries warm the grid through the
+    reading listeners) then warm (interior cells probe-free from the
+    mirror), and a sliding analytic window panning one cell per step."""
+    from repro.geoblocks import GeoBlockConfig, PolygonResult, SlidingWindow
+    from repro.geometry import Rect
+    from repro.portal import SensorMapPortal, SensorQuery
+    from repro.workloads import CITIES, LiveLocalWorkload, PolygonWorkload
+
+    # A power-of-two cell edge is exactly representable, so the demo's
+    # grid-snapped viewports cover exactly 5x5 cells at every step.
+    cell_degrees = 0.25
+    portal = SensorMapPortal(
+        max_sensors_per_query=None,
+        geoblocks=GeoBlockConfig(cell_degrees=cell_degrees),
+    )
+    portal.register_all(
+        LiveLocalWorkload(n_sensors=n_sensors, expiry_seconds=1_800.0, seed=0).sensors()
+    )
+    portal.rebuild_index()
+    print(f"geoblock grid over {n_sensors} sensors ({cell_degrees}° cells)")
+
+    workload = PolygonWorkload(
+        n_sensors=n_sensors,
+        n_queries=8,
+        family_weights=(1.0, 0.0, 0.0),
+        revisit_probability=0.0,
+        seed=0,
+    )
+    spec = max(
+        workload.queries(), key=lambda s: s.region.bounding_box.area
+    )
+    query = SensorQuery(region=spec.region, staleness_seconds=900.0)
+    for label in ("cold", "warm"):
+        result = portal.execute_polygon(query)
+        assert isinstance(result, PolygonResult)
+        probes = sum(a.stats.sensors_probed for a in result.answers)
+        print(
+            f"{label:>6} {spec.family}: {result.interior_cells} interior + "
+            f"{result.boundary_cells} boundary cells, "
+            f"{result.grid_cells_served} grid-served, probed {probes} "
+            f"({result.interior_probes} interior), "
+            f"{len(result.groups)} display groups"
+        )
+
+    window = SlidingWindow(
+        portal,
+        staleness_seconds=900.0,
+        sensor_type="restaurant",
+        temporal_steps=3,
+    )
+    anchor = max(CITIES, key=lambda c: c.population)
+    # Snap the viewport to integer cell indices so the cover is exactly
+    # 5x5 cells at every step (no float-edge wobble).
+    col0 = int(anchor.lon // cell_degrees)
+    row0 = int(anchor.lat // cell_degrees)
+    print(f"\nsliding window: 5x5-cell viewport panning east from {anchor.name}")
+    for step in range(4):
+        result = window.step(
+            Rect(
+                (col0 + step) * cell_degrees,
+                row0 * cell_degrees,
+                (col0 + step + 5) * cell_degrees,
+                (row0 + 5) * cell_degrees,
+            )
+        )
+        aggregate = (
+            f"{result.window_aggregate:.2f}"
+            if result.window_aggregate is not None
+            else "n/a"
+        )
+        print(
+            f"  step {step}: {result.cells_reused}/{result.cells_total} cells "
+            f"reused, {result.cells_refreshed} refreshed, "
+            f"3-step avg {aggregate}"
+        )
+        portal.clock.advance(30.0)
     return 0
 
 

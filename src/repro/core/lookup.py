@@ -131,6 +131,7 @@ def range_lookup(
     region: Region,
     now: float,
     max_staleness: float,
+    aggregate_termination: bool = True,
 ) -> QueryAnswer:
     """Exact (non-sampled) range query.
 
@@ -141,7 +142,10 @@ def range_lookup(
     cover the whole subtree, and leaves serve fresh readings from cache
     before probing the remainder.
     """
-    answer, to_probe = range_scan(tree, region, now, max_staleness)
+    answer, to_probe = range_scan(
+        tree, region, now, max_staleness,
+        aggregate_termination=aggregate_termination,
+    )
     if to_probe:
         readings = tree.probe_and_cache(
             to_probe, now, answer.stats, max_staleness=max_staleness
@@ -155,6 +159,7 @@ def range_scan(
     region: Region,
     now: float,
     max_staleness: float,
+    aggregate_termination: bool = True,
 ) -> tuple[QueryAnswer, list[int]]:
     """The traversal half of :func:`range_lookup`: serve what the slot
     caches cover and return the sensor ids still needing live probes.
@@ -164,7 +169,10 @@ def range_scan(
     """
     answer = QueryAnswer()
     plan = tree.spatial_plan(region, None, answer.stats)
-    return scan_with_plan(tree, region, now, max_staleness, plan, answer)
+    return scan_with_plan(
+        tree, region, now, max_staleness, plan, answer,
+        aggregate_termination=aggregate_termination,
+    )
 
 
 def scan_with_plan(
@@ -174,6 +182,7 @@ def scan_with_plan(
     max_staleness: float,
     plan: "SpatialPlan | None",
     answer: QueryAnswer,
+    aggregate_termination: bool = True,
 ) -> tuple[QueryAnswer, list[int]]:
     """Traversal with an already-resolved spatial plan.
 
@@ -182,17 +191,29 @@ def scan_with_plan(
     ``plan=None`` means the flattened kernel is off and traversal falls
     back to the recursive reference.  The caller owns the plan-lookup
     accounting — this function never touches the plan cache.
+
+    ``aggregate_termination=False`` skips the sketch early-termination
+    check at fully covered internal nodes (see ``COLRTree.query``).  On
+    a tree with nothing cached the empty-cache fast path still runs —
+    no sketch can exist there, so the answer content is identical
+    either way (only the consultation counter it memoizes differs).
     """
     to_probe: list[int] = []
     if plan is None:
-        _descend(tree, tree.root, region, now, max_staleness, answer, to_probe)
+        _descend(
+            tree, tree.root, region, now, max_staleness, answer, to_probe,
+            aggregate_termination,
+        )
         return answer, to_probe
     kernel = tree.kernel
     assert kernel is not None
     if not tree.config.caching_enabled or tree.cached_reading_count == 0:
         _scan_empty_cache(tree, kernel, plan, region, answer, to_probe)
     else:
-        _descend_flat(tree, kernel, plan, region, now, max_staleness, answer, to_probe)
+        _descend_flat(
+            tree, kernel, plan, region, now, max_staleness, answer, to_probe,
+            aggregate_termination,
+        )
     return answer, to_probe
 
 
@@ -207,6 +228,7 @@ def _descend(
     max_staleness: float,
     answer: QueryAnswer,
     to_probe: list[int],
+    aggregate_termination: bool = True,
 ) -> None:
     answer.stats.nodes_traversed += 1
     if not region.intersects_rect(node.bbox):
@@ -222,10 +244,15 @@ def _descend(
         _serve_leaf(tree, node, matching, now, max_staleness, answer, to_probe)
         return
 
-    if _try_aggregate_termination(tree, node, fully_inside, now, max_staleness, answer):
+    if aggregate_termination and _try_aggregate_termination(
+        tree, node, fully_inside, now, max_staleness, answer
+    ):
         return
     for child in node.children:
-        _descend(tree, child, region, now, max_staleness, answer, to_probe)
+        _descend(
+            tree, child, region, now, max_staleness, answer, to_probe,
+            aggregate_termination,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -240,6 +267,7 @@ def _descend_flat(
     max_staleness: float,
     answer: QueryAnswer,
     to_probe: list[int],
+    aggregate_termination: bool = True,
 ) -> None:
     """Per-node traversal driven by precomputed classification labels.
 
@@ -267,7 +295,7 @@ def _descend_flat(
             )
             _serve_leaf(tree, node, matching, now, max_staleness, answer, to_probe)
             continue
-        if _try_aggregate_termination(
+        if aggregate_termination and _try_aggregate_termination(
             tree, node, fully_inside, now, max_staleness, answer
         ):
             continue

@@ -75,6 +75,18 @@ class QueryStats:
     page_writes: int = 0
     wal_appends: int = 0
     wal_fsyncs: int = 0
+    # Geoblock-planner instrumentation (observational, never fed to the
+    # cost model — the grid changes *where* an answer is assembled from,
+    # while the modeled work of assembling it stays in the counters
+    # above).  ``polygon_cells_interior`` / ``polygon_cells_boundary``
+    # count the rasterized cells a polygon query split into (interior
+    # cells are grid/slot-cache candidates, boundary cells delegate to
+    # clipped COLR sub-queries); ``window_cells_reused`` counts cells a
+    # sliding analytic window carried over from its previous step
+    # instead of recomputing.
+    polygon_cells_interior: int = 0
+    polygon_cells_boundary: int = 0
+    window_cells_reused: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         """Accumulate another stats record into this one."""

@@ -123,6 +123,12 @@ class COLRTree:
         # viewport answers overlapping fresh writes drop out — cached
         # results see exactly the deltas the slot caches see.
         self.ingest_listeners: list = []
+        # Reading-level listeners: ``fn(readings, fetched_at)`` fires
+        # with the *actual batch* after every cache ingestion, alongside
+        # the coarse ``ingest_listeners`` above.  The geoblock grid
+        # subscribes here — mirroring per-cell aggregates needs the
+        # readings themselves, not just the dirty bounding box.
+        self.reading_listeners: list = []
         # Durable-storage hooks (both ``None`` on an in-memory tree).
         # ``wal_sink`` is called as ``fn(readings, fetched_at)`` after a
         # batch is fully applied to the caches — the portal points it at
@@ -184,6 +190,7 @@ class COLRTree:
         max_staleness: float,
         sample_size: int | None = None,
         terminal_level: int | None = None,
+        aggregate_termination: bool = True,
     ) -> QueryAnswer:
         """Answer a spatio-temporal query.
 
@@ -193,6 +200,14 @@ class COLRTree:
         force an exact lookup on a sampling-enabled tree.
         ``terminal_level`` adjusts the sampling threshold ``T`` per
         query (the map-zoom knob).
+
+        ``aggregate_termination=False`` disables sketch
+        early-termination on the exact path, so the answer carries only
+        per-sensor readings (probed or cache-served) and never an
+        anonymous node-level aggregate.  The geoblock polygon planner
+        needs this for its boundary-cell sub-queries: composing cells
+        dedups shared-edge sensors *by id*, which a sketch cannot
+        provide.  The default keeps every existing path bit-identical.
         """
         if max_staleness < 0:
             raise ValueError("max_staleness must be non-negative")
@@ -205,7 +220,10 @@ class COLRTree:
                 terminal_level=terminal_level,
             )
         else:
-            answer = range_lookup(self, region, now, max_staleness)
+            answer = range_lookup(
+                self, region, now, max_staleness,
+                aggregate_termination=aggregate_termination,
+            )
         self.stats.record(answer.stats)
         return answer
 
@@ -402,6 +420,7 @@ class COLRTree:
             if self.wal_sink is not None:
                 self.wal_sink([reading], fetched_at)
             self._notify_ingest([leaf], 1)
+            self._notify_readings([reading], fetched_at)
             return ops
         node = leaf.parent
         while node is not None:
@@ -412,6 +431,7 @@ class COLRTree:
         if self.wal_sink is not None:
             self.wal_sink([reading], fetched_at)
         self._notify_ingest([leaf], 1)
+        self._notify_readings([reading], fetched_at)
         return ops
 
     def insert_readings_batch(self, readings: Iterable[Reading], fetched_at: float) -> int:
@@ -485,6 +505,7 @@ class COLRTree:
             if self.wal_sink is not None:
                 self.wal_sink(batch, fetched_at)
             self._notify_ingest(touched_leaves.values(), len(batch))
+            self._notify_readings(batch, fetched_at)
             return ops
         # Phase 2: merge each touched leaf's deltas into its ancestor
         # chain, so every ancestor sees one delta per slot regardless of
@@ -537,7 +558,15 @@ class COLRTree:
         if self.wal_sink is not None:
             self.wal_sink(batch, fetched_at)
         self._notify_ingest(touched_leaves.values(), len(batch))
+        self._notify_readings(batch, fetched_at)
         return ops
+
+    def _notify_readings(self, readings: list[Reading], fetched_at: float) -> None:
+        """Fire the reading-level listeners with the applied batch."""
+        if not self.reading_listeners or not readings:
+            return
+        for listener in list(self.reading_listeners):
+            listener(readings, fetched_at)
 
     def _notify_ingest(self, leaves: Iterable[COLRNode], count: int) -> None:
         """Fire the write-delta listeners with the touched leaves'

@@ -47,7 +47,7 @@ from repro.federation.config import FederationConfig
 from repro.federation.directory import ShardDirectory, ShardRoute
 from repro.federation.partitioner import GridPartitioner, Partitioner
 from repro.federation.streaming import ShardArrival, StreamingGather
-from repro.geometry import GeoPoint
+from repro.geometry import GeoPoint, Polygon, Rect
 from repro.portal.batch import BatchStats
 from repro.portal.parser import parse_query
 from repro.portal.portal import PortalResult, SensorMapPortal
@@ -672,7 +672,10 @@ class FederatedPortal:
         self.stats.shards_routed += len(routes)
         if target is None:
             self.stats.exact_broadcasts += 1
-            return [(r.shard_id, query) for r in routes]
+            return [
+                (r.shard_id, self._clip_subquery(query, r.shard_id, len(routes)))
+                for r in routes
+            ]
         self.stats.sampled_splits += 1
         shares = ShardDirectory.split_target(target, routes)
         plan: list[tuple[int, SensorQuery]] = []
@@ -683,6 +686,37 @@ class FederatedPortal:
                 continue
             plan.append((route.shard_id, replace(query, sample_size=share)))
         return plan
+
+    def _clip_subquery(
+        self, query: SensorQuery, shard_id: int, n_routed: int
+    ) -> SensorQuery:
+        """The exact sub-query one routed shard receives.
+
+        A genuine polygon scattered to several shards is clipped
+        (Sutherland–Hodgman) to each shard's MBR, so a shard traverses
+        only the polygon piece that can hold its sensors — the routed
+        sub-query is the exact clipped polygon, never the polygon's MBR.
+        Answer-preserving: every sensor of the shard lies inside its
+        MBR, so polygon ∩ MBR keeps exactly the shard's in-polygon
+        sensors (clipping is boundary-inclusive, like ``contains_point``).
+        Single-shard scatters and rectangles (including polygons that
+        *are* axis-aligned rectangles) pass through untouched, keeping
+        the 1-shard federation bit-identical to the unsharded portal.
+        """
+        region = query.region
+        if (
+            n_routed <= 1
+            or not isinstance(region, Polygon)
+            or region.as_rect() is not None
+        ):
+            return query
+        assert self._directory is not None
+        clipped = region.clip_to_rect(self._directory.entry(shard_id).mbr)
+        if clipped is None:
+            # Measure-zero overlap (edge/corner touch): keep the full
+            # polygon — the shard's own leaf filter stays exact.
+            return query
+        return replace(query, region=clipped)
 
     # ------------------------------------------------------------------
     # Cross-shard REDISTRIBUTE (Algorithm 2 one level up)
@@ -866,7 +900,7 @@ class FederatedPortal:
         return self.execute(parse_query(sql))
 
     def _scatter_round1(
-        self, query: SensorQuery
+        self, query: SensorQuery, op: str = "execute"
     ) -> tuple[
         list[ShardRoute],
         list[tuple[int, SensorQuery]],
@@ -894,7 +928,7 @@ class FederatedPortal:
         timed_out: list[int] = []
         retries_before = self.stats.shard_retries
         scattered = self._scatter_calls(
-            [(shard_id, "execute", (subquery,)) for shard_id, subquery in plan],
+            [(shard_id, op, (subquery,)) for shard_id, subquery in plan],
             penalties,
         )
         for shard_id, _ in plan:
@@ -950,6 +984,53 @@ class FederatedPortal:
             retries,
             target=self._target_readings(query, target),
             topup=topup,
+        )
+        if merged.partial:
+            self.stats.partial_answers += 1
+        return merged
+
+    def execute_polygon(self, query: SensorQuery) -> FederatedResult:
+        """Scatter one polygon query through the per-shard geoblock path.
+
+        Rectangles — plain ``Rect`` regions and polygons that *are*
+        axis-aligned rectangles — dispatch to :meth:`execute` and are
+        bit-identical to it.  Sampled (or cap-demoted) polygon queries
+        also go through :meth:`execute` — the layered sampler is exact
+        over the ``Polygon`` region and the shares must be split by the
+        usual overlap rule.  A genuinely exact polygon scatters the
+        shards' ``execute_polygon`` with each sub-query clipped to the
+        shard's MBR (:meth:`_clip_subquery`), so every shard answers its
+        own polygon piece from its geoblock grid and clipped boundary
+        sub-queries; the gather merges shard answers as usual (sensors
+        are partitioned across shards, so no cross-shard dedup is
+        needed).
+        """
+        self._ensure_index()
+        region = query.region
+        if isinstance(region, Polygon):
+            rect = region.as_rect()
+            if rect is not None:
+                return self.execute(replace(query, region=rect))
+        if isinstance(region, Rect) or self._federated_target(query) is not None:
+            return self.execute(query)
+        (
+            routes,
+            _plan,
+            penalties,
+            shard_results,
+            failed,
+            timed_out,
+            retries,
+        ) = self._scatter_round1(query, op="execute_polygon")
+        merged = self._gather(
+            query,
+            shard_results,
+            penalties,
+            failed,
+            timed_out,
+            retries,
+            target=None,
+            topup=None,
         )
         if merged.partial:
             self.stats.partial_answers += 1

@@ -42,11 +42,17 @@ from typing import Hashable
 from repro.core.plancache import region_fingerprint
 from repro.core.slots import slot_of
 from repro.frontdoor.config import FrontDoorConfig
-from repro.geometry import Rect
+from repro.geometry import Polygon, Rect
 from repro.portal.portal import PortalResult
 from repro.portal.query import SensorQuery
 
-__all__ = ["CacheStats", "TieredResultCache", "result_oldest_timestamp", "tile_cover"]
+__all__ = [
+    "CacheStats",
+    "TieredResultCache",
+    "polygon_cover",
+    "result_oldest_timestamp",
+    "tile_cover",
+]
 
 
 def result_oldest_timestamp(result: PortalResult) -> float:
@@ -88,6 +94,21 @@ def tile_rect(tile: tuple[int, int], tile_extent: float) -> Rect:
     ix, iy = tile
     e = tile_extent
     return Rect(ix * e, iy * e, (ix + 1) * e, (iy + 1) * e)
+
+
+def polygon_cover(
+    region: Polygon, tile_extent: float
+) -> list[tuple[int, int]]:
+    """The tile ids a polygon viewport actually touches: its bounding
+    box's cover minus the tiles the polygon misses entirely (the
+    geoblock-style *cell union* — for a non-convex polygon this is a
+    strict subset of the box cover, which is what makes polygon cache
+    entries invalidate per-cell instead of per-bounding-box)."""
+    return [
+        tile
+        for tile in tile_cover(region.bounding_box, tile_extent)
+        if region.intersects_rect(tile_rect(tile, tile_extent))
+    ]
 
 
 @dataclass
@@ -146,6 +167,11 @@ class _Entry:
     generation: int
     oldest_timestamp: float
     staleness_seconds: float
+    # Polygon viewport entries remember the covered-cell union; write
+    # invalidation then tests the delta against the cells instead of the
+    # (coarser) bounding box, so a write inside the box but outside
+    # every covered cell leaves the entry alone.
+    cells: tuple[Rect, ...] | None = None
 
 
 @dataclass
@@ -196,11 +222,13 @@ class TieredResultCache:
 
     @staticmethod
     def tile_eligible(query: SensorQuery) -> bool:
-        """Only exact, ungrouped rectangle queries compose from tiles:
-        sampled answers are RNG draws, and zoom/cluster display groups
-        cannot be rebuilt from tile pieces."""
+        """Only exact, ungrouped rectangle and polygon queries compose
+        from tiles: sampled answers are RNG draws, and zoom/cluster
+        display groups cannot be rebuilt from tile pieces.  A polygon
+        viewport composes from the tiles of its covered-cell union
+        (interior tiles wholesale, boundary tiles cropped per sensor)."""
         return (
-            isinstance(query.region, Rect)
+            isinstance(query.region, (Rect, Polygon))
             and query.sample_size in (None, 0)
             and query.zoom_level is None
             and query.cluster_miles is None
@@ -275,7 +303,13 @@ class TieredResultCache:
             self.stats.uncacheable += 1
             return False
         region = query.region
+        cells: tuple[Rect, ...] | None = None
         if not isinstance(region, Rect):
+            cover = polygon_cover(region, self.config.tile_extent_degrees)
+            if 0 < len(cover) <= self.config.max_tiles_per_cover:
+                cells = tuple(
+                    tile_rect(t, self.config.tile_extent_degrees) for t in cover
+                )
             region = Rect.from_points(region.vertices)
         self._l1[key] = _Entry(
             region=region,
@@ -284,6 +318,7 @@ class TieredResultCache:
             generation=generation,
             oldest_timestamp=result_oldest_timestamp(result),
             staleness_seconds=query.staleness_seconds,
+            cells=cells,
         )
         self._l1.move_to_end(key)
         self.stats.stores += 1
@@ -301,6 +336,7 @@ class TieredResultCache:
         now: float,
         generation: int,
         record: bool = True,
+        locate=None,
     ) -> tuple[_Composed | None, list[tuple[int, int]]]:
         """Try to compose the query's answer from cached tiles.
 
@@ -310,12 +346,20 @@ class TieredResultCache:
         ``(None, [])`` means the query is not tile-composable at all.
         ``record=False`` suppresses the hit counter (the front door's
         re-probe after filling missing tiles is part of a miss, not a
-        hit).
+        hit).  ``locate`` (sensor id → location, or ``None`` when the
+        backend exposes no coordinator-side registry) is required to
+        crop boundary tiles of a polygon viewport; without it polygon
+        queries are not composable here.
         """
         if not self.config.l2_enabled or not self.tile_eligible(query):
             return None, []
-        assert isinstance(query.region, Rect)
-        tiles = tile_cover(query.region, self.config.tile_extent_degrees)
+        region = query.region
+        if isinstance(region, Rect):
+            tiles = tile_cover(region, self.config.tile_extent_degrees)
+        else:
+            if locate is None:
+                return None, []
+            tiles = polygon_cover(region, self.config.tile_extent_degrees)
         if not tiles or len(tiles) > self.config.max_tiles_per_cover:
             return None, []
         entries: list[tuple[tuple[int, int], _Entry]] = []
@@ -328,7 +372,12 @@ class TieredResultCache:
                 entries.append((tile, entry))
         if missing:
             return None, missing
-        composed = self._compose(query, [e for _, e in entries])
+        if isinstance(region, Rect):
+            composed = self._compose(query, [e for _, e in entries])
+        else:
+            composed = self._compose_polygon(query, entries, locate)
+            if composed is None:
+                return None, []
         if record:
             self.stats.l2_hits += 1
         return composed, []
@@ -402,6 +451,71 @@ class TieredResultCache:
             regions=regions,
         )
 
+    def _compose_polygon(
+        self,
+        query: SensorQuery,
+        entries: list[tuple[tuple[int, int], _Entry]],
+        locate,
+    ) -> _Composed | None:
+        """Merge per-tile answers into one exact polygon answer.
+
+        Tiles fully inside the polygon pass their answers wholesale
+        (readings *and* aggregate sketches); boundary tiles are cropped
+        per sensor via ``locate`` + ``contains_point``.  A boundary tile
+        whose cached answer carries anonymous node sketches cannot be
+        cropped — the compose reports failure (``None``) and the caller
+        falls through to the portal's exact polygon path.
+        """
+        from repro.core.lookup import QueryAnswer
+
+        region = query.region
+        assert isinstance(region, Polygon)
+        merged = QueryAnswer()
+        seen: set[int] = set()
+        oldest = math.inf
+        regions: list[Rect] = []
+        for _, entry in entries:
+            interior = region.contains_rect(entry.region)
+            if not interior and any(
+                answer.cached_sketches for answer in entry.result.answers
+            ):
+                return None
+            regions.append(entry.region)
+            oldest = min(oldest, entry.oldest_timestamp)
+            for answer in entry.result.answers:
+                for reading in list(answer.probed_readings) + list(
+                    answer.cached_readings
+                ):
+                    if reading.sensor_id in seen:
+                        continue
+                    if not interior:
+                        location = locate(reading.sensor_id)
+                        if location is None or not region.contains_point(
+                            location
+                        ):
+                            continue
+                    seen.add(reading.sensor_id)
+                    merged.cached_readings.append(reading)
+                if interior:
+                    merged.cached_sketches.extend(answer.cached_sketches)
+                    merged.cached_sketch_nodes.extend(
+                        answer.cached_sketch_nodes
+                    )
+        result = PortalResult(
+            query=query,
+            groups=[],
+            answers=[merged],
+            processing_seconds=0.0,
+            collection_seconds=0.0,
+            sample_requested=None,
+        )
+        return _Composed(
+            result=result,
+            tiles=len(entries),
+            oldest_timestamp=oldest,
+            regions=regions,
+        )
+
     # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
@@ -414,7 +528,11 @@ class TieredResultCache:
             doomed = [
                 key
                 for key, entry in store.items()
-                if entry.region.intersects(dirty)
+                if (
+                    any(cell.intersects(dirty) for cell in entry.cells)
+                    if entry.cells is not None
+                    else entry.region.intersects(dirty)
+                )
             ]
             for key in doomed:
                 del store[key]

@@ -37,7 +37,7 @@ from dataclasses import dataclass, replace
 from repro.frontdoor.admission import AdmissionController
 from repro.frontdoor.cache import TieredResultCache, tile_cover, tile_rect
 from repro.frontdoor.config import FrontDoorConfig
-from repro.geometry import Rect
+from repro.geometry import Polygon, Rect
 from repro.portal.portal import PortalResult
 from repro.portal.query import SensorQuery
 
@@ -134,6 +134,24 @@ class FrontDoor:
         ingestion)."""
         return self.cache.invalidate_region(region)
 
+    def _sensor_locator(self):
+        """A sensor-id → location resolver over the in-process trees, or
+        ``None`` on the process backend (whose polygon viewports then
+        skip L2 composition and run the portal's exact path)."""
+        trees = self._local_trees()
+        if not trees:
+            return None
+
+        def locate(sensor_id: int):
+            for tree in trees:
+                try:
+                    return tree.sensor(sensor_id).location
+                except KeyError:
+                    continue
+            return None
+
+        return locate
+
     # ------------------------------------------------------------------
     # Quantization
     # ------------------------------------------------------------------
@@ -154,6 +172,12 @@ class FrontDoor:
         comparisons stay apples-to-apples.
         """
         if not self.config.quantize_viewports or not self._tile_serveable(query):
+            return query
+        if isinstance(query.region, Polygon):
+            # Polygon viewports quantize at the L2 layer (their cover is
+            # the covered-cell union) but the region itself stays exact:
+            # boundary tiles are cropped per sensor at compose time, so
+            # there is no coarser region to rewrite the query to.
             return query
         assert isinstance(query.region, Rect)
         tiles = tile_cover(query.region, self.config.tile_extent_degrees)
@@ -192,7 +216,9 @@ class FrontDoor:
                     q, "served", "l1", hit, self.config.l1_hit_seconds
                 )
             if self.config.l2_enabled and self._tile_serveable(q):
-                composed, missing = self.cache.get_tiles(q, now, generation)
+                composed, missing = self.cache.get_tiles(
+                    q, now, generation, locate=self._sensor_locator()
+                )
                 if composed is not None:
                     # Promote: the next identical viewport is an L1 hit.
                     self.cache.put_viewport(q, composed.result, now, generation)
@@ -210,11 +236,18 @@ class FrontDoor:
                     if served is not None:
                         return served
             self.cache.stats.misses += 1
-        result = self.portal.execute(q)
+        result = self._run_portal(q)
         self._store_viewport(q, result)
         return FrontDoorResult(
             q, "served", "portal", result, result.end_to_end_seconds
         )
+
+    def _run_portal(self, q: SensorQuery) -> PortalResult:
+        """Direct (uncached) execution: polygon viewports take the
+        portal's geoblock path, everything else the plain one."""
+        if isinstance(q.region, Polygon) and hasattr(self.portal, "execute_polygon"):
+            return self.portal.execute_polygon(q)
+        return self.portal.execute(q)
 
     def _fill_tiles(
         self,
@@ -235,7 +268,7 @@ class FrontDoor:
         for tile, result in zip(missing, batch.results):
             self.cache.put_tile(tile, q, result, now, generation)
         composed, still_missing = self.cache.get_tiles(
-            q, now, generation, record=False
+            q, now, generation, record=False, locate=self._sensor_locator()
         )
         if composed is None:
             return None
@@ -284,7 +317,9 @@ class FrontDoor:
                     plans.append(("hit", q, []))
                     continue
                 if self.config.l2_enabled and self._tile_serveable(q):
-                    composed, missing = self.cache.get_tiles(q, now, generation)
+                    composed, missing = self.cache.get_tiles(
+                        q, now, generation, locate=self._sensor_locator()
+                    )
                     if composed is not None:
                         self.cache.put_viewport(q, composed.result, now, generation)
                         results[i] = FrontDoorResult(
@@ -339,7 +374,10 @@ class FrontDoor:
                 continue
             composed = None
             if generation is not None:
-                composed, _ = self.cache.get_tiles(q, now, generation, record=False)
+                composed, _ = self.cache.get_tiles(
+                    q, now, generation, record=False,
+                    locate=self._sensor_locator(),
+                )
             if composed is not None:
                 self.cache.put_viewport(q, composed.result, now, generation)
                 compose_cost = composed.tiles * self.config.l2_tile_compose_seconds
@@ -353,9 +391,10 @@ class FrontDoor:
                     tiles_composed=composed.tiles,
                 )
             else:
-                # A fill came back partial (degraded shard): serve this
-                # query directly, uncached.
-                result = self.portal.execute(q)
+                # A fill came back partial (degraded shard), or a
+                # polygon compose could not crop a boundary tile: serve
+                # this query directly, uncached.
+                result = self._run_portal(q)
                 batch_service += result.end_to_end_seconds
                 results[i] = FrontDoorResult(
                     q, "served", "portal", result, result.end_to_end_seconds

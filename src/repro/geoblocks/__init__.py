@@ -1,0 +1,58 @@
+"""GeoBlocks-style polygon & analytic-window query subsystem.
+
+COLR-Tree's native query surface is axis-aligned rectangles; this
+package opens the city-boundary / watershed / corridor workload class.
+Following GeoBlocks (Winter et al., arXiv:1908.07753) and Aggregate
+Analytic Window Query over Spatial Data (Shi & Wang, arXiv:2007.14997),
+it fuses a pre-aggregated **geoblock grid** with the COLR slot cache:
+
+``GeoBlockGrid`` (:mod:`repro.geoblocks.grid`)
+    A configurable-cell-size grid over the portal's sensor population.
+    Each cell mirrors its sensors' latest readings and maintains a
+    per-cell aggregate sketch, kept fresh by subscribing to every
+    tree's reading listeners — probe fills, grouped-delta batch
+    ingestion and streamed transport ingestion all land here the
+    instant the slot caches see them.
+
+``plan_polygon`` (:mod:`repro.geoblocks.planner`)
+    Rasterizes a polygon into fully *interior* cells (servable from the
+    grid without probing) and *boundary* cells (delegated to exact
+    COLR-Tree sub-queries over the Sutherland–Hodgman clip of the
+    polygon to the cell).
+
+``execute_polygon`` (:mod:`repro.geoblocks.executor`)
+    Composes one :class:`PolygonResult` from the cell plan with exact
+    sensor dedup at shared cell edges.  An axis-aligned rectangular
+    polygon short-circuits to the plain rectangle path and is
+    bit-identical to ``SensorMapPortal.execute``.
+
+``SlidingWindow`` (:mod:`repro.geoblocks.windows`)
+    Moving-viewport / k-step temporal analytic windows that reuse the
+    previous step's still-valid cell aggregates and recompute only the
+    symmetric difference (the enter/leave cell strips).
+"""
+
+from repro.geoblocks.config import GeoBlockConfig
+from repro.geoblocks.grid import GeoBlockGrid
+from repro.geoblocks.planner import (
+    CellPlan,
+    cell_of_point,
+    cell_rect,
+    cells_covering,
+    plan_polygon,
+)
+from repro.geoblocks.executor import PolygonResult
+from repro.geoblocks.windows import SlidingWindow, WindowResult
+
+__all__ = [
+    "CellPlan",
+    "GeoBlockConfig",
+    "GeoBlockGrid",
+    "PolygonResult",
+    "SlidingWindow",
+    "WindowResult",
+    "cell_of_point",
+    "cell_rect",
+    "cells_covering",
+    "plan_polygon",
+]

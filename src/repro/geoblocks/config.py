@@ -1,0 +1,27 @@
+"""Configuration of the geoblock grid and polygon planner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GeoBlockConfig:
+    """Knobs of the geoblock subsystem.
+
+    ``cell_degrees`` is the grid cell edge in degrees — smaller cells
+    raise the interior (probe-free) fraction of a polygon's cover at
+    the price of more cells per query.  ``max_cells_per_query`` bounds
+    the rasterization; a polygon whose bounding box covers more cells
+    than this falls back to the exact tree path (the planner never
+    silently truncates a cover).
+    """
+
+    cell_degrees: float = 1.0
+    max_cells_per_query: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.cell_degrees <= 0:
+            raise ValueError("cell_degrees must be positive")
+        if self.max_cells_per_query < 1:
+            raise ValueError("max_cells_per_query must be positive")

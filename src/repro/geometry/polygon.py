@@ -69,6 +69,26 @@ class Polygon:
             total += a.x * b.y - b.x * a.y
         return abs(total) / 2.0
 
+    def as_rect(self) -> "Rect | None":
+        """The equivalent axis-aligned rectangle, when this polygon is
+        exactly one (its four vertices are the four corners of its own
+        bounding box), else ``None``.
+
+        The polygon query planners use this to detect rectangles drawn
+        as polygons and route them down the plain rectangle path, which
+        keeps ``execute_polygon`` bit-identical to ``execute`` on such
+        regions.  Degenerate (zero-area) rings are never rectangles.
+        """
+        if len(self.vertices) != 4:
+            return None
+        bbox = self._bbox
+        if bbox.area <= 0.0:
+            return None
+        corners = {(c.x, c.y) for c in bbox.corners()}
+        if {(v.x, v.y) for v in self.vertices} != corners:
+            return None
+        return bbox
+
     # ------------------------------------------------------------------
     # Relations
     # ------------------------------------------------------------------
@@ -120,7 +140,16 @@ class Polygon:
         a simple output.  Used by the shard directory to weight scatter
         shares by *actual* polygon overlap instead of the bounding-box
         approximation (which over-admits shards the polygon never
-        touches).
+        touches), and by the geoblock planner to build boundary-cell
+        sub-queries.
+
+        The output is canonical: consecutive duplicates and exactly
+        collinear vertices introduced by clipping are collapsed, and a
+        result that degenerates to zero area (the polygon merely touches
+        the rectangle along an edge or at a corner, or the input ring
+        itself was flat) is reported as ``None``.  Canonicalisation
+        makes clipping idempotent — ``clip(clip(p, r), r) ==
+        clip(p, r)`` — which the geometry property suite pins.
         """
         verts: list[GeoPoint] = list(self.vertices)
         for inside, intersect in _rect_half_planes(rect):
@@ -152,7 +181,10 @@ class Polygon:
             and abs(unique[0].y - unique[-1].y) <= 1e-12
         ):
             unique.pop()
+        unique = _collapse_collinear(unique)
         if len(unique) < 3:
+            return None
+        if _ring_area(unique) == 0.0:
             return None
         return Polygon(unique)
 
@@ -202,6 +234,42 @@ def _rect_half_planes(rect: Rect):
         (lambda p, b=rect.min_y: p.y >= b, cross_y(rect.min_y)),
         (lambda p, b=rect.max_y: p.y <= b, cross_y(rect.max_y)),
     ]
+
+
+def _ring_area(points: Sequence[GeoPoint]) -> float:
+    """Unsigned shoelace area of a vertex ring (no Polygon required, so
+    degenerate rings can be measured before construction)."""
+    total = 0.0
+    n = len(points)
+    for i in range(n):
+        a = points[i]
+        b = points[(i + 1) % n]
+        total += a.x * b.y - b.x * a.y
+    return abs(total) / 2.0
+
+
+def _collapse_collinear(points: list[GeoPoint]) -> list[GeoPoint]:
+    """Drop vertices that are *exactly* collinear with their cyclic
+    neighbours.
+
+    Clipping against an axis-aligned boundary stamps the clamped
+    coordinate exactly, so every spurious mid-edge vertex it introduces
+    is exactly collinear with its neighbours — an exact-zero orientation
+    test removes all of them without perturbing genuine geometry (a
+    tolerance here would silently move near-degenerate edges)."""
+    out = list(points)
+    changed = True
+    while changed and len(out) >= 3:
+        changed = False
+        for i in range(len(out)):
+            a = out[i - 1]
+            b = out[i]
+            c = out[(i + 1) % len(out)]
+            if _orient(a, b, c) == 0.0:
+                del out[i]
+                changed = True
+                break
+    return out
 
 
 def _rect_edges(rect: Rect) -> list[tuple[GeoPoint, GeoPoint]]:

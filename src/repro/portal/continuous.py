@@ -13,10 +13,13 @@ departed sensors plus the aggregate drift.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.portal.portal import PortalResult, SensorMapPortal
 from repro.portal.query import SensorQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.geoblocks.windows import SlidingWindow
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,6 +56,12 @@ class Subscription:
     last_result: PortalResult | None = None
     _last_values: dict[int, float] = field(default_factory=dict)
     executions: int = 0
+    # Analytic-window subscriptions (see subscribe_window): each refresh
+    # steps the sliding window over the viewport ``region_fn`` reports
+    # for the current instant, reusing still-valid cell aggregates from
+    # the previous step instead of re-executing the whole query.
+    window: "SlidingWindow | None" = None
+    region_fn: Callable[[float], object] | None = None
 
     def due_at(self) -> float:
         """Next execution instant (the first run waits out the phase
@@ -152,6 +161,39 @@ class ContinuousQueryManager:
         self._next_id += 1
         return subscription
 
+    def subscribe_window(
+        self,
+        window: "SlidingWindow",
+        region_fn: Callable[[float], object],
+        refresh_seconds: float | None = None,
+        callback: DeltaCallback | None = None,
+        phase_seconds: float | None = None,
+    ) -> Subscription:
+        """Register a sliding analytic window as a standing query.
+
+        ``region_fn(now)`` reports the viewport (``Rect`` or
+        ``Polygon``) the window should cover at each refresh — a moving
+        viewport is just a time-dependent region.  Each due tick runs
+        ``window.step(region_fn(now))`` instead of a portal execution,
+        so consecutive refreshes recompute only the cells the viewport
+        (or the data under it) actually changed; deltas and callbacks
+        behave exactly like a plain subscription's.
+        """
+        now = self.portal.clock.now()
+        subscription = self.subscribe(
+            SensorQuery(
+                region=region_fn(now),
+                staleness_seconds=window.staleness_seconds,
+                sensor_type=window.sensor_type,
+            ),
+            refresh_seconds=refresh_seconds,
+            callback=callback,
+            phase_seconds=phase_seconds,
+        )
+        subscription.window = window
+        subscription.region_fn = region_fn
+        return subscription
+
     def unsubscribe(self, subscription_id: int) -> None:
         if subscription_id not in self._subscriptions:
             raise KeyError(f"no subscription {subscription_id}")
@@ -181,6 +223,26 @@ class ContinuousQueryManager:
         """
         now = self.portal.clock.now()
         due = [s for s in self.subscriptions() if s.due_at() <= now]
+        if not due:
+            return []
+        # Analytic-window subscriptions step their sliding window (cell
+        # reuse + symmetric-difference recompute) instead of running a
+        # portal execution; plain subscriptions keep the batch paths.
+        windows = [s for s in due if s.window is not None]
+        plain = [s for s in due if s.window is None]
+        out: list[tuple[Subscription, ResultDelta]] = []
+        for subscription in windows:
+            assert subscription.region_fn is not None
+            result = subscription.window.step(subscription.region_fn(now))
+            subscription.query = result.query
+            out.append((subscription, self._apply_result(subscription, result)))
+        out.extend(self._tick_plain(plain))
+        out.sort(key=lambda pair: pair[0].subscription_id)
+        return out
+
+    def _tick_plain(
+        self, due: list[Subscription]
+    ) -> list[tuple[Subscription, ResultDelta]]:
         if not due:
             return []
         if self.gather_deadline_seconds is not None and hasattr(

@@ -30,6 +30,8 @@ from repro.sensors.registry import SensorRegistry
 from repro.sensors.sensor import Sensor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.geoblocks.config import GeoBlockConfig
+    from repro.geoblocks.grid import GeoBlockGrid
     from repro.portal.batch import BatchResult
     from repro.sensors.sensor import Reading
     from repro.storage.config import StorageConfig
@@ -109,6 +111,7 @@ class SensorMapPortal:
         transport: "TransportConfig | None" = None,
         network_options: dict[str, object] | None = None,
         storage: "StorageConfig | None" = None,
+        geoblocks: "GeoBlockConfig | None" = None,
     ) -> None:
         """``max_sensors_per_query`` is the portal-wide collection cap of
         Section III-B: a whole-world query is answered from at most this
@@ -133,7 +136,12 @@ class SensorMapPortal:
         disk, the deterministic tree rebuilds, and the recovered cache
         batches re-install so the first tick after restart is
         probe-free for fresh slots.  ``None`` (the default) keeps the
-        historical in-memory behavior bit-identical."""
+        historical in-memory behavior bit-identical.
+
+        ``geoblocks`` configures the pre-aggregated geoblock grid behind
+        ``execute_polygon`` (``repro.geoblocks``); ``None`` uses the
+        default grid config.  The grid itself is built lazily on the
+        first polygon query that needs it."""
         if max_sensors_per_query is not None and max_sensors_per_query < 1:
             raise ValueError("max_sensors_per_query must be positive or None")
         self.config = config if config is not None else COLRTreeConfig()
@@ -159,6 +167,9 @@ class SensorMapPortal:
         # recovered cache batches wait in ``_recovered_pending`` until
         # the first ``rebuild_index()`` re-installs them (priming runs
         # with the WAL sink detached, so replay is never re-journaled).
+        # Geoblock grid (lazy; see geoblocks()).
+        self.geoblocks_config = geoblocks
+        self._geoblocks: "GeoBlockGrid | None" = None
         self.storage_config = storage
         self.storage: "StorageEngine | None" = None
         self.last_recovery: "RecoveredState | None" = None
@@ -469,6 +480,30 @@ class SensorMapPortal:
         from repro.portal.batch import execute_batch
 
         return execute_batch(self, queries)
+
+    def geoblocks(self) -> "GeoBlockGrid":
+        """The portal's (lazily built) geoblock grid, synced to the
+        current index generation; see :mod:`repro.geoblocks.grid`."""
+        if self._geoblocks is None:
+            from repro.geoblocks.grid import GeoBlockGrid
+
+            self._geoblocks = GeoBlockGrid(self, self.geoblocks_config)
+        self._geoblocks.sync()
+        return self._geoblocks
+
+    def execute_polygon(self, query: SensorQuery) -> PortalResult:
+        """Execute a polygon-region query via the geoblock planner.
+
+        An axis-aligned rectangular polygon (or a plain ``Rect`` region)
+        is answered bit-identically to :meth:`execute`; a genuine
+        polygon on an uncapped portal composes grid-served interior
+        cells with exact clipped boundary sub-queries; everything else
+        falls back to :meth:`execute` (``Polygon`` is a full Region).
+        See :mod:`repro.geoblocks.executor`.
+        """
+        from repro.geoblocks.executor import execute_polygon
+
+        return execute_polygon(self, query)
 
     def stats(self) -> dict[str, object]:
         """Operational summary: per-type index shape, cache occupancy,

@@ -89,6 +89,13 @@ class NetworkStats:
     page_writes: int = 0
     wal_appends: int = 0
     wal_fsyncs: int = 0
+    # Geoblock-subsystem accounting (zero until a polygon or analytic
+    # window query runs): rasterized polygon cells by kind and sliding
+    # window cells carried over from the previous step instead of
+    # recomputed.  Mirrors the per-query counters in ``QueryStats``.
+    polygon_cells_interior: int = 0
+    polygon_cells_boundary: int = 0
+    window_cells_reused: int = 0
     per_sensor_probes: dict[int, int] = field(default_factory=dict)
 
     def snapshot(self) -> "NetworkStats":

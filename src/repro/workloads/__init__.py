@@ -31,6 +31,7 @@ from repro.workloads.livelocal import (
     QuerySpec,
     TenantRequest,
 )
+from repro.workloads.polygons import PolygonQuerySpec, PolygonWorkload
 from repro.workloads.trace import load_workload, save_workload
 from repro.workloads.usgs import UsgsWaWorkload
 
@@ -41,6 +42,8 @@ __all__ = [
     "HighwayWorkload",
     "LiveLocalWorkload",
     "OpenLoopWorkload",
+    "PolygonQuerySpec",
+    "PolygonWorkload",
     "QuerySpec",
     "TenantRequest",
     "UsgsWaWorkload",

@@ -105,7 +105,7 @@ class TestEligibility:
     def test_exact_rect_is_tile_eligible(self):
         assert TieredResultCache.tile_eligible(_query(Rect(0, 0, 1, 1)))
 
-    def test_sampled_zoomed_clustered_polygon_are_not(self):
+    def test_sampled_zoomed_clustered_are_not(self):
         rect = Rect(0, 0, 1, 1)
         poly = Polygon(
             [GeoPoint(0, 0), GeoPoint(1, 0), GeoPoint(1, 1), GeoPoint(0, 1)]
@@ -113,7 +113,14 @@ class TestEligibility:
         assert not TieredResultCache.tile_eligible(_query(rect, sample_size=10))
         assert not TieredResultCache.tile_eligible(_query(rect, zoom_level=3))
         assert not TieredResultCache.tile_eligible(_query(rect, cluster_miles=5.0))
-        assert not TieredResultCache.tile_eligible(_query(poly))
+        assert not TieredResultCache.tile_eligible(_query(poly, sample_size=10))
+        assert not TieredResultCache.tile_eligible(_query(poly, zoom_level=3))
+
+    def test_exact_polygon_is_tile_eligible(self):
+        poly = Polygon(
+            [GeoPoint(0, 0), GeoPoint(2, 0), GeoPoint(1, 2)]
+        )
+        assert TieredResultCache.tile_eligible(_query(poly))
 
     def test_l1_key_distinguishes_query_identity(self):
         rect = Rect(0, 0, 1, 1)

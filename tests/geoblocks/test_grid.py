@@ -1,0 +1,182 @@
+"""The geoblock grid: populations, listener mirroring, cell serving."""
+
+from repro.geoblocks.planner import cell_of_point, cell_rect
+from repro.sensors.sensor import Reading
+
+from tests.geoblocks.conftest import (
+    CELL_DEGREES,
+    STALENESS,
+    exact_query,
+    make_portal,
+)
+
+
+def populated_cell(portal):
+    """Some cell with at least two sensors, plus its population."""
+    grid = portal.geoblocks()
+    for cell, state in grid._cells["generic"].items():
+        if len(state.population) >= 2:
+            return cell, list(state.population)
+    raise AssertionError("fleet too sparse for the test")
+
+
+def warm_cell(portal):
+    """A populated cell whose mirror has been filled by a query."""
+    grid = portal.geoblocks()
+    cell, population = populated_cell(portal)
+    portal.execute(exact_query(cell_rect(cell, CELL_DEGREES)))
+    return grid, cell, population
+
+
+class TestSync:
+    def test_populations_partition_the_fleet(self):
+        portal = make_portal(n=60, seed=1)
+        grid = portal.geoblocks()
+        seen: dict[int, tuple[int, int]] = {}
+        for cell, state in grid._cells["generic"].items():
+            assert state.population == sorted(state.population)
+            for sensor_id in state.population:
+                assert sensor_id not in seen
+                seen[sensor_id] = cell
+        for sensor in portal.registry:
+            assert seen[sensor.sensor_id] == cell_of_point(
+                sensor.location, CELL_DEGREES
+            )
+
+    def test_sync_is_idempotent_until_generation_moves(self):
+        portal = make_portal(n=30, seed=1)
+        grid = portal.geoblocks()
+        rebuilds = grid.stats.rebuilds
+        portal.geoblocks()
+        assert grid.stats.rebuilds == rebuilds
+
+    def test_rebuild_on_generation_move_restarts_cold(self):
+        portal = make_portal(n=60, seed=1)
+        grid, cell, _ = warm_cell(portal)
+        now = portal.clock.now()
+        assert grid.serve_cell("generic", cell, now, STALENESS) is not None
+        rebuilds = grid.stats.rebuilds
+        from repro.geometry import GeoPoint
+
+        portal.register_sensor(GeoPoint(0.1, 0.1), expiry_seconds=600.0)
+        grid2 = portal.geoblocks()
+        assert grid2 is grid
+        assert grid.stats.rebuilds == rebuilds + 1
+        # Mirrors restart cold, exactly like freshly rebuilt slot caches.
+        assert grid.serve_cell("generic", cell, now, STALENESS) is None
+
+
+class TestServeCell:
+    def test_unpopulated_cell_serves_empty(self):
+        portal = make_portal(n=20, seed=2)
+        grid = portal.geoblocks()
+        assert grid.serve_cell("generic", (999, 999), 0.0, STALENESS) == []
+        assert grid.cell_version("generic", (999, 999)) == -1
+
+    def test_cold_populated_cell_falls_back(self):
+        portal = make_portal(n=60, seed=2)
+        grid = portal.geoblocks()
+        cell, _ = populated_cell(portal)
+        fallbacks = grid.stats.cell_fallbacks
+        assert grid.serve_cell(
+            "generic", cell, portal.clock.now(), STALENESS
+        ) is None
+        assert grid.stats.cell_fallbacks == fallbacks + 1
+
+    def test_query_ingest_fills_the_mirror(self):
+        portal = make_portal(n=60, seed=2)
+        grid, cell, population = warm_cell(portal)
+        now = portal.clock.now()
+        served = grid.serve_cell("generic", cell, now, STALENESS)
+        assert served is not None
+        # The full population, in sensor-id order.
+        assert [r.sensor_id for r in served] == population
+        assert grid.stats.readings_mirrored >= len(population)
+        assert grid.stats.listener_batches > 0
+        assert grid.cell_version("generic", cell) >= len(population)
+
+    def test_stale_mirror_falls_back(self):
+        portal = make_portal(n=60, seed=2)
+        grid, cell, _ = warm_cell(portal)
+        portal.clock.advance(STALENESS + 1.0)
+        assert grid.serve_cell(
+            "generic", cell, portal.clock.now(), STALENESS
+        ) is None
+
+
+class TestListener:
+    def test_out_of_band_write_updates_mirror_and_version(self):
+        portal = make_portal(n=60, seed=3)
+        grid, cell, population = warm_cell(portal)
+        now = portal.clock.now()
+        version = grid.cell_version("generic", cell)
+        sensor_id = population[0]
+        tree = portal._trees["generic"]
+        tree.insert_readings_batch(
+            [Reading(sensor_id, 123.456, now + 1.0, now + 600.0)],
+            fetched_at=now + 1.0,
+        )
+        assert grid.cell_version("generic", cell) == version + 1
+        state = grid.cell_state("generic", cell)
+        assert state.readings[sensor_id].value == 123.456
+
+    def test_older_timestamp_does_not_regress_the_mirror(self):
+        portal = make_portal(n=60, seed=3)
+        grid, cell, population = warm_cell(portal)
+        version = grid.cell_version("generic", cell)
+        sensor_id = population[0]
+        state = grid.cell_state("generic", cell)
+        mirrored = state.readings[sensor_id]
+        tree = portal._trees["generic"]
+        tree.insert_readings_batch(
+            [
+                Reading(
+                    sensor_id,
+                    -1.0,
+                    mirrored.timestamp - 10.0,
+                    mirrored.expires_at,
+                )
+            ],
+            fetched_at=portal.clock.now(),
+        )
+        assert state.readings[sensor_id] == mirrored
+        assert grid.cell_version("generic", cell) == version
+
+
+class TestCellAggregate:
+    def test_tracks_the_mirror(self):
+        portal = make_portal(n=60, seed=4)
+        grid, cell, population = warm_cell(portal)
+        sketch = grid.cell_aggregate("generic", cell)
+        state = grid.cell_state("generic", cell)
+        values = [r.value for r in state.readings.values()]
+        assert sketch.count == len(values)
+        assert sketch.total == sum(values)
+        assert sketch.minimum == min(values)
+        assert sketch.maximum == max(values)
+
+    def test_displaced_extremum_is_repaired(self):
+        portal = make_portal(n=60, seed=4)
+        grid, cell, population = warm_cell(portal)
+        now = portal.clock.now()
+        state = grid.cell_state("generic", cell)
+        top = max(state.readings.values(), key=lambda r: r.value)
+        tree = portal._trees["generic"]
+        # Replace the cell's maximum with a small value: the incremental
+        # remove marks min/max dirty, and cell_aggregate repairs from
+        # the mirror like a slot-cache recomputation.
+        tree.insert_readings_batch(
+            [Reading(top.sensor_id, -999.0, now + 1.0, now + 600.0)],
+            fetched_at=now + 1.0,
+        )
+        assert state.sketch.minmax_dirty
+        sketch = grid.cell_aggregate("generic", cell)
+        assert not sketch.minmax_dirty
+        values = [r.value for r in state.readings.values()]
+        assert sketch.maximum == max(values)
+        assert sketch.minimum == -999.0
+
+    def test_unpopulated_cell_has_no_aggregate(self):
+        portal = make_portal(n=20, seed=4)
+        grid = portal.geoblocks()
+        assert grid.cell_aggregate("generic", (999, 999)) is None

@@ -1,0 +1,159 @@
+"""Cell arithmetic and polygon rasterization."""
+
+import pytest
+
+from repro.geoblocks.planner import (
+    CellClipRegion,
+    CellPlan,
+    boundary_subregion,
+    cell_of_point,
+    cell_rect,
+    cells_covering,
+    plan_polygon,
+)
+from repro.geometry import GeoPoint, Polygon, Rect
+
+
+def diamond() -> Polygon:
+    """A diamond spanning an 8x8-cell bounding box at 1-degree cells."""
+    return Polygon(
+        [GeoPoint(1.0, 5.0), GeoPoint(5.0, 1.0), GeoPoint(9.0, 5.0), GeoPoint(5.0, 9.0)]
+    )
+
+
+class TestCellArithmetic:
+    def test_ownership_is_half_open(self):
+        # A point exactly on a cell boundary belongs to the upper cell.
+        assert cell_of_point(GeoPoint(1.0, 2.0), 1.0) == (1, 2)
+        assert cell_of_point(GeoPoint(0.999, 1.999), 1.0) == (0, 1)
+        assert cell_of_point(GeoPoint(-0.5, 0.0), 1.0) == (-1, 0)
+        assert cell_of_point(GeoPoint(0.75, 0.25), 0.5) == (1, 0)
+
+    def test_cell_rect_is_the_closed_cell(self):
+        assert cell_rect((1, 2), 0.5) == Rect(0.5, 1.0, 1.0, 1.5)
+        assert cell_rect((-1, 0), 1.0) == Rect(-1.0, 0.0, 0.0, 1.0)
+
+    def test_cells_covering_floor_ceil(self):
+        assert sorted(cells_covering(Rect(0.2, 0.2, 1.8, 1.8), 1.0)) == [
+            (0, 0),
+            (0, 1),
+            (1, 0),
+            (1, 1),
+        ]
+
+    def test_edge_on_boundary_does_not_drag_next_cell(self):
+        # max edge landing exactly on a cell boundary adds nothing.
+        assert sorted(cells_covering(Rect(0.0, 0.0, 2.0, 1.0), 1.0)) == [
+            (0, 0),
+            (1, 0),
+        ]
+
+    def test_degenerate_bbox_covers_one_cell(self):
+        assert cells_covering(Rect(0.5, 0.5, 0.5, 0.5), 1.0) == [(0, 0)]
+
+    def test_ownership_consistent_with_cover(self):
+        # Any point's owning cell is in the cover of any rect holding it.
+        p = GeoPoint(3.7, 5.2)
+        rect = Rect(3.0, 5.0, 4.0, 6.0)
+        assert cell_of_point(p, 1.0) in cells_covering(rect, 1.0)
+
+
+class TestPlanPolygon:
+    def test_classification_partitions_the_cover(self):
+        polygon = diamond()
+        plan = plan_polygon(polygon, 1.0, max_cells=4096)
+        assert plan is not None
+        interior, boundary = set(plan.interior), set(plan.boundary)
+        assert not interior & boundary
+        cover = set(cells_covering(polygon.bounding_box, 1.0))
+        assert interior | boundary <= cover
+        for cell in cover:
+            rect = cell_rect(cell, 1.0)
+            if polygon.contains_rect(rect):
+                assert cell in interior
+            elif polygon.intersects_rect(rect):
+                assert cell in boundary
+            else:
+                assert cell not in interior and cell not in boundary
+
+    def test_diamond_has_interior_at_one_degree(self):
+        plan = plan_polygon(diamond(), 1.0, max_cells=4096)
+        assert plan is not None
+        assert (4, 4) in plan.interior  # the center cell
+        assert len(plan.interior) > 0
+        assert len(plan.boundary) > 0
+
+    def test_cells_in_deterministic_scan_order(self):
+        plan = plan_polygon(diamond(), 1.0, max_cells=4096)
+        assert plan is not None
+        assert list(plan.interior) == sorted(plan.interior)
+        assert list(plan.boundary) == sorted(plan.boundary)
+
+    def test_over_budget_returns_none_never_truncates(self):
+        assert plan_polygon(diamond(), 1.0, max_cells=10) is None
+        assert plan_polygon(diamond(), 0.1, max_cells=100) is None
+
+    def test_boundary_fraction(self):
+        plan = CellPlan(
+            cell_degrees=1.0,
+            interior=((0, 0),),
+            boundary=((0, 1), (1, 0), (1, 1)),
+        )
+        assert plan.total_cells == 4
+        assert plan.boundary_fraction == pytest.approx(0.75)
+        assert CellPlan(1.0, (), ()).boundary_fraction == 0.0
+
+
+class TestBoundarySubregion:
+    def test_returns_clip_inside_the_cell(self):
+        # Every boundary cell yields either a genuine clip polygon
+        # (vertices confined to the cell) or the conjunction fallback
+        # for corner/edge-touch cells — the diamond's 45-degree edges
+        # produce both kinds.
+        polygon = diamond()
+        plan = plan_polygon(polygon, 1.0, max_cells=4096)
+        clips = 0
+        eps = 1e-9
+        for cell in plan.boundary:
+            sub = boundary_subregion(polygon, cell, 1.0)
+            rect = cell_rect(cell, 1.0)
+            if isinstance(sub, Polygon):
+                clips += 1
+                for v in sub.vertices:
+                    assert rect.min_x - eps <= v.x <= rect.max_x + eps
+                    assert rect.min_y - eps <= v.y <= rect.max_y + eps
+            else:
+                assert isinstance(sub, CellClipRegion)
+                assert sub.rect == rect
+                assert sub.polygon is polygon
+        assert clips > 0
+
+    def test_degenerate_clip_falls_back_to_conjunction(self):
+        # The triangle touches cell (-1, -1) only at the corner (0, 0):
+        # the clip has zero area, so the conjunction region steps in.
+        triangle = Polygon(
+            [GeoPoint(0.0, 0.0), GeoPoint(2.0, 0.0), GeoPoint(1.0, 2.0)]
+        )
+        sub = boundary_subregion(triangle, (-1, -1), 1.0)
+        assert isinstance(sub, CellClipRegion)
+        # The touch point is in both the cell and the closed polygon.
+        assert sub.contains_point(GeoPoint(0.0, 0.0))
+        # Inside the cell but outside the polygon: excluded.
+        assert not sub.contains_point(GeoPoint(-0.5, -0.5))
+        # Inside the polygon but outside the cell: excluded.
+        assert not sub.contains_point(GeoPoint(1.0, 0.5))
+
+    def test_conjunction_region_predicates(self):
+        triangle = Polygon(
+            [GeoPoint(0.0, 0.0), GeoPoint(2.0, 0.0), GeoPoint(1.0, 2.0)]
+        )
+        sub = CellClipRegion(polygon=triangle, rect=Rect(0.0, 0.0, 1.0, 1.0))
+        # The cell rect bounds the conjunction (the tree's traversal
+        # pruning requires a bounding box from every region).
+        assert sub.bounding_box == Rect(0.0, 0.0, 1.0, 1.0)
+        assert sub.intersects_rect(Rect(0.5, 0.1, 0.9, 0.4))
+        # Intersects the cell but not the polygon: rejected.
+        assert not sub.intersects_rect(Rect(-2.0, -2.0, -1.0, -1.0))
+        # contains_rect needs containment in both.
+        assert not sub.contains_rect(Rect(0.0, 0.0, 1.0, 1.0))
+        assert sub.contains_rect(Rect(0.8, 0.1, 1.0, 0.2))

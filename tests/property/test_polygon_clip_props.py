@@ -1,0 +1,169 @@
+"""Property-based tests of Sutherland–Hodgman polygon clipping.
+
+The geoblock planner leans on ``Polygon.clip_to_rect`` for every
+boundary cell, and the federation scatter uses it to route polygon
+sub-queries — so the clip must stay well-behaved on the degenerate
+inputs real workloads produce: vertices exactly on clip edges, flat
+rings, polygons merely touching a rectangle at a corner.
+
+Pinned properties:
+
+* idempotence — ``clip(clip(p, r), r) == clip(p, r)`` exactly (the
+  canonicalisation contract in the ``clip_to_rect`` docstring);
+* the clip lies inside both inputs: every output vertex is in the
+  rectangle, and the clip area never exceeds either input's area;
+* area conservation — splitting the clip rectangle into halves
+  partitions the clip area (no sliver is dropped or double-counted);
+* a rectangle covering the whole polygon clips to the same area;
+* degenerate inputs (flat rings, touch-only overlap) return ``None``
+  rather than raising or producing a zero-area ring.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import GeoPoint, Polygon, Rect
+
+coord = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+radius = st.floats(min_value=0.1, max_value=50.0)
+
+
+@st.composite
+def star_polygons(draw):
+    """Simple (possibly concave) polygons: jittered radii at jittered
+    evenly spaced angles around a center.  Every angular gap stays
+    below pi (jitter is bounded by ±0.2 steps), which makes the ring
+    star-shaped around the center and therefore simple — unsorted or
+    wide-gap angle draws can self-intersect."""
+    cx, cy = draw(coord), draw(coord)
+    n = draw(st.integers(min_value=3, max_value=12))
+    jitters = draw(
+        st.lists(
+            st.floats(min_value=-0.2, max_value=0.2),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    radii = draw(st.lists(radius, min_size=n, max_size=n))
+    step = 2.0 * math.pi / n
+    return Polygon(
+        GeoPoint(
+            cx + r * math.cos((i + j) * step),
+            cy + r * math.sin((i + j) * step),
+        )
+        for i, (j, r) in enumerate(zip(jitters, radii))
+    )
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return Rect(x1, y1, x2 + draw(radius), y2 + draw(radius))
+
+
+def _tol(polygon: Polygon, rect: Rect) -> float:
+    scale = max(
+        1.0,
+        polygon.area,
+        rect.area,
+        *(abs(v.x) + abs(v.y) for v in polygon.vertices),
+    )
+    return 1e-9 * scale
+
+
+class TestClipProperties:
+    @given(star_polygons(), rects())
+    def test_idempotent(self, polygon, rect):
+        once = polygon.clip_to_rect(rect)
+        if once is None:
+            return
+        twice = once.clip_to_rect(rect)
+        assert twice == once
+
+    @given(star_polygons(), rects())
+    def test_clip_inside_both(self, polygon, rect):
+        clipped = polygon.clip_to_rect(rect)
+        if clipped is None:
+            return
+        eps = _tol(polygon, rect)
+        for v in clipped.vertices:
+            assert rect.min_x - eps <= v.x <= rect.max_x + eps
+            assert rect.min_y - eps <= v.y <= rect.max_y + eps
+        assert clipped.area <= polygon.area + eps
+        assert clipped.area <= rect.area + eps
+
+    @given(star_polygons(), rects())
+    def test_area_conserved_under_partition(self, polygon, rect):
+        """Splitting the clip rectangle down the middle partitions the
+        clip area — Sutherland–Hodgman drops no sliver at the seam."""
+        whole = polygon.clip_to_rect(rect)
+        whole_area = whole.area if whole is not None else 0.0
+        mid = (rect.min_x + rect.max_x) / 2.0
+        left = polygon.clip_to_rect(Rect(rect.min_x, rect.min_y, mid, rect.max_y))
+        right = polygon.clip_to_rect(Rect(mid, rect.min_y, rect.max_x, rect.max_y))
+        parts = sum(p.area for p in (left, right) if p is not None)
+        assert parts == pytest_approx(whole_area, _tol(polygon, rect))
+
+    @given(star_polygons())
+    def test_covering_rect_preserves_area(self, polygon):
+        bbox = polygon.bounding_box
+        cover = Rect(bbox.min_x - 1.0, bbox.min_y - 1.0, bbox.max_x + 1.0, bbox.max_y + 1.0)
+        clipped = polygon.clip_to_rect(cover)
+        assert clipped is not None
+        assert clipped.area == pytest_approx(polygon.area, _tol(polygon, cover))
+
+    @given(star_polygons())
+    @settings(max_examples=50)
+    def test_disjoint_rect_clips_to_none(self, polygon):
+        bbox = polygon.bounding_box
+        far = Rect(bbox.max_x + 1.0, bbox.min_y, bbox.max_x + 2.0, bbox.max_y)
+        assert polygon.clip_to_rect(far) is None
+
+
+class TestDegenerateInputs:
+    def test_flat_ring_clips_to_none(self):
+        flat = Polygon(
+            [GeoPoint(0.0, 0.0), GeoPoint(1.0, 1.0), GeoPoint(2.0, 2.0)]
+        )
+        assert flat.clip_to_rect(Rect(-1.0, -1.0, 3.0, 3.0)) is None
+
+    def test_edge_touch_clips_to_none(self):
+        triangle = Polygon(
+            [GeoPoint(0.0, 0.0), GeoPoint(2.0, 0.0), GeoPoint(1.0, 2.0)]
+        )
+        # The rectangle shares only the triangle's bottom edge.
+        assert triangle.clip_to_rect(Rect(0.0, -1.0, 2.0, 0.0)) is None
+
+    def test_corner_touch_clips_to_none(self):
+        triangle = Polygon(
+            [GeoPoint(0.0, 0.0), GeoPoint(2.0, 0.0), GeoPoint(1.0, 2.0)]
+        )
+        assert triangle.clip_to_rect(Rect(-2.0, -2.0, 0.0, 0.0)) is None
+
+    def test_vertices_on_clip_edges_stay_canonical(self):
+        # A diamond whose vertices lie exactly on the clip boundary:
+        # clipping must not duplicate them or leave collinear residue.
+        diamond = Polygon(
+            [
+                GeoPoint(0.0, -1.0),
+                GeoPoint(1.0, 0.0),
+                GeoPoint(0.0, 1.0),
+                GeoPoint(-1.0, 0.0),
+            ]
+        )
+        clipped = diamond.clip_to_rect(Rect(-1.0, -1.0, 1.0, 1.0))
+        assert clipped is not None
+        assert clipped.area == diamond.area
+        assert len(clipped.vertices) == 4
+        assert clipped.clip_to_rect(Rect(-1.0, -1.0, 1.0, 1.0)) == clipped
+
+
+def pytest_approx(value: float, tol: float):
+    import pytest
+
+    return pytest.approx(value, abs=max(tol, 1e-9), rel=1e-6)
