@@ -90,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(only with --qps)",
     )
     demo.add_argument(
+        "--churn",
+        action="store_true",
+        help="run the live-rebalancing demo instead: a drifting churn "
+        "workload joins/leaves sensors while the background rebalancer "
+        "splits, merges and moves bounded batches between shards "
+        "(use --shards to set the starting shard count)",
+    )
+    demo.add_argument(
         "--polygon",
         action="store_true",
         help="run the geoblocks demo instead: a polygon viewport served "
@@ -149,6 +157,19 @@ def build_parser() -> argparse.ArgumentParser:
     geoblocks.add_argument("--queries", type=int, default=300)
     geoblocks.add_argument("--quick", action="store_true")
     geoblocks.add_argument(
+        "--check", action="store_true", help="assert the acceptance gates"
+    )
+    rebalance = sub.add_parser(
+        "rebalance",
+        help="live rebalancing benchmark: probe-free migration, "
+        "conservation-exact checkpoints, bounded steps under churn",
+    )
+    rebalance.add_argument("--sensors", type=int, default=5_000)
+    rebalance.add_argument("--ticks", type=int, default=30)
+    rebalance.add_argument("--shards", type=int, default=4)
+    rebalance.add_argument("--seed", type=int, default=0)
+    rebalance.add_argument("--quick", action="store_true")
+    rebalance.add_argument(
         "--check", action="store_true", help="assert the acceptance gates"
     )
     storage = sub.add_parser(
@@ -237,6 +258,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(run_all_ablations().format_table())
         return 0
     if command == "demo":
+        if args.churn:
+            return _demo_churn(
+                args.sensors, args.shards if args.shards > 0 else 4
+            )
         if args.polygon:
             return _demo_polygon(args.sensors)
         if args.data_dir is not None:
@@ -299,6 +324,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.check:
             argv.append("--check")
         return geoblocks_main(argv)
+    if command == "rebalance":
+        from repro.bench.rebalance import main as rebalance_main
+
+        argv = [
+            "--sensors",
+            str(args.sensors),
+            "--ticks",
+            str(args.ticks),
+            "--shards",
+            str(args.shards),
+            "--seed",
+            str(args.seed),
+        ]
+        if args.quick:
+            argv.append("--quick")
+        if args.check:
+            argv.append("--check")
+        return rebalance_main(argv)
     if command == "storage":
         if args.data_dir is not None:
             return _storage_inspect(args.data_dir)
@@ -444,6 +487,60 @@ def _demo_federated(
         f"{f.topup_sensors_gained} sensors recovered, "
         f"residual shortfall {f.sampled_shortfall}"
     )
+    portal.close()
+    return 0
+
+
+def _demo_churn(n_sensors: int, n_shards: int) -> int:
+    """Scripted tour of live rebalancing: a drifting churn stream joins
+    and leaves sensors while the background rebalancer absorbs the skew
+    in bounded steps, with a conservation query after every tick."""
+    import numpy as np
+
+    from repro.federation import FederatedPortal
+    from repro.geometry import GeoPoint, Rect
+    from repro.portal import SensorQuery
+    from repro.rebalance import RebalanceConfig, Rebalancer
+    from repro.workloads import ChurnWorkload
+
+    rng = np.random.default_rng(0)
+    portal = FederatedPortal(n_shards=n_shards, max_sensors_per_query=None)
+    for _ in range(n_sensors):
+        portal.register_sensor(
+            GeoPoint(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            expiry_seconds=float(rng.uniform(300, 600)),
+            availability=1.0,
+        )
+    portal.rebuild_index()
+    rebalancer = Rebalancer(
+        portal, RebalanceConfig(max_moves_per_step=max(8, n_sensors // 20))
+    )
+    churn = ChurnWorkload(join_rate=n_sensors / 40, leave_rate=n_sensors / 80)
+    query = SensorQuery(region=Rect(0, 0, 100, 100), staleness_seconds=600.0)
+    print(
+        f"churn demo: {len(portal.registry)} sensors across "
+        f"{portal.n_shards} shards, hotspot joins at "
+        f"{churn.join_rate:.0f}/tick, leaves at {churn.leave_rate:.0f}/tick"
+    )
+    for _ in range(8):
+        tick = churn.tick([s.sensor_id for s in portal.registry])
+        if tick.joins:
+            rebalancer.mover.absorb_joins(tick.joins)
+        if tick.leave_ids:
+            rebalancer.mover.absorb_leaves(tick.leave_ids)
+        reports = rebalancer.run(max_steps=2)
+        result = portal.execute(query)
+        ops = ", ".join(r.op for r in reports) if reports else "noop"
+        print(
+            f"  tick {tick.tick}: +{len(tick.joins)}/-{len(tick.leave_ids)} "
+            f"sensors, fleet {len(portal.registry)}, "
+            f"{len(portal.directory)} shards, imbalance "
+            f"{rebalancer.imbalance():.2f}, steps [{ops}], "
+            f"query weight {result.result_weight}/{len(portal.registry)}"
+        )
+        portal.clock.advance(30.0)
+    rebalancer.verify_invariants()
+    print("invariants hold: every sensor has exactly one owner")
     portal.close()
     return 0
 

@@ -43,21 +43,62 @@ class ShardRoute:
 
 
 class ShardDirectory:
-    """MBR + weight summaries of every shard, built at partition time."""
+    """MBR + weight summaries of every shard, built at partition time.
+
+    ``refresh`` updates rows in place *transactionally*: the complete
+    replacement row list is built and validated first, then installed
+    with a single reference assignment, so a concurrent reader (a query
+    routing mid-rebalance) always sees either the old directory or the
+    new one — never a torn mix.  ``version`` counts committed refreshes.
+    """
 
     def __init__(self, groups: Sequence[Sequence[Sensor]]) -> None:
-        self._entries: list[ShardEntry] = []
-        for shard_id, sensors in enumerate(groups):
-            if not sensors:
-                raise ValueError(f"shard {shard_id} is empty")
-            self._entries.append(
-                ShardEntry(
-                    shard_id=shard_id,
-                    mbr=Rect.from_points(s.location for s in sensors),
-                    weight=len(sensors),
-                    sensor_types=frozenset(s.sensor_type for s in sensors),
-                )
+        self.version = 0
+        self._entries: list[ShardEntry] = [
+            _make_entry(shard_id, sensors)
+            for shard_id, sensors in enumerate(groups)
+        ]
+
+    def refresh(
+        self,
+        changes: Mapping[int, Sequence[Sensor]],
+        drop: Sequence[int] = (),
+    ) -> None:
+        """Replace/append shard rows and drop trailing shard ids, atomically.
+
+        ``changes`` maps shard id -> its new full sensor population; ids
+        beyond the current count append new shards.  ``drop`` removes
+        shards, but only from the tail — shard ids must stay dense
+        because :meth:`entry` indexes ``_entries`` positionally (callers
+        renumber via ``changes`` before dropping).  The new row list is
+        fully built and validated before the one-reference-swap commit.
+        """
+        surviving = len(self._entries) - len(drop)
+        if sorted(drop) != list(range(surviving, len(self._entries))):
+            raise ValueError(
+                f"drop must be the trailing shard ids, got {sorted(drop)!r}"
             )
+        new_entries = list(self._entries[:surviving])
+        for shard_id, sensors in sorted(changes.items()):
+            entry = _make_entry(shard_id, sensors)
+            if shard_id < len(new_entries):
+                new_entries[shard_id] = entry
+            elif shard_id == len(new_entries):
+                new_entries.append(entry)
+            else:
+                raise ValueError(
+                    f"shard {shard_id} would leave a gap (have {len(new_entries)})"
+                )
+        if not new_entries:
+            raise ValueError("refresh would leave the directory empty")
+        # Commit point: a single reference assignment, never a torn row.
+        self._entries = new_entries
+        self.version += 1
+
+    def total_weight(self) -> int:
+        """Sum of shard populations — conservation checks compare this
+        against the registry size."""
+        return sum(e.weight for e in self._entries)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -185,6 +226,17 @@ class ShardDirectory:
         for sid, _ in by_frac[:remainder]:
             shares[sid] += 1
         return shares
+
+
+def _make_entry(shard_id: int, sensors: Sequence[Sensor]) -> ShardEntry:
+    if not sensors:
+        raise ValueError(f"shard {shard_id} is empty")
+    return ShardEntry(
+        shard_id=shard_id,
+        mbr=Rect.from_points(s.location for s in sensors),
+        weight=len(sensors),
+        sensor_types=frozenset(s.sensor_type for s in sensors),
+    )
 
 
 def _shard_overlap(mbr: Rect, region: Region) -> float:

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.aggregates import AggregateSketch
 from repro.core.config import COLRTreeConfig
@@ -365,6 +365,13 @@ class FederatedPortal:
         # rebuild re-partitions the fleet and rebuilds every shard, so
         # result caches above the coordinator key their validity on it.
         self.index_generation = 0
+        # Rebalance subscribers: callables invoked with the moved
+        # sensors after each committed membership change.  The front
+        # door registers here for cell-precise invalidation — a
+        # rebalance deliberately does NOT bump ``index_generation``
+        # (that would strand every cached tile, the cold storm this
+        # subsystem exists to avoid).
+        self.rebalance_listeners: list = []
 
     # ------------------------------------------------------------------
     # Publisher side
@@ -508,6 +515,11 @@ class FederatedPortal:
         self._ensure_index()
         return list(self._shards)
 
+    def shard_members(self, shard_id: int) -> list[Sensor]:
+        """The sensors one shard currently owns (copy)."""
+        self._ensure_index()
+        return list(self._groups[shard_id])
+
     def sensor_types(self) -> list[str]:
         self._ensure_index()
         types: set[str] = set()
@@ -552,6 +564,124 @@ class FederatedPortal:
             shard_id, self._groups[shard_id]
         )
         return self._states[shard_id].pending_recovery_seconds - before
+
+    # ------------------------------------------------------------------
+    # Live rebalancing (membership changes without a full rebuild)
+    # ------------------------------------------------------------------
+    def notify_rebalance(self, moved: Sequence[Sensor]) -> None:
+        """Tell subscribers which sensors changed owner (commit time)."""
+        for listener in list(self.rebalance_listeners):
+            listener(moved)
+
+    def rebalance_capture(
+        self, shard_id: int, sensor_ids: Sequence[int] | None = None
+    ) -> list:
+        """Export a shard's warm slot-cache entries for migration.
+
+        Raises :class:`ShardDownError` when the shard is killed — the
+        migration step then aborts cleanly before mutating anything."""
+        self._ensure_index()
+        if self._states[shard_id].killed:
+            raise ShardDownError(f"shard {shard_id} is down")
+        ids = list(sensor_ids) if sensor_ids is not None else None
+        return list(self._shard_op(shard_id, "export_cache", ids))
+
+    def _stage_shard(
+        self,
+        shard_id: int,
+        group: list[Sensor],
+        primed: Sequence[tuple] = (),
+    ):
+        """Build (but do not install) a shard portal for its new
+        membership, priming it with migrated cache entries.
+
+        In-memory shards stage fully off to the side: the old portal
+        keeps serving until :meth:`_commit_membership` swaps references.
+        Durable shards must close the old engine first (one WAL writer
+        per directory) and wipe the stale on-disk sensor set, then
+        checkpoint the primed state so a crash after commit recovers the
+        *new* membership warm."""
+        durable = self._shard_storage(shard_id) is not None
+        if durable:
+            from repro.storage.engine import wipe_data_dir
+
+            if shard_id < len(self._shards):
+                self._shards[shard_id].close()
+            wipe_data_dir(self.storage_config.for_shard(shard_id).path)
+        staged = self._build_shard(shard_id, group)
+        if primed:
+            staged.install_cache_entries(list(primed))
+            if durable:
+                staged.checkpoint()
+        elif durable:
+            staged.checkpoint()
+        return staged
+
+    def rebalance_apply(
+        self,
+        changes: Mapping[int, list[Sensor]],
+        primed: Mapping[int, Sequence[tuple]] | None = None,
+        drop: Sequence[int] = (),
+        on_staged=None,
+    ) -> None:
+        """Apply one membership change: stage every affected shard, then
+        commit with a single directory flip.
+
+        ``changes`` maps shard id -> its complete new population (ids at
+        the current count append shards); ``primed`` carries migrated
+        cache entries per target shard; ``drop`` removes trailing shard
+        ids.  Staging happens entirely before the commit — a query
+        racing the step routes via the old directory to the old portals
+        (all still installed) or, after the flip, via the new directory
+        to the new portals.  Either owner answers; never both, never
+        neither.  ``on_staged`` (tests, fault injection) runs between
+        the phases.  No ``index_generation`` bump: caches above stay
+        valid except where :meth:`notify_rebalance` invalidates."""
+        self._ensure_index()
+        staged = {
+            shard_id: self._stage_shard(
+                shard_id, group, (primed or {}).get(shard_id, ())
+            )
+            for shard_id, group in sorted(changes.items())
+        }
+        if on_staged is not None:
+            on_staged()
+        self._commit_membership(staged, changes, drop)
+
+    def _commit_membership(
+        self,
+        staged: Mapping[int, "SensorMapPortal"],
+        changes: Mapping[int, list[Sensor]],
+        drop: Sequence[int] = (),
+    ) -> None:
+        """Phase two: install staged shards and flip the directory."""
+        assert self._directory is not None
+        surviving = len(self._shards) - len(drop)
+        for shard_id in sorted(drop, reverse=True):
+            old = self._shards.pop(shard_id)
+            self._groups.pop(shard_id)
+            self._states.pop(shard_id, None)
+            old.close()
+            if self.storage_config is not None and self._shard_storage_local:
+                from repro.storage.engine import wipe_data_dir
+
+                wipe_data_dir(self.storage_config.for_shard(shard_id).path)
+        assert len(self._shards) == surviving
+        for shard_id in sorted(staged):
+            if shard_id < len(self._shards):
+                old = self._shards[shard_id]
+                if old is not staged[shard_id]:
+                    old.close()
+                self._shards[shard_id] = staged[shard_id]
+                self._groups[shard_id] = list(changes[shard_id])
+            elif shard_id == len(self._shards):
+                self._shards.append(staged[shard_id])
+                self._groups.append(list(changes[shard_id]))
+            else:
+                raise ValueError(f"staged shard {shard_id} would leave a gap")
+            self._states.setdefault(shard_id, _ShardState())
+        # The commit point for routing: one atomic row-list swap.
+        self._directory.refresh(changes, drop=drop)
 
     def _shard_op(self, shard_id: int, op: str, *args: object) -> object:
         """Run one named portal operation on one shard.

@@ -24,13 +24,19 @@ already absorbs location changes.
 from __future__ import annotations
 
 import math
-from typing import Protocol, Sequence, runtime_checkable
+from typing import Mapping, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro.sensors.sensor import Sensor
 
-__all__ = ["Partitioner", "GridPartitioner", "KMeansPartitioner", "make_partitioner"]
+__all__ = [
+    "Partitioner",
+    "FixedPartitioner",
+    "GridPartitioner",
+    "KMeansPartitioner",
+    "make_partitioner",
+]
 
 
 @runtime_checkable
@@ -82,6 +88,34 @@ class GridPartitioner:
             for sy, cell in enumerate(np.array_split(by_y, self.ny)):
                 shard[cell] = sx * self.ny + sy
         return shard.tolist()
+
+
+class FixedPartitioner:
+    """Pin every sensor to an explicit shard — the rebalancer's ally.
+
+    ``assignment`` maps sensor id -> shard id.  A federation rebuilt
+    through a ``FixedPartitioner`` reproduces exactly the membership a
+    rebalance arrived at incrementally, which is how the tests compare
+    migrated state against a from-scratch build, and how churn tests
+    place fresh joins deterministically.  Sensors absent from the map
+    raise — a silent default would hide a conservation bug.
+    """
+
+    def __init__(self, assignment: Mapping[int, int], n_shards: int | None = None) -> None:
+        self.assignment = dict(assignment)
+        inferred = max(self.assignment.values(), default=-1) + 1
+        self.n_shards = _check_shards(n_shards if n_shards is not None else inferred)
+
+    def assign(self, sensors: Sequence[Sensor]) -> list[int]:
+        out: list[int] = []
+        for s in sensors:
+            if s.sensor_id not in self.assignment:
+                raise KeyError(f"sensor {s.sensor_id} has no fixed shard")
+            shard = self.assignment[s.sensor_id]
+            if not 0 <= shard < self.n_shards:
+                raise ValueError(f"sensor {s.sensor_id} pinned to bad shard {shard}")
+            out.append(shard)
+        return out
 
 
 class KMeansPartitioner:

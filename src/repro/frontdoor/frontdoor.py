@@ -94,12 +94,29 @@ class FrontDoor:
             == "process"
         )
         self._attached_generation = -1
+        # A live rebalance replaces shard trees without bumping the
+        # index generation (so the cache survives the membership change
+        # wholesale); it notifies us instead, and we invalidate only the
+        # moved sensors' cells and re-attach ingest listeners to the
+        # staged trees.
+        listeners = getattr(portal, "rebalance_listeners", None)
+        if listeners is not None:
+            listeners.append(self._on_rebalance)
 
     # ------------------------------------------------------------------
     # Invalidation wiring
     # ------------------------------------------------------------------
     def _on_ingest(self, dirty: Rect, count: int) -> None:
         self.cache.invalidate_region(dirty)
+
+    def _on_rebalance(self, moved) -> None:
+        """Cell-precise invalidation for a committed membership change:
+        only tiles touching a moved sensor's location drop; everything
+        else stays warm (the point of rebalancing over a rebuild)."""
+        self._attached_generation = -1  # staged trees need listeners
+        for sensor in moved:
+            loc = sensor.location
+            self.cache.invalidate_region(Rect(loc.x, loc.y, loc.x, loc.y))
 
     def _local_trees(self) -> list:
         if self._process_backend:

@@ -208,6 +208,93 @@ class ParallelFederatedPortal(FederatedPortal):
         return worker.process.pid
 
     # ------------------------------------------------------------------
+    # Live rebalancing: segment republish on membership change
+    # ------------------------------------------------------------------
+    def _shutdown_worker(self, shard_id: int) -> None:
+        """Gracefully stop one worker (flushes its WAL), dropping its
+        handle so a later :meth:`_spawn` starts fresh."""
+        worker = self._workers.pop(shard_id, None)
+        if worker is None:
+            return
+        if worker.alive:
+            try:
+                send_frame(worker.sock, ("shutdown",))
+                recv_frame(worker.sock)
+            except (EOFError, OSError):
+                pass
+        try:
+            worker.sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.kill()
+                worker.process.join()
+        else:
+            worker.process.join()
+
+    def _publish_shard(self, shard_id: int) -> None:
+        """Publish (or republish) one shard's kernels as fresh segments."""
+        shard = self._shards[shard_id]
+        manifests: dict[str, SegmentManifest] = {}
+        for sensor_type in shard.sensor_types():
+            kernel = shard.tree(sensor_type).kernel
+            if kernel is None:
+                continue
+            manifests[sensor_type] = self._registry.publish(
+                kernel.shared_arrays(), tag=f"s{shard_id}-{sensor_type}"
+            )
+        self._manifests[shard_id] = manifests
+
+    def rebalance_apply(
+        self,
+        changes,
+        primed=None,
+        drop=(),
+        on_staged=None,
+    ) -> None:
+        """Membership change with per-shard segment republish.
+
+        Only the *affected* shards cycle: their workers shut down
+        cleanly (WAL flushed), their stale segments unlink, their
+        durable directories are wiped to the new sensor sets, fresh
+        kernels publish, and new workers spawn — unaffected workers
+        keep serving their mapped segments untouched throughout.
+        Migrated cache entries ship to the new workers over the op pipe
+        (followed by a checkpoint when storage is attached), so moved
+        sensors stay probe-free without any coordinator-side engine."""
+        self._ensure_index()
+        primed = dict(primed or {})
+        staged = {
+            shard_id: self._build_shard(shard_id, group)
+            for shard_id, group in sorted(changes.items())
+        }
+        if on_staged is not None:
+            on_staged()
+        affected = sorted(set(changes) | set(drop))
+        for shard_id in affected:
+            self._shutdown_worker(shard_id)
+        if self.storage_config is not None:
+            from repro.storage.engine import wipe_data_dir
+
+            for shard_id in affected:
+                wipe_data_dir(self.storage_config.for_shard(shard_id).path)
+        for shard_id in affected:
+            for manifest in self._manifests.pop(shard_id, {}).values():
+                self._registry.unpublish(manifest)
+        self._commit_membership(staged, changes, drop)
+        for shard_id in sorted(changes):
+            self._publish_shard(shard_id)
+            self._spawn(shard_id)
+            entries = list(primed.get(shard_id, ()))
+            if entries:
+                self._shard_op(shard_id, "install_cache_entries", entries)
+            if self.storage_config is not None and not self._states[shard_id].killed:
+                self._shard_op(shard_id, "checkpoint")
+
+    # ------------------------------------------------------------------
     # Shard interaction hooks
     # ------------------------------------------------------------------
     def _shard_op(self, shard_id: int, op: str, *args: object) -> object:

@@ -128,6 +128,24 @@ class SegmentRegistry:
     def segment_names(self) -> list[str]:
         return [s.name for s in self._segments]
 
+    def unpublish(self, manifest: SegmentManifest) -> None:
+        """Close and unlink one published segment (rebalance republish).
+
+        Idempotent per segment: a manifest the registry no longer tracks
+        is a no-op, so retrying a membership change never double-unlinks."""
+        for shm in list(self._segments):
+            if shm.name != manifest.segment:
+                continue
+            self._segments.remove(shm)
+            try:
+                shm.close()
+            finally:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            return
+
     def close(self) -> None:
         """Close and unlink every published segment (idempotent)."""
         self._closed = True

@@ -349,6 +349,63 @@ class SensorMapPortal:
                     entries.append((cached.reading, cached.fetched_at))
         return entries
 
+    def export_cache(
+        self, sensor_ids: "Sequence[int] | None" = None
+    ) -> list[tuple["Reading", float]]:
+        """Cached readings (with fetch stamps) for migration shipping.
+
+        ``sensor_ids`` filters to the sensors leaving this shard; the
+        default exports everything (a full warm image, as a checkpoint
+        would see it).  Read-only: no probes, no cache mutation."""
+        self._ensure_index()
+        entries = self._cached_entries()
+        if sensor_ids is None:
+            return entries
+        wanted = set(sensor_ids)
+        return [e for e in entries if e[0].sensor_id in wanted]
+
+    def install_cache_entries(
+        self, entries: "Sequence[tuple[Reading, float]]"
+    ) -> int:
+        """Prime migrated slot-cache entries into this portal's trees.
+
+        The inverse of :meth:`export_cache` on the receiving shard:
+        readings are grouped by their *original* fetch stamp (batch
+        boundaries preserved, first-seen order — the same discipline as
+        ``_prime_recovered``) and inserted as maintenance batches, never
+        probes.  The WAL sink is detached while priming — durability for
+        migrated state comes from the checkpoint the rebalance protocol
+        issues right after the install, not from re-journaling readings
+        another shard already acknowledged.  Returns readings installed
+        (readings for unknown sensors/types are skipped)."""
+        self._ensure_index()
+        type_of = {s.sensor_id: s.sensor_type for s in self.registry}
+        batches: dict[float, dict[str, list["Reading"]]] = {}
+        order: list[float] = []
+        for reading, fetched_at in entries:
+            sensor_type = type_of.get(reading.sensor_id)
+            if sensor_type is None or sensor_type not in self._trees:
+                continue
+            if fetched_at not in batches:
+                batches[fetched_at] = {}
+                order.append(fetched_at)
+            batches[fetched_at].setdefault(sensor_type, []).append(reading)
+        installed = 0
+        saved_sinks = {name: tree.wal_sink for name, tree in self._trees.items()}
+        try:
+            for tree in self._trees.values():
+                tree.wal_sink = None
+            for fetched_at in order:
+                for sensor_type, batch in batches[fetched_at].items():
+                    self._trees[sensor_type].insert_readings_batch(
+                        batch, fetched_at=fetched_at
+                    )
+                    installed += len(batch)
+        finally:
+            for name, tree in self._trees.items():
+                tree.wal_sink = saved_sinks[name]
+        return installed
+
     def checkpoint(self) -> None:
         """Compact the WAL into a fresh checkpoint page file.
 

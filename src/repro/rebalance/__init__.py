@@ -1,0 +1,51 @@
+"""Live shard rebalancing: membership changes without a cold rebuild.
+
+``rebuild_index()`` re-partitions from scratch — every shard stalls,
+every slot cache dies, and the next query wave pays a full probe storm.
+A deployed portal sees continuous sensor churn (joins, leaves, hotspot
+drift), so this package moves membership *incrementally*:
+
+``ShardMover``
+    One migration step — move a sensor batch, split an overloaded
+    shard, merge a starved one, absorb joins/leaves.  Each step captures
+    the affected shards' warm slot-cache entries, stages replacement
+    portals off to the side, and commits with a single
+    :meth:`~repro.federation.directory.ShardDirectory.refresh` flip:
+    a query racing the step sees either the old owner or the new one,
+    never both and never neither.  With durable storage the step is
+    bracketed by a :mod:`journal <repro.rebalance.journal>` so a crash
+    at any point rolls back or forward to a consistent membership.
+``Rebalancer``
+    The background policy loop: bounded steps (capped sensor batches)
+    interleaved with query traffic, triggered by population imbalance
+    or query-load skew, in the population-bounded split/merge spirit of
+    SampleTree.
+``resolve_pending``
+    Crash recovery for the coordinator: reads the migration journal and
+    returns the consistent membership to rebuild with (via
+    ``FixedPartitioner``), wiping any shard directory left on the
+    losing side of the flip.
+
+Invariants (pinned by ``tests/rebalance``): every sensor has exactly
+one owner at every step; directory MBRs always cover their shard
+populations; scatter routing is conservation-exact mid-rebalance; and
+Theorem-2 inclusion uniformity holds at any checkpoint during a
+migration.
+"""
+
+from repro.rebalance.config import RebalanceConfig
+from repro.rebalance.journal import MigrationJournal, MigrationResolution, resolve_pending
+from repro.rebalance.migration import JoinSpec, MigrationAborted, ShardMover
+from repro.rebalance.rebalancer import Rebalancer, StepReport
+
+__all__ = [
+    "JoinSpec",
+    "MigrationAborted",
+    "MigrationJournal",
+    "MigrationResolution",
+    "RebalanceConfig",
+    "Rebalancer",
+    "ShardMover",
+    "StepReport",
+    "resolve_pending",
+]

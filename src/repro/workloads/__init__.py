@@ -18,6 +18,7 @@ DESIGN.md records why each substitution preserves the behaviour the
 corresponding experiment measures.
 """
 
+from repro.workloads.churn import ChurnTick, ChurnWorkload
 from repro.workloads.cities import CITIES, City
 from repro.workloads.expiry import (
     uniform_expiry,
@@ -37,6 +38,8 @@ from repro.workloads.usgs import UsgsWaWorkload
 
 __all__ = [
     "CITIES",
+    "ChurnTick",
+    "ChurnWorkload",
     "City",
     "Corridor",
     "HighwayWorkload",

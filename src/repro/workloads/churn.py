@@ -1,0 +1,136 @@
+"""Fleet-churn workload: joins, leaves and hotspot drift.
+
+A deployed sensor web is never static — publishers register new
+sensors, withdraw old ones, and *where* they do so drifts over time
+(a storm front, an event, a new deployment campaign).  This generator
+produces the membership-change stream the rebalancer absorbs:
+
+* **Joins** arrive at ``join_rate`` per tick, placed Gaussian around a
+  moving hotspot center (plus a uniform background fraction), so the
+  spatial load concentrates and the population skews toward whichever
+  shard the hotspot sits over — exactly the pressure that triggers
+  splits and moves.
+* **Leaves** remove ``leave_rate`` live sensors per tick, uniformly,
+  modelling publisher withdrawal.
+* **Hotspot drift**: the hotspot center performs a seeded random walk
+  over the extent (reflecting at the borders), so over enough ticks the
+  skew *migrates* across shard boundaries — the scenario a static
+  partition can never stay balanced under.
+
+All randomness is seeded; a tick stream is deterministic per seed, so
+benches and the Monte-Carlo suites replay bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry import GeoPoint
+from repro.rebalance.migration import JoinSpec
+
+__all__ = ["ChurnTick", "ChurnWorkload"]
+
+
+@dataclass(frozen=True)
+class ChurnTick:
+    """One tick of fleet churn."""
+
+    tick: int
+    joins: tuple[JoinSpec, ...]
+    leave_ids: tuple[int, ...]
+    hotspot: GeoPoint
+
+
+class ChurnWorkload:
+    """Seeded join/leave/drift stream over a square extent."""
+
+    def __init__(
+        self,
+        extent: float = 100.0,
+        join_rate: float = 8.0,
+        leave_rate: float = 4.0,
+        hotspot_sigma: float = 6.0,
+        hotspot_fraction: float = 0.8,
+        drift_step: float = 5.0,
+        expiry_range: tuple[float, float] = (300.0, 900.0),
+        availability: float = 1.0,
+        sensor_type: str = "generic",
+        seed: int = 0,
+    ) -> None:
+        if extent <= 0:
+            raise ValueError("extent must be positive")
+        if join_rate < 0 or leave_rate < 0:
+            raise ValueError("rates must be non-negative")
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be in [0, 1]")
+        self.extent = float(extent)
+        self.join_rate = float(join_rate)
+        self.leave_rate = float(leave_rate)
+        self.hotspot_sigma = float(hotspot_sigma)
+        self.hotspot_fraction = float(hotspot_fraction)
+        self.drift_step = float(drift_step)
+        self.expiry_range = expiry_range
+        self.availability = float(availability)
+        self.sensor_type = sensor_type
+        self._rng = np.random.default_rng(seed)
+        self._tick = 0
+        # Hotspot starts at a seeded random position, not the center,
+        # so different seeds stress different shards first.
+        self.hotspot = GeoPoint(
+            float(self._rng.uniform(0.0, self.extent)),
+            float(self._rng.uniform(0.0, self.extent)),
+        )
+
+    def _reflect(self, value: float) -> float:
+        """Reflect a random-walk coordinate back into [0, extent]."""
+        period = 2.0 * self.extent
+        value %= period
+        return period - value if value > self.extent else value
+
+    def _draw_location(self) -> GeoPoint:
+        rng = self._rng
+        if rng.uniform() < self.hotspot_fraction:
+            x = self.hotspot.x + rng.normal(0.0, self.hotspot_sigma)
+            y = self.hotspot.y + rng.normal(0.0, self.hotspot_sigma)
+            return GeoPoint(
+                float(min(max(x, 0.0), self.extent)),
+                float(min(max(y, 0.0), self.extent)),
+            )
+        return GeoPoint(
+            float(rng.uniform(0.0, self.extent)),
+            float(rng.uniform(0.0, self.extent)),
+        )
+
+    def tick(self, live_ids: Sequence[int]) -> ChurnTick:
+        """Generate one tick: joins near the (drifting) hotspot and
+        uniform leaves drawn from ``live_ids``.  Leaves never drain the
+        fleet below one sensor."""
+        rng = self._rng
+        self._tick += 1
+        self.hotspot = GeoPoint(
+            self._reflect(self.hotspot.x + rng.normal(0.0, self.drift_step)),
+            self._reflect(self.hotspot.y + rng.normal(0.0, self.drift_step)),
+        )
+        n_joins = int(rng.poisson(self.join_rate))
+        joins = tuple(
+            JoinSpec(
+                location=self._draw_location(),
+                expiry_seconds=float(rng.uniform(*self.expiry_range)),
+                sensor_type=self.sensor_type,
+                availability=self.availability,
+            )
+            for _ in range(n_joins)
+        )
+        n_leaves = min(
+            int(rng.poisson(self.leave_rate)), max(len(live_ids) - 1, 0)
+        )
+        leave_ids: tuple[int, ...] = ()
+        if n_leaves > 0:
+            chosen = rng.choice(len(live_ids), size=n_leaves, replace=False)
+            leave_ids = tuple(sorted(int(live_ids[i]) for i in chosen))
+        return ChurnTick(
+            tick=self._tick, joins=joins, leave_ids=leave_ids, hotspot=self.hotspot
+        )

@@ -9,6 +9,8 @@ cell-plan path against the exact Region path value-for-value.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.core.config import COLRTreeConfig
@@ -20,6 +22,14 @@ from repro.portal.query import SensorQuery
 EXTENT = 10.0
 STALENESS = 120.0
 CELL_DEGREES = 1.0
+
+# Pristine built portals keyed by every make_portal argument.  The
+# suite builds the same handful of 300-sensor fleets dozens of times;
+# a freshly-built portal is pure deterministic state (no open files,
+# no processes), so a deepcopy of the memoized prototype is
+# bit-identical to a fresh build — and each test still gets a private
+# mutable instance.
+_PROTOTYPES: dict[tuple, SensorMapPortal] = {}
 
 
 def make_portal(
@@ -35,6 +45,24 @@ def make_portal(
     ``extra_locations`` appends sensors at exact coordinates (cell
     corners, edges) for dedup and ownership tests.
     """
+    key = (n, seed, cell_degrees, max_cells, max_sensors_per_query, extra_locations)
+    prototype = _PROTOTYPES.get(key)
+    if prototype is None:
+        prototype = _build_portal(
+            n, seed, cell_degrees, max_cells, max_sensors_per_query, extra_locations
+        )
+        _PROTOTYPES[key] = prototype
+    return copy.deepcopy(prototype)
+
+
+def _build_portal(
+    n: int,
+    seed: int,
+    cell_degrees: float,
+    max_cells: int,
+    max_sensors_per_query: int | None,
+    extra_locations: tuple[tuple[float, float], ...],
+) -> SensorMapPortal:
     portal = SensorMapPortal(
         config=COLRTreeConfig(max_expiry_seconds=600.0, slot_seconds=120.0),
         max_sensors_per_query=max_sensors_per_query,

@@ -1,5 +1,7 @@
 """The geoblock grid: populations, listener mirroring, cell serving."""
 
+import pytest
+
 from repro.geoblocks.planner import cell_of_point, cell_rect
 from repro.sensors.sensor import Reading
 
@@ -50,6 +52,7 @@ class TestSync:
         portal.geoblocks()
         assert grid.stats.rebuilds == rebuilds
 
+    @pytest.mark.slow  # re-registers mid-test: full index rebuild
     def test_rebuild_on_generation_move_restarts_cold(self):
         portal = make_portal(n=60, seed=1)
         grid, cell, _ = warm_cell(portal)

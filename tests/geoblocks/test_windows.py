@@ -122,6 +122,7 @@ class TestRevalidation:
         assert r.cells_reused == empty
         assert r.cells_refreshed == 9 - empty
 
+    @pytest.mark.slow  # re-registers mid-test: full index rebuild
     def test_index_rebuild_invalidates_snapshots(self):
         portal = make_portal(seed=4)
         w = window(portal)

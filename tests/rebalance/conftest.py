@@ -1,0 +1,99 @@
+"""Shared builders for the rebalance suite.
+
+Two fleet shapes cover every test:
+
+* ``make_skewed_fed`` — quadratic-in-x density behind the fixed-width
+  strip partitioner (the PR-5 skew device), so the rebalancer has real
+  work to do and triggers fire deterministically;
+* ``make_uniform_fed`` — a balanced grid-partitioned fleet for the
+  mechanics tests, where *any* membership drift would be a bug.
+
+Both run with caching and oversampling off and availability 1.0, so an
+exact query's distinct sensor ids measure ownership directly (every
+reading is a real per-sensor probe or a shipped warm entry, never a
+multi-sensor cache representative).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import COLRTreeConfig
+from repro.federation import FederatedPortal
+from repro.geometry import GeoPoint, Rect
+
+EXTENT = 100.0
+WHOLE = Rect(0.0, 0.0, EXTENT, EXTENT)
+STALENESS = 600.0
+
+
+class FixedStripsPartitioner:
+    """Equal-*width* vertical strips (NOT equal population)."""
+
+    def __init__(self, n_shards: int) -> None:
+        self.n_shards = n_shards
+
+    def assign(self, sensors) -> list[int]:
+        width = EXTENT / self.n_shards
+        return [
+            min(int(s.location.x / width), self.n_shards - 1) for s in sensors
+        ]
+
+
+def _populate(fed: FederatedPortal, xs, ys) -> FederatedPortal:
+    for x, y in zip(xs, ys):
+        fed.register_sensor(
+            GeoPoint(float(x), float(y)),
+            expiry_seconds=STALENESS,
+            availability=1.0,
+        )
+    fed.rebuild_index()
+    return fed
+
+
+def make_skewed_fed(
+    n: int = 400, n_shards: int = 4, seed: int = 0, **kwargs
+) -> FederatedPortal:
+    """Crowded low-x strips, sparse high-x strips."""
+    fed = FederatedPortal(
+        partitioner=FixedStripsPartitioner(n_shards),
+        config=COLRTreeConfig(caching_enabled=False, oversampling_enabled=False),
+        max_sensors_per_query=None,
+        network_options={"latency_jitter": 0.0},
+        **kwargs,
+    )
+    rng = np.random.default_rng(seed)
+    return _populate(fed, EXTENT * rng.random(n) ** 2, EXTENT * rng.random(n))
+
+
+def make_uniform_fed(
+    n: int = 240, n_shards: int = 4, seed: int = 0, **kwargs
+) -> FederatedPortal:
+    """A balanced grid-partitioned fleet."""
+    fed = FederatedPortal(
+        n_shards=n_shards,
+        config=COLRTreeConfig(caching_enabled=False, oversampling_enabled=False),
+        max_sensors_per_query=None,
+        network_options={"latency_jitter": 0.0},
+        **kwargs,
+    )
+    rng = np.random.default_rng(seed)
+    return _populate(fed, EXTENT * rng.random(n), EXTENT * rng.random(n))
+
+
+def distinct_ids(result) -> tuple[set[int], int]:
+    """Distinct sensor ids in a merged answer plus the raw reading
+    count (distinct < raw means a duplicate slipped through)."""
+    ids: set[int] = set()
+    raw = 0
+    for answer in result.answers:
+        for reading in list(answer.probed_readings) + list(answer.cached_readings):
+            ids.add(reading.sensor_id)
+            raw += 1
+    return ids, raw
+
+
+def total_probes(fed: FederatedPortal) -> int:
+    return sum(
+        shard.network.stats.probes_attempted for shard in fed.shards()
+    )

@@ -1,0 +1,103 @@
+"""Federated Theorem 2 *during* rebalancing.
+
+PR 5's Monte-Carlo suite pinned flat inclusion probability across
+skewed static partitions.  Live rebalancing restages shards and
+rewrites the directory mid-flight, so the same guarantee is re-checked
+at two-phase checkpoints: at ``prepared`` (replacements staged, old
+directory still serving), at ``committed`` (flipped), and after the
+loop settles.  Whatever membership a checkpoint observes, repeated
+sampling must include every shard's sensors at the uniform ``R/N``
+within the share-quantization + binomial tolerance of the original
+harness — a migration that skewed inclusion toward (or away from)
+restaged shards fails here.
+
+The skew device, fleet builder and tolerance arithmetic are imported
+from the PR-5 harness (``tests/federation/test_sampling_guarantees``)
+rather than re-derived, so the two suites cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.portal import SensorQuery
+from repro.rebalance import RebalanceConfig, Rebalancer
+
+from tests.federation.test_sampling_guarantees import (
+    WHOLE,
+    _included_ids,
+    _skewed_portal,
+)
+
+N_SENSORS = 900
+TARGET = 150
+REPEATS = 30
+
+
+def _assert_uniform_inclusion(fed, label: str) -> None:
+    """The PR-5 per-shard check against the fed's *current* directory:
+    inclusion frequency within 1/n_i quantization + 5-sigma binomial of
+    the global rate, for every shard."""
+    query = SensorQuery(
+        region=WHOLE, staleness_seconds=600.0, sample_size=TARGET
+    )
+    counts: dict[int, int] = {}
+    for _ in range(REPEATS):
+        for sid in _included_ids(fed.execute(query)):
+            counts[sid] = counts.get(sid, 0) + 1
+    p = TARGET / len(fed.registry)
+    for entry in fed.directory.entries():
+        members = [s.sensor_id for s in fed.shard_members(entry.shard_id)]
+        n_i = len(members)
+        freq = sum(counts.get(sid, 0) for sid in members) / (REPEATS * n_i)
+        sigma = math.sqrt(p * (1.0 - p) / (REPEATS * n_i))
+        tolerance = 1.0 / n_i + 5.0 * sigma
+        assert abs(freq - p) <= tolerance, (
+            f"{label}: shard {entry.shard_id} (n={n_i}) inclusion "
+            f"{freq:.4f} vs uniform {p:.4f} (tolerance {tolerance:.4f})"
+        )
+
+
+class TestUniformityDuringRebalance:
+    def test_inclusion_stays_flat_at_two_phase_checkpoints(self):
+        fed = _skewed_portal(N_SENSORS, 4, seed=7)
+        populations = [e.weight for e in fed.directory.entries()]
+        assert max(populations) >= 2 * min(populations)
+
+        checkpoints: list[str] = []
+
+        def on_phase(phase: str) -> None:
+            checkpoints.append(phase)
+            _assert_uniform_inclusion(fed, f"step{len(checkpoints)}:{phase}")
+
+        rebalancer = Rebalancer(
+            fed,
+            RebalanceConfig(max_moves_per_step=N_SENSORS // 8),
+            on_phase=on_phase,
+        )
+        initial = rebalancer.imbalance()
+        rebalancer.run(max_steps=4)
+        assert "prepared" in checkpoints and "committed" in checkpoints
+        assert rebalancer.imbalance() < initial
+        _assert_uniform_inclusion(fed, "settled")
+        rebalancer.verify_invariants()
+
+    def test_inclusion_flat_after_split_and_merge(self):
+        """The shard count itself changing (split of the heaviest, merge
+        of the lightest) must not dent per-shard inclusion."""
+        fed = _skewed_portal(N_SENSORS, 4, seed=11)
+        rebalancer = Rebalancer(fed)
+        heavy = max(
+            range(len(fed.directory)),
+            key=lambda i: fed.directory.entry(i).weight,
+        )
+        rebalancer.mover.split(heavy)
+        _assert_uniform_inclusion(fed, "after-split")
+        light = min(
+            range(len(fed.directory)),
+            key=lambda i: fed.directory.entry(i).weight,
+        )
+        partner = rebalancer._nearest_alive(light)
+        rebalancer.mover.merge(light, partner)
+        _assert_uniform_inclusion(fed, "after-merge")
+        rebalancer.verify_invariants()

@@ -127,6 +127,123 @@ class TestHostileParameters:
             network.probe([999], now=0.0)
 
 
+class TestRebalanceFaults:
+    """Hostile edges of live migration on an in-memory federation: a
+    down shard aborts before mutation, and a mid-step coordinator
+    failure leaves the un-flipped membership fully consistent."""
+
+    def _fed(self, n=120, n_shards=3, seed=40):
+        from repro.federation import FederatedPortal
+
+        rng = np.random.default_rng(seed)
+        fed = FederatedPortal(n_shards=n_shards, max_sensors_per_query=None)
+        for _ in range(n):
+            fed.register_sensor(
+                GeoPoint(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+                expiry_seconds=600.0,
+                availability=1.0,
+            )
+        fed.rebuild_index()
+        return fed
+
+    def test_migration_to_down_shard_aborts_cleanly(self):
+        from repro.rebalance import MigrationAborted, Rebalancer, ShardMover
+
+        fed = self._fed()
+        fed.kill_shard(1)
+        mover = ShardMover(fed)
+        movers = [s.sensor_id for s in fed.shard_members(0)[:5]]
+        version = fed.directory.version
+        with pytest.raises(MigrationAborted):
+            mover.move(movers, src=0, dst=1)
+        with pytest.raises(MigrationAborted):
+            mover.move(
+                [s.sensor_id for s in fed.shard_members(1)[:5]], src=1, dst=0
+            )
+        assert fed.directory.version == version
+        fed.revive_shard(1)
+        Rebalancer(fed).verify_invariants()
+
+    def test_policy_routes_around_a_dead_shard(self):
+        from repro.portal import SensorQuery
+        from repro.rebalance import Rebalancer
+
+        fed = self._fed()
+        # Skew the alive fleet, then take shard 2 down: the policy must
+        # rebalance between the alive shards only, leaving the dead
+        # shard's membership untouched, while queries degrade to
+        # partial instead of crashing.
+        rebalancer = Rebalancer(fed)
+        rebalancer.mover.move(
+            [s.sensor_id for s in fed.shard_members(0)[:30]], src=0, dst=1
+        )
+        fed.kill_shard(2)
+        dead_members = sorted(s.sensor_id for s in fed.shard_members(2))
+        reports = rebalancer.run(max_steps=4)
+        assert all(r.op not in ("aborted",) for r in reports)
+        assert sorted(s.sensor_id for s in fed.shard_members(2)) == dead_members
+        result = fed.execute(
+            SensorQuery(region=Rect(0, 0, 100, 100), staleness_seconds=600.0)
+        )
+        assert result.partial and 2 in result.failed_shards
+        fed.revive_shard(2)
+
+    def test_shard_dying_mid_step_surfaces_as_aborted_report(self):
+        from repro.rebalance import MigrationAborted, Rebalancer
+
+        fed = self._fed()
+        rebalancer = Rebalancer(fed)
+        # Skew so the policy plans a move, then inject the race where
+        # the shard dies between planning and capture: the step reports
+        # "aborted" instead of raising, and nothing is mutated.
+        rebalancer.mover.move(
+            [s.sensor_id for s in fed.shard_members(0)[:30]], src=0, dst=1
+        )
+
+        def die(point: str) -> None:
+            if point == "captured":
+                raise MigrationAborted("shard lost mid-step")
+
+        rebalancer.mover.failpoint = die
+        version = fed.directory.version
+        reports = rebalancer.run(max_steps=4)
+        assert [r.op for r in reports] == ["aborted"]
+        assert fed.directory.version == version
+        rebalancer.verify_invariants()
+
+    def test_mid_step_failure_leaves_old_membership_consistent(self):
+        from repro.portal import SensorQuery
+        from repro.rebalance import Rebalancer, ShardMover
+
+        class _Boom(RuntimeError):
+            pass
+
+        fed = self._fed()
+        before = {
+            sid: sorted(s.sensor_id for s in fed.shard_members(sid))
+            for sid in range(3)
+        }
+
+        def crash(point: str) -> None:
+            if point == "prepared":
+                raise _Boom
+
+        mover = ShardMover(fed, failpoint=crash)
+        movers = [s.sensor_id for s in fed.shard_members(0)[:8]]
+        with pytest.raises(_Boom):
+            mover.move(movers, src=0, dst=1)
+        after = {
+            sid: sorted(s.sensor_id for s in fed.shard_members(sid))
+            for sid in range(3)
+        }
+        assert after == before
+        result = fed.execute(
+            SensorQuery(region=Rect(0, 0, 100, 100), staleness_seconds=600.0)
+        )
+        assert result.result_weight == len(fed.registry)
+        Rebalancer(fed).verify_invariants()
+
+
 class TestPartialFleetFailure:
     def test_mixed_availability_fleet(self):
         """Half the fleet is dead; oversampling should still deliver a
